@@ -1,0 +1,226 @@
+// Benchmarks that regenerate the BASS paper's tables and figures — one
+// testing.B target per table/figure, each driving the corresponding
+// experiment harness on the simulated substrate and reporting its headline
+// quantity as a custom metric. Run all of them with:
+//
+//	go test -bench=. -benchmem
+//
+// Iterations use reduced horizons where the full experiment would dominate
+// the benchmark run; cmd/benchtab runs the full-scale versions and prints
+// the complete tables.
+package bass_test
+
+import (
+	"testing"
+	"time"
+
+	"bass/internal/experiments"
+)
+
+func BenchmarkFig2TraceVariation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig2(int64(i+1), 20*time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Volatile.StdPctMean, "volatile_std_pct")
+	}
+}
+
+func BenchmarkFig4PionBottleneck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig4(int64(i+1), []int{4, 12}, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[len(r.Rows)-1].PacketLossFrac, "loss_at_12")
+	}
+}
+
+func BenchmarkFig5SocialThrottle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig5(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ThrottledSec/r.CalmSec, "inflation_x")
+	}
+}
+
+func BenchmarkFig6Heuristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8MigrationTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig8(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(r.Migrations)), "migrations")
+	}
+}
+
+func BenchmarkFig10CameraPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig10(int64(i+1), 5*time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].MeanSec*1e3, "bfs_mean_ms")
+		b.ReportMetric(r.Rows[2].MeanSec*1e3, "k3s_mean_ms")
+	}
+}
+
+func BenchmarkFig11SocialP99(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig11(int64(i+1), []float64{300})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Rows: [lp/unrestricted, k3s/unrestricted, lp/restricted,
+		// k3s/restricted] at the single rate.
+		b.ReportMetric(r.Rows[3].P99Sec/nonZero(r.Rows[2].P99Sec), "k3s_over_lp_restricted")
+	}
+}
+
+func BenchmarkFig12VideoconfMigration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig12(int64(i+1), []int{30, 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].MeanMbpsDuringRestriction, "mbps_30s_interval")
+		b.ReportMetric(r.Rows[1].MeanMbpsDuringRestriction, "mbps_no_migration")
+	}
+}
+
+func BenchmarkFig13SocialMigration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig13(int64(i+1), []int{30, 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].ThrottledTailMeanSec, "tail_mean_s_30s")
+		b.ReportMetric(r.Rows[1].ThrottledTailMeanSec, "tail_mean_s_nomig")
+	}
+}
+
+func BenchmarkTable1MigrationIterations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig13(int64(i+1), []int{30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total := 0
+		for _, ev := range r.Evaluations {
+			total += ev.Migrated
+		}
+		b.ReportMetric(float64(total), "migrated_total")
+	}
+}
+
+func BenchmarkTable2CityLabCamera(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunTable2(int64(i+1), 10*time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Cells: [bfs, lp, k3s] × [static, varying].
+		b.ReportMetric(r.Cells[5].MedianSec/nonZero(r.Cells[2].MedianSec), "k3s_inflation_x")
+	}
+}
+
+func BenchmarkFig14aRestartCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig14a(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.RestartMeanSec/nonZero(r.BaselineMeanSec), "restart_inflation_x")
+	}
+}
+
+func BenchmarkFig14bSchedulerCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig14b(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Rows: [lp+mig, bfs+mig, lp, k3s].
+		b.ReportMetric(r.Rows[3].P99Sec/nonZero(r.Rows[0].P99Sec), "k3s_over_lpmig_p99")
+	}
+}
+
+func BenchmarkFig14cdThresholdSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig14cd(int64(i+1), []int{25, 65, 95}, []int{20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(r.Cells)), "cells")
+	}
+}
+
+func BenchmarkFig15bVideoconfThresholds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig15b(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var noMig, with65 float64
+		for _, row := range r.Rows {
+			if row.Node == "node2" {
+				switch row.Strategy {
+				case "no-migration":
+					noMig = row.MedianBitrateMbps
+				case "65%":
+					with65 = row.MedianBitrateMbps
+				}
+			}
+		}
+		b.ReportMetric(with65/nonZero(noMig), "node2_gain_x")
+	}
+}
+
+func BenchmarkFig16ExponentialArrival(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig16(int64(i+1), []int{25, 95})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].P90Sec, "p90_s_t25")
+		b.ReportMetric(r.Rows[1].P90Sec, "p90_s_t95")
+	}
+}
+
+func BenchmarkTable3SchedulingLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunTable34(20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].PerComponentUS, "bass_social_us")
+	}
+}
+
+func BenchmarkTable4DAGProcessing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunTable34(20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rows[0].DAGProcessUS, "bass_social_dag_us")
+	}
+}
+
+func nonZero(v float64) float64 {
+	if v == 0 {
+		return 1e-12
+	}
+	return v
+}

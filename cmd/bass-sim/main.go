@@ -1,0 +1,284 @@
+// Command bass-sim runs one BASS emulation scenario described by a JSON
+// config file and prints the application's outcome metrics — the
+// command-line front door to the same machinery the experiments use.
+//
+// Usage:
+//
+//	bass-sim -config scenario.json
+//	bass-sim -example > scenario.json       # print a starter config
+//
+// Config schema (JSON):
+//
+//	{
+//	  "topology": "citylab" | "lan",
+//	  "lanNodes": 3, "lanNodeCPU": 16, "lanNodeMemMB": 65536,
+//	  "app": "camera" | "socialnet" | "videoconf",
+//	  "scheduler": "bfs" | "longest-path" | "k3s",
+//	  "horizonSec": 600, "seed": 42,
+//	  "migration": true, "monitorIntervalSec": 30,
+//	  "rps": 50, "clientNode": "node1",
+//	  "participantsPerNode": 3, "publishMbps": 0.5
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bass/internal/apps/camera"
+	"bass/internal/apps/socialnet"
+	"bass/internal/apps/videoconf"
+	"bass/internal/cluster"
+	"bass/internal/core"
+	"bass/internal/mesh"
+	"bass/internal/scheduler"
+	"bass/internal/workload"
+)
+
+// scenario is the JSON configuration.
+type scenario struct {
+	Topology     string  `json:"topology"`
+	LANNodes     int     `json:"lanNodes,omitempty"`
+	LANNodeCPU   float64 `json:"lanNodeCPU,omitempty"`
+	LANNodeMemMB float64 `json:"lanNodeMemMB,omitempty"`
+
+	App       string `json:"app"`
+	Scheduler string `json:"scheduler"`
+
+	HorizonSec         int   `json:"horizonSec"`
+	Seed               int64 `json:"seed"`
+	Migration          bool  `json:"migration"`
+	MonitorIntervalSec int   `json:"monitorIntervalSec,omitempty"`
+
+	// Social network.
+	RPS        float64 `json:"rps,omitempty"`
+	ClientNode string  `json:"clientNode,omitempty"`
+
+	// Video conferencing.
+	ParticipantsPerNode int     `json:"participantsPerNode,omitempty"`
+	PublishMbps         float64 `json:"publishMbps,omitempty"`
+}
+
+func exampleScenario() scenario {
+	return scenario{
+		Topology:           "citylab",
+		App:                "camera",
+		Scheduler:          "bfs",
+		HorizonSec:         600,
+		Seed:               42,
+		Migration:          true,
+		MonitorIntervalSec: 30,
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bass-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bass-sim", flag.ContinueOnError)
+	configPath := fs.String("config", "", "scenario JSON path")
+	example := fs.Bool("example", false, "print a starter scenario and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *example {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(exampleScenario())
+	}
+	if *configPath == "" {
+		return fmt.Errorf("missing -config (try -example)")
+	}
+	raw, err := os.ReadFile(*configPath)
+	if err != nil {
+		return err
+	}
+	var sc scenario
+	if err := json.Unmarshal(raw, &sc); err != nil {
+		return fmt.Errorf("parse %s: %w", *configPath, err)
+	}
+	return execute(sc)
+}
+
+func execute(sc scenario) error {
+	if sc.HorizonSec <= 0 {
+		sc.HorizonSec = 600
+	}
+	horizon := time.Duration(sc.HorizonSec) * time.Second
+
+	topo, nodes, err := buildTopology(sc, horizon)
+	if err != nil {
+		return err
+	}
+	policy, err := buildPolicy(sc.Scheduler)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{
+		Policy:          policy,
+		EnableMigration: sc.Migration,
+		ReservedCPU:     1,
+	}
+	if sc.MonitorIntervalSec > 0 {
+		cfg.MonitorInterval = time.Duration(sc.MonitorIntervalSec) * time.Second
+	}
+	sim, err := core.NewSimulation(topo, nodes, sc.Seed, cfg)
+	if err != nil {
+		return err
+	}
+	defer sim.Close()
+
+	report, err := deployApp(sc, sim)
+	if err != nil {
+		return err
+	}
+	if err := sim.Run(horizon); err != nil {
+		return err
+	}
+	report()
+
+	migs := sim.Orch.Migrations()
+	fmt.Printf("migrations: %d\n", len(migs))
+	for _, m := range migs {
+		fmt.Printf("  t=%.0fs %s: %s -> %s\n", m.At.Seconds(), m.Component, m.From, m.To)
+	}
+	stats := sim.Orch.Monitor().Stats()
+	fmt.Printf("probing: %d full, %d headroom, %.1f Mbit injected\n",
+		stats.FullProbes, stats.HeadroomProbes, stats.OverheadMbits)
+	return nil
+}
+
+func buildTopology(sc scenario, horizon time.Duration) (*mesh.Topology, []cluster.Node, error) {
+	switch sc.Topology {
+	case "citylab", "":
+		topo, err := mesh.CityLab(mesh.CityLabOptions{Seed: sc.Seed, Duration: horizon})
+		if err != nil {
+			return nil, nil, err
+		}
+		nodes := []cluster.Node{
+			{Name: mesh.CityLabControl, CPU: 12, MemoryMB: 8192, Unschedulable: true},
+			{Name: mesh.CityLabNode1, CPU: 12, MemoryMB: 8192},
+			{Name: mesh.CityLabNode2, CPU: 8, MemoryMB: 8192},
+			{Name: mesh.CityLabNode3, CPU: 12, MemoryMB: 8192},
+			{Name: mesh.CityLabNode4, CPU: 8, MemoryMB: 8192},
+		}
+		return topo, nodes, nil
+	case "lan":
+		n := sc.LANNodes
+		if n <= 0 {
+			n = 3
+		}
+		cpu := sc.LANNodeCPU
+		if cpu <= 0 {
+			cpu = 16
+		}
+		mem := sc.LANNodeMemMB
+		if mem <= 0 {
+			mem = 65536
+		}
+		nodes := make([]cluster.Node, n)
+		names := make([]string, n)
+		for i := range nodes {
+			names[i] = fmt.Sprintf("node%d", i+1)
+			nodes[i] = cluster.Node{Name: names[i], CPU: cpu, MemoryMB: mem}
+		}
+		topo := mesh.FullMesh(names, 1000, time.Millisecond, horizon)
+		return topo, nodes, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown topology %q", sc.Topology)
+	}
+}
+
+func buildPolicy(name string) (scheduler.Policy, error) {
+	switch name {
+	case "bfs":
+		return scheduler.NewBass(scheduler.HeuristicBFS), nil
+	case "longest-path", "", "lp":
+		return scheduler.NewBass(scheduler.HeuristicLongestPath), nil
+	case "k3s":
+		return scheduler.NewK3s(), nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", name)
+	}
+}
+
+// deployApp deploys the configured workload and returns a closure that
+// prints its metrics after the run.
+func deployApp(sc scenario, sim *core.Simulation) (func(), error) {
+	switch sc.App {
+	case "camera", "":
+		app, err := camera.New(camera.Config{})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sim.Orch.Deploy("camera", app); err != nil {
+			return nil, err
+		}
+		return func() {
+			published, sampled, annotated, dropped := app.Counters()
+			fmt.Printf("camera: %s\n", app.Latency().Histogram().Summary())
+			fmt.Printf("frames: published=%d sampled=%d annotated=%d dropped=%d\n",
+				published, sampled, annotated, dropped)
+		}, nil
+	case "socialnet":
+		clientNode := sc.ClientNode
+		if clientNode == "" {
+			clientNode = mesh.CityLabNode1
+		}
+		rps := sc.RPS
+		if rps <= 0 {
+			rps = 50
+		}
+		app, err := socialnet.New(socialnet.Config{
+			ClientNode: clientNode,
+			Arrival:    workload.Constant{PerSecond: rps},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sim.Orch.Deploy("socialnet", app); err != nil {
+			return nil, err
+		}
+		return func() {
+			fmt.Printf("socialnet (%d requests): %s\n", app.Requests(), app.Latency().Histogram().Summary())
+		}, nil
+	case "videoconf":
+		per := sc.ParticipantsPerNode
+		if per <= 0 {
+			per = 3
+		}
+		publish := sc.PublishMbps
+		if publish <= 0 {
+			publish = 0.5
+		}
+		clients := make(map[string]int)
+		for _, n := range sim.Cluster.SchedulableNodes() {
+			clients[n] = per
+		}
+		app, err := videoconf.New(videoconf.Config{
+			ClientsPerNode: clients,
+			PublishMbps:    publish,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sim.Orch.Deploy("videoconf", app); err != nil {
+			return nil, err
+		}
+		return func() {
+			for _, s := range app.StatsByNode() {
+				fmt.Printf("videoconf %s: median=%.2f Mbps mean=%.2f Mbps loss=%.1f%% (%d clients)\n",
+					s.Node, s.MedianBitrateMbps, s.MeanBitrateMbps, 100*s.MeanLossFrac, s.Clients)
+			}
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown app %q", sc.App)
+	}
+}

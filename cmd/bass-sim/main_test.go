@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeScenario(t *testing.T, sc scenario) string {
+	t.Helper()
+	raw, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sc.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestExecuteCameraOnCityLab(t *testing.T) {
+	sc := exampleScenario()
+	sc.HorizonSec = 120
+	if err := execute(sc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecuteSocialnetOnLAN(t *testing.T) {
+	sc := scenario{
+		Topology:   "lan",
+		LANNodes:   3,
+		App:        "socialnet",
+		Scheduler:  "longest-path",
+		HorizonSec: 60,
+		Seed:       1,
+		RPS:        20,
+		ClientNode: "node3",
+	}
+	if err := execute(sc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecuteVideoconf(t *testing.T) {
+	sc := scenario{
+		Topology:            "citylab",
+		App:                 "videoconf",
+		Scheduler:           "bfs",
+		HorizonSec:          60,
+		Seed:                1,
+		ParticipantsPerNode: 2,
+	}
+	if err := execute(sc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	if err := execute(scenario{Topology: "moon"}); err == nil {
+		t.Error("unknown topology: want error")
+	}
+	if err := execute(scenario{App: "pacman"}); err == nil {
+		t.Error("unknown app: want error")
+	}
+	if err := execute(scenario{Scheduler: "random"}); err == nil {
+		t.Error("unknown scheduler: want error")
+	}
+}
+
+func TestRunWithConfigFile(t *testing.T) {
+	sc := exampleScenario()
+	sc.HorizonSec = 30
+	path := writeScenario(t, sc)
+	if err := run([]string{"-config", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingConfig(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -config: want error")
+	}
+	if err := run([]string{"-config", "/nonexistent.json"}); err == nil {
+		t.Error("missing file: want error")
+	}
+}
+
+func TestRunExample(t *testing.T) {
+	if err := run([]string{"-example"}); err != nil {
+		t.Fatal(err)
+	}
+}

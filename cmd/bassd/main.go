@@ -1,0 +1,165 @@
+// Command bassd is the live BASS network-monitor daemon: the real-socket
+// counterpart of the simulated net-monitor. It runs an iperf3-like probe
+// server (optionally traffic-shaped to emulate a constrained wireless link),
+// periodically probes its peers — one max-capacity probe at startup, then
+// lightweight headroom probes every interval (§4.2) — records measurements
+// into an embedded Prometheus-like store, and serves both over HTTP.
+//
+// Endpoints:
+//
+//	GET /stats          — raw probe history (JSON)
+//	GET /api/v1/query   — metric queries (metric=link_capacity_mbps|link_headroom_mbps, label.peer=<addr>)
+//	GET /api/v1/metrics — metric names
+//
+// Example (two shaped daemons on loopback):
+//
+//	bassd -probe-listen 127.0.0.1:9101 -http 127.0.0.1:9201 -shape-mbps 25 &
+//	bassd -probe-listen 127.0.0.1:9102 -http 127.0.0.1:9202 -shape-mbps 25 \
+//	      -peers 127.0.0.1:9101 -interval 5s -headroom-mbps 5
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"bass/internal/metricstore"
+	"bass/internal/netem"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bassd", flag.ContinueOnError)
+	probeListen := fs.String("probe-listen", "127.0.0.1:9101", "probe server listen address")
+	httpListen := fs.String("http", "127.0.0.1:9201", "HTTP stats/metrics listen address")
+	shapeMbps := fs.Float64("shape-mbps", 0, "shape inbound probe traffic to this rate (0 = unshaped)")
+	peers := fs.String("peers", "", "comma-separated peer probe addresses to monitor")
+	interval := fs.Duration("interval", 30*time.Second, "headroom probing interval")
+	probeFor := fs.Duration("probe-duration", time.Second, "duration of each probe")
+	headroom := fs.Float64("headroom-mbps", 5, "spare capacity to verify on each headroom probe")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var shaper *netem.TokenBucket
+	if *shapeMbps > 0 {
+		var err error
+		shaper, err = netem.NewTokenBucket(*shapeMbps, 128*1024)
+		if err != nil {
+			return err
+		}
+	}
+	probeSrv, err := netem.NewProbeServer(*probeListen, shaper)
+	if err != nil {
+		return err
+	}
+	log.Printf("bassd: probe server on %s (shaped: %v)", probeSrv.Addr(), *shapeMbps > 0)
+
+	store := metricstore.New(0)
+	mux := http.NewServeMux()
+	mux.Handle("/stats", netem.NewStatsHandler(probeSrv))
+	mux.Handle("/api/v1/", store.Handler())
+	httpSrv := &http.Server{Addr: *httpListen, Handler: mux}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 2)
+	go func() {
+		if serr := probeSrv.Serve(); serr != nil && !errors.Is(serr, netem.ErrServerClosed) {
+			errc <- serr
+			return
+		}
+		errc <- nil
+	}()
+	go func() {
+		log.Printf("bassd: http on %s", *httpListen)
+		if herr := httpSrv.ListenAndServe(); herr != nil && !errors.Is(herr, http.ErrServerClosed) {
+			errc <- herr
+			return
+		}
+		errc <- nil
+	}()
+
+	var peerList []string
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+	}
+	monitorDone := make(chan struct{})
+	go func() {
+		defer close(monitorDone)
+		monitorPeers(ctx, peerList, store, *interval, *probeFor, *headroom)
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Print("bassd: shutting down")
+	case err = <-errc:
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(shutCtx)
+	_ = probeSrv.Close()
+	<-monitorDone
+	return err
+}
+
+// monitorPeers runs the paper's probing discipline: one max-capacity probe
+// per peer at startup, then headroom probes every interval; a headroom
+// violation triggers a fresh max-capacity probe to refresh the cached
+// estimate.
+func monitorPeers(ctx context.Context, peers []string, store *metricstore.Store, interval, probeFor time.Duration, headroomMbps float64) {
+	if len(peers) == 0 {
+		<-ctx.Done()
+		return
+	}
+	for _, peer := range peers {
+		capMbps, err := netem.ProbeCapacity(peer, probeFor)
+		if err != nil {
+			log.Printf("bassd: capacity probe %s: %v", peer, err)
+			continue
+		}
+		store.Append("link_capacity_mbps", map[string]string{"peer": peer}, time.Now(), capMbps)
+		log.Printf("bassd: %s capacity %.1f Mbps", peer, capMbps)
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		for _, peer := range peers {
+			achieved, ok, err := netem.ProbeHeadroom(peer, probeFor, headroomMbps)
+			if err != nil {
+				log.Printf("bassd: headroom probe %s: %v", peer, err)
+				continue
+			}
+			store.Append("link_headroom_mbps", map[string]string{"peer": peer}, time.Now(), achieved)
+			if !ok {
+				log.Printf("bassd: %s headroom violated (%.1f < %.1f Mbps): full probe", peer, achieved, headroomMbps)
+				capMbps, perr := netem.ProbeCapacity(peer, probeFor)
+				if perr != nil {
+					log.Printf("bassd: capacity probe %s: %v", peer, perr)
+					continue
+				}
+				store.Append("link_capacity_mbps", map[string]string{"peer": peer}, time.Now(), capMbps)
+				fmt.Printf("link %s capacity now %.1f Mbps\n", peer, capMbps)
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunOneQuickExperiments(t *testing.T) {
+	// Fast experiments run at full scale; heavier ones in quick mode.
+	for _, name := range []string{"fig2", "fig6", "fig8", "fig15a"} {
+		tables, err := runOne(name, 1, false)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tables) == 0 {
+			t.Errorf("%s: no tables", name)
+		}
+	}
+	for _, name := range []string{"fig4", "fig12", "table3"} {
+		tables, err := runOne(name, 1, true)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, tab := range tables {
+			if !strings.Contains(tab.String(), "==") {
+				t.Errorf("%s: table missing title: %q", name, tab.String())
+			}
+		}
+	}
+}
+
+func TestRunOneUnknown(t *testing.T) {
+	if _, err := runOne("fig99", 1, true); err == nil {
+		t.Error("unknown experiment: want error")
+	}
+}
+
+func TestRunRequiresArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no experiments: want error")
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bass/internal/trace"
+)
+
+func TestRunSummary(t *testing.T) {
+	if err := run([]string{"-profile", "stable", "-summary"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.csv")
+	if err := run([]string{"-profile", "volatile", "-duration", "2m", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.LoadCSV(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 120 {
+		t.Errorf("samples = %d, want 120", tr.Len())
+	}
+}
+
+func TestRunCustomProfile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "c.csv")
+	if err := run([]string{"-mean", "15", "-std", "0.2", "-duration", "1m", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-profile", "bogus"}); err == nil {
+		t.Error("unknown profile: want error")
+	}
+	if err := run([]string{"-mean", "0", "-summary"}); err == nil {
+		t.Error("zero mean: want error")
+	}
+}

@@ -1,0 +1,106 @@
+// Socialmigration: deploy the 27-service social network on a 3-worker LAN,
+// throttle two nodes' outgoing interfaces mid-run (the paper's Fig 13
+// scenario), and watch the BASS controller detect the bandwidth violations
+// and progressively migrate the offending components to the unthrottled
+// node.
+//
+//	go run ./examples/socialmigration
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bass/internal/apps/socialnet"
+	"bass/internal/cluster"
+	"bass/internal/core"
+	"bass/internal/mesh"
+	"bass/internal/scheduler"
+	"bass/internal/trace"
+	"bass/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		horizon     = 5 * time.Minute
+		throttleAt  = 10 * time.Second
+		throttleFor = 3 * time.Minute
+	)
+	nodes := []cluster.Node{
+		{Name: "node1", CPU: 8, MemoryMB: 12288},
+		{Name: "node2", CPU: 8, MemoryMB: 12288},
+		{Name: "node3", CPU: 8, MemoryMB: 12288},
+		{Name: "client", CPU: 8, MemoryMB: 8192, Unschedulable: true},
+	}
+	names := []string{"node1", "node2", "node3", "client"}
+	topo := mesh.FullMesh(names, 1000, time.Millisecond, horizon)
+
+	sim, err := core.NewSimulation(topo, nodes, 42, core.Config{
+		Policy:            scheduler.NewBass(scheduler.HeuristicLongestPath, scheduler.WithPackLimit(0.8)),
+		EnableMigration:   true,
+		MonitorInterval:   30 * time.Second,
+		MigrationDowntime: 4300 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer sim.Close()
+
+	app, err := socialnet.New(socialnet.Config{
+		ClientNode: "client",
+		Arrival:    workload.Exponential{MeanPerSecond: 400},
+		ProfileRPS: 400,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := sim.Orch.Deploy("socialnet", app); err != nil {
+		return err
+	}
+
+	// tc-style throttle on the outgoing interfaces of nodes 1 and 2.
+	shaped := trace.StepTrace("throttle", time.Second, horizon, []trace.Level{
+		{From: 0, Mbps: 1000},
+		{From: throttleAt, Mbps: 25},
+		{From: throttleAt + throttleFor, Mbps: 1000},
+	})
+	for _, node := range []string{"node1", "node2"} {
+		if err := topo.ThrottleEgress(node, shaped); err != nil {
+			return err
+		}
+	}
+	if err := sim.Run(horizon); err != nil {
+		return err
+	}
+
+	fmt.Printf("served %d requests\n", app.Requests())
+	fmt.Printf("overall latency: %s\n\n", app.Latency().Histogram().Summary())
+
+	fmt.Println("controller iterations (violating/candidates/migrated):")
+	for _, ev := range sim.Orch.Evaluations() {
+		if ev.Violating == 0 && ev.Migrated == 0 {
+			continue
+		}
+		fmt.Printf("  t=%3.0fs  %2d / %d / %d\n", ev.At.Seconds(), ev.Violating, ev.Candidates, ev.Migrated)
+	}
+	fmt.Println("\nmigrations:")
+	for _, m := range sim.Orch.Migrations() {
+		fmt.Printf("  t=%3.0fs  %-24s %s -> %s\n", m.At.Seconds(), m.Component, m.From, m.To)
+	}
+
+	series := app.Latency().Series()
+	fmt.Println("\navg latency timeline (30 s buckets):")
+	for t := 15 * time.Second; t < horizon; t += 30 * time.Second {
+		if v, ok := series.At(t); ok {
+			fmt.Printf("  t=%3.0fs  %8.3fs\n", t.Seconds(), v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+// Videoconf: a 12-participant conference on the emulated CityLab mesh, with
+// and without bandwidth-aware SFU migration (the paper's Fig 15b scenario).
+// The participants at node2, behind the volatile 7.62 Mbps link, see the
+// biggest bitrate gains when BASS relocates the conference server.
+//
+//	go run ./examples/videoconf
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bass/internal/apps/videoconf"
+	"bass/internal/cluster"
+	"bass/internal/controller"
+	"bass/internal/core"
+	"bass/internal/mesh"
+	"bass/internal/scheduler"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func workers() []cluster.Node {
+	return []cluster.Node{
+		{Name: mesh.CityLabControl, CPU: 12, MemoryMB: 8192, Unschedulable: true},
+		{Name: mesh.CityLabNode1, CPU: 12, MemoryMB: 8192},
+		{Name: mesh.CityLabNode2, CPU: 8, MemoryMB: 8192},
+		{Name: mesh.CityLabNode3, CPU: 12, MemoryMB: 8192},
+		{Name: mesh.CityLabNode4, CPU: 8, MemoryMB: 8192},
+	}
+}
+
+func run() error {
+	const horizon = 10 * time.Minute
+	for _, migrate := range []bool{false, true} {
+		topo, err := mesh.CityLab(mesh.CityLabOptions{Seed: 42, Duration: horizon})
+		if err != nil {
+			return err
+		}
+		ctrlCfg := controller.DefaultConfig()
+		ctrlCfg.Migration = scheduler.MigrationConfig{
+			UtilizationThreshold: 0.65,
+			HeadroomMbps:         2,
+		}
+		ctrlCfg.ReMigrationInterval = 5 * time.Minute
+		sim, err := core.NewSimulation(topo, workers(), 42, core.Config{
+			Policy:            scheduler.NewBass(scheduler.HeuristicBFS),
+			Controller:        ctrlCfg,
+			EnableMigration:   migrate,
+			MonitorInterval:   30 * time.Second,
+			MigrationDowntime: 20 * time.Second,
+			ReservedCPU:       1,
+		})
+		if err != nil {
+			return err
+		}
+		app, err := videoconf.New(videoconf.Config{
+			ClientsPerNode: map[string]int{
+				mesh.CityLabNode1: 3,
+				mesh.CityLabNode2: 3,
+				mesh.CityLabNode3: 3,
+				mesh.CityLabNode4: 3,
+			},
+			PublishMbps: 0.5,
+			InitialNode: mesh.CityLabNode4,
+		})
+		if err != nil {
+			sim.Close()
+			return err
+		}
+		if _, err := sim.Orch.DeployAt("videoconf", app, app.InitialAssignment()); err != nil {
+			sim.Close()
+			return err
+		}
+		if err := sim.Run(horizon); err != nil {
+			sim.Close()
+			return err
+		}
+
+		label := "no migration"
+		if migrate {
+			label = "65% utilization threshold"
+		}
+		fmt.Printf("== %s ==\n", label)
+		for _, s := range app.StatsByNode() {
+			fmt.Printf("  %s: median=%.2f Mbps mean=%.2f Mbps loss=%.1f%%\n",
+				s.Node, s.MedianBitrateMbps, s.MeanBitrateMbps, 100*s.MeanLossFrac)
+		}
+		for _, m := range sim.Orch.Migrations() {
+			fmt.Printf("  migration t=%.0fs: %s %s -> %s\n", m.At.Seconds(), m.Component, m.From, m.To)
+		}
+		fmt.Println()
+		sim.Close()
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module bass
+
+go 1.22

@@ -1,0 +1,311 @@
+// Package cluster models the compute side of a community mesh: heterogeneous
+// nodes (Raspberry Pis through server-class machines) with CPU and memory
+// capacity, and the allocation bookkeeping the scheduler packs components
+// into. Link capacities live in package mesh; the scheduler combines both.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Sentinel errors for allocation.
+var (
+	ErrUnknownNode       = errors.New("cluster: unknown node")
+	ErrDuplicateNode     = errors.New("cluster: duplicate node")
+	ErrInsufficient      = errors.New("cluster: insufficient resources")
+	ErrAlreadyPlaced     = errors.New("cluster: component already placed")
+	ErrNotPlaced         = errors.New("cluster: component not placed")
+	ErrNodeUnschedulable = errors.New("cluster: node unschedulable")
+)
+
+// Node describes one compute node.
+type Node struct {
+	// Name uniquely identifies the node; it must match the mesh vertex name.
+	Name string
+	// CPU is the total number of cores.
+	CPU float64
+	// MemoryMB is the total memory in megabytes.
+	MemoryMB float64
+	// Unschedulable marks control-plane nodes that must not run components.
+	Unschedulable bool
+}
+
+// Placement records where one component runs.
+type Placement struct {
+	App       string
+	Component string
+	Node      string
+	CPU       float64
+	MemoryMB  float64
+}
+
+func placementKey(app, component string) string { return app + "/" + component }
+
+// Cluster tracks nodes and current component placements. It is not safe for
+// concurrent use; the orchestrator serialises access.
+type Cluster struct {
+	nodes      map[string]Node
+	order      []string
+	usedCPU    map[string]float64
+	usedMem    map[string]float64
+	placements map[string]Placement // key: app/component
+}
+
+// New returns a cluster with the given nodes.
+func New(nodes ...Node) (*Cluster, error) {
+	c := &Cluster{
+		nodes:      make(map[string]Node, len(nodes)),
+		usedCPU:    make(map[string]float64, len(nodes)),
+		usedMem:    make(map[string]float64, len(nodes)),
+		placements: make(map[string]Placement),
+	}
+	for _, n := range nodes {
+		if err := c.AddNode(n); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// MustNew is New for statically known clusters; it panics on error.
+func MustNew(nodes ...Node) *Cluster {
+	c, err := New(nodes...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// AddNode registers a node.
+func (c *Cluster) AddNode(n Node) error {
+	if n.Name == "" {
+		return errors.New("cluster: node with empty name")
+	}
+	if _, ok := c.nodes[n.Name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateNode, n.Name)
+	}
+	if n.CPU < 0 || n.MemoryMB < 0 {
+		return fmt.Errorf("cluster: node %q has negative capacity", n.Name)
+	}
+	c.nodes[n.Name] = n
+	c.order = append(c.order, n.Name)
+	return nil
+}
+
+// Node returns the named node.
+func (c *Cluster) Node(name string) (Node, error) {
+	n, ok := c.nodes[name]
+	if !ok {
+		return Node{}, fmt.Errorf("%w: %q", ErrUnknownNode, name)
+	}
+	return n, nil
+}
+
+// Nodes returns node names in insertion order.
+func (c *Cluster) Nodes() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// SchedulableNodes returns names of nodes that may run components.
+func (c *Cluster) SchedulableNodes() []string {
+	var out []string
+	for _, name := range c.order {
+		if !c.nodes[name].Unschedulable {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// FreeCPU reports unallocated cores on a node (0 for unknown nodes).
+func (c *Cluster) FreeCPU(node string) float64 {
+	n, ok := c.nodes[node]
+	if !ok {
+		return 0
+	}
+	return n.CPU - c.usedCPU[node]
+}
+
+// FreeMemoryMB reports unallocated memory on a node (0 for unknown nodes).
+func (c *Cluster) FreeMemoryMB(node string) float64 {
+	n, ok := c.nodes[node]
+	if !ok {
+		return 0
+	}
+	return n.MemoryMB - c.usedMem[node]
+}
+
+// Fits reports whether a request of (cpu, memMB) fits on the node right now.
+// Zero-resource requests fit anywhere, including unschedulable hosts.
+func (c *Cluster) Fits(node string, cpu, memMB float64) bool {
+	n, ok := c.nodes[node]
+	if !ok {
+		return false
+	}
+	if n.Unschedulable {
+		return cpu == 0 && memMB == 0
+	}
+	const eps = 1e-9
+	return c.FreeCPU(node)+eps >= cpu && c.FreeMemoryMB(node)+eps >= memMB
+}
+
+// Place allocates a component onto a node.
+func (c *Cluster) Place(p Placement) error {
+	n, ok := c.nodes[p.Node]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, p.Node)
+	}
+	if n.Unschedulable && (p.CPU > 0 || p.MemoryMB > 0) {
+		// Zero-resource placements model external endpoints (load
+		// generators, conference participants) that live on hosts the
+		// scheduler cannot use.
+		return fmt.Errorf("%w: %q", ErrNodeUnschedulable, p.Node)
+	}
+	key := placementKey(p.App, p.Component)
+	if _, ok := c.placements[key]; ok {
+		return fmt.Errorf("%w: %s", ErrAlreadyPlaced, key)
+	}
+	if !c.Fits(p.Node, p.CPU, p.MemoryMB) {
+		return fmt.Errorf("%w: %s needs cpu=%.2f mem=%.0fMB on %q (free cpu=%.2f mem=%.0fMB)",
+			ErrInsufficient, key, p.CPU, p.MemoryMB, p.Node, c.FreeCPU(p.Node), c.FreeMemoryMB(p.Node))
+	}
+	c.usedCPU[p.Node] += p.CPU
+	c.usedMem[p.Node] += p.MemoryMB
+	c.placements[key] = p
+	return nil
+}
+
+// Remove deallocates a component.
+func (c *Cluster) Remove(app, component string) error {
+	key := placementKey(app, component)
+	p, ok := c.placements[key]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotPlaced, key)
+	}
+	c.usedCPU[p.Node] -= p.CPU
+	c.usedMem[p.Node] -= p.MemoryMB
+	delete(c.placements, key)
+	return nil
+}
+
+// Move relocates a placed component to another node, atomically: on failure
+// the original placement is restored.
+func (c *Cluster) Move(app, component, toNode string) error {
+	key := placementKey(app, component)
+	p, ok := c.placements[key]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotPlaced, key)
+	}
+	if err := c.Remove(app, component); err != nil {
+		return err
+	}
+	moved := p
+	moved.Node = toNode
+	if err := c.Place(moved); err != nil {
+		// Restore; the original slot is guaranteed free.
+		if rerr := c.Place(p); rerr != nil {
+			return fmt.Errorf("cluster: restore after failed move: %v (original error: %w)", rerr, err)
+		}
+		return err
+	}
+	return nil
+}
+
+// PlacementOf returns the placement of a component.
+func (c *Cluster) PlacementOf(app, component string) (Placement, error) {
+	p, ok := c.placements[placementKey(app, component)]
+	if !ok {
+		return Placement{}, fmt.Errorf("%w: %s/%s", ErrNotPlaced, app, component)
+	}
+	return p, nil
+}
+
+// NodeOf returns the node a component runs on, or "" if not placed.
+func (c *Cluster) NodeOf(app, component string) string {
+	p, ok := c.placements[placementKey(app, component)]
+	if !ok {
+		return ""
+	}
+	return p.Node
+}
+
+// Placements returns all placements sorted by (app, component).
+func (c *Cluster) Placements() []Placement {
+	out := make([]Placement, 0, len(c.placements))
+	for _, p := range c.placements {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].App != out[j].App {
+			return out[i].App < out[j].App
+		}
+		return out[i].Component < out[j].Component
+	})
+	return out
+}
+
+// ComponentsOn returns the components of app placed on node, sorted.
+func (c *Cluster) ComponentsOn(app, node string) []string {
+	var out []string
+	for _, p := range c.placements {
+		if p.App == app && p.Node == node {
+			out = append(out, p.Component)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Utilization summarises one node's allocation state.
+type Utilization struct {
+	Node     string
+	CPUUsed  float64
+	CPUTotal float64
+	MemUsed  float64
+	MemTotal float64
+}
+
+// Utilizations returns per-node allocation summaries in insertion order.
+func (c *Cluster) Utilizations() []Utilization {
+	out := make([]Utilization, 0, len(c.order))
+	for _, name := range c.order {
+		n := c.nodes[name]
+		out = append(out, Utilization{
+			Node:     name,
+			CPUUsed:  c.usedCPU[name],
+			CPUTotal: n.CPU,
+			MemUsed:  c.usedMem[name],
+			MemTotal: n.MemoryMB,
+		})
+	}
+	return out
+}
+
+// Clone returns a deep copy of the cluster, including placements. Schedulers
+// use clones for what-if packing before committing.
+func (c *Cluster) Clone() *Cluster {
+	out := &Cluster{
+		nodes:      make(map[string]Node, len(c.nodes)),
+		order:      append([]string(nil), c.order...),
+		usedCPU:    make(map[string]float64, len(c.usedCPU)),
+		usedMem:    make(map[string]float64, len(c.usedMem)),
+		placements: make(map[string]Placement, len(c.placements)),
+	}
+	for k, v := range c.nodes {
+		out.nodes[k] = v
+	}
+	for k, v := range c.usedCPU {
+		out.usedCPU[k] = v
+	}
+	for k, v := range c.usedMem {
+		out.usedMem[k] = v
+	}
+	for k, v := range c.placements {
+		out.placements[k] = v
+	}
+	return out
+}

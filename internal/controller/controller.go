@@ -1,0 +1,168 @@
+// Package controller implements the BASS bandwidth controller (§4.3): it
+// periodically evaluates headroom probes and per-pair goodput, decides when
+// link capacity changes warrant a full probe, and — after a cooldown that
+// filters transient dips — instructs the scheduler to migrate offending
+// components.
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"bass/internal/dag"
+	"bass/internal/mesh"
+	"bass/internal/netmon"
+	"bass/internal/scheduler"
+)
+
+// Config tunes the controller.
+type Config struct {
+	// Migration carries the utilization threshold, goodput floor, and
+	// headroom parameters (§6.3.3).
+	Migration scheduler.MigrationConfig
+	// Cooldown is how long a violation must persist before a migration is
+	// triggered, avoiding reactions to transient bandwidth changes (§4.3).
+	Cooldown time.Duration
+	// ReMigrationInterval is the minimum spacing between migrations of the
+	// same component, preventing thrash.
+	ReMigrationInterval time.Duration
+}
+
+// DefaultConfig returns the paper's defaults: 50% thresholds, one probing
+// interval of cooldown, and a 2-minute re-migration guard.
+func DefaultConfig() Config {
+	return Config{
+		Migration:           scheduler.DefaultMigrationConfig(),
+		Cooldown:            30 * time.Second,
+		ReMigrationInterval: 2 * time.Minute,
+	}
+}
+
+// Decision is the outcome of one evaluation cycle.
+type Decision struct {
+	// FullProbeLinks are links whose headroom changed enough that the
+	// cached capacity should be refreshed with a max-capacity probe.
+	FullProbeLinks []mesh.LinkID
+	// Migrate lists components whose violations survived the cooldown and
+	// should be rescheduled now.
+	Migrate []string
+	// Report is the raw Algorithm 3 output for this cycle (pre-cooldown).
+	Report scheduler.MigrationReport
+	// HeadroomEvents are the probe observations that fed the decision.
+	HeadroomEvents []netmon.HeadroomEvent
+}
+
+// Controller tracks violation persistence across evaluation cycles. Drive it
+// by calling Evaluate on the monitoring interval; it does not spawn
+// goroutines.
+type Controller struct {
+	cfg     Config
+	monitor *netmon.Monitor
+	now     func() time.Duration
+
+	firstViolation map[string]time.Duration
+	lastMigration  map[string]time.Duration
+	migrations     int
+}
+
+// New builds a controller over the monitor. now supplies (virtual) time.
+func New(monitor *netmon.Monitor, cfg Config, now func() time.Duration) *Controller {
+	if cfg.Migration.UtilizationThreshold == 0 && cfg.Migration.GoodputFloor == 0 {
+		cfg.Migration = scheduler.DefaultMigrationConfig()
+	}
+	return &Controller{
+		cfg:            cfg,
+		monitor:        monitor,
+		now:            now,
+		firstViolation: make(map[string]time.Duration),
+		lastMigration:  make(map[string]time.Duration),
+	}
+}
+
+// Config returns the controller configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Migrations reports the total number of migrations approved so far.
+func (c *Controller) Migrations() int { return c.migrations }
+
+// Evaluate runs one monitoring cycle: headroom-probe all links, refresh the
+// capacity estimates of links whose headroom changed, then select migration
+// candidates from dependency usages observed against the fresh measurements
+// (Algorithm 3), approving those whose violations persisted past the
+// cooldown. usagesFn runs after probing so decisions never lag the network
+// by a monitoring interval; fullProbe (optional) refreshes one link's cached
+// capacity.
+func (c *Controller) Evaluate(g *dag.Graph, usagesFn func() []scheduler.DependencyUsage, fullProbe func(mesh.LinkID) error) (Decision, error) {
+	events, err := c.monitor.HeadroomProbeAll()
+	if err != nil {
+		return Decision{}, fmt.Errorf("controller: headroom probing: %w", err)
+	}
+	var probeLinks []mesh.LinkID
+	for _, ev := range events {
+		if ev.Changed || ev.Violated {
+			probeLinks = append(probeLinks, ev.Link)
+		}
+	}
+	if fullProbe != nil {
+		for _, link := range probeLinks {
+			// A stale capacity estimate would mis-rank migration targets.
+			_ = fullProbe(link)
+		}
+	}
+	usages := usagesFn()
+
+	// Components inside their re-migration guard cannot be candidates; their
+	// violating partners take their place (progressive relocation, Table 1).
+	now := c.now()
+	exclude := make(map[string]bool)
+	for name, last := range c.lastMigration {
+		if now-last < c.cfg.ReMigrationInterval {
+			exclude[name] = true
+		}
+	}
+	report := scheduler.FindMigrationCandidates(g, usages, c.cfg.Migration, exclude)
+
+	candidateSet := make(map[string]bool, len(report.Candidates))
+	for _, name := range report.Candidates {
+		candidateSet[name] = true
+		if _, ok := c.firstViolation[name]; !ok {
+			c.firstViolation[name] = now
+		}
+	}
+	// Violations that cleared reset their cooldown clocks.
+	for name := range c.firstViolation {
+		if !candidateSet[name] {
+			delete(c.firstViolation, name)
+		}
+	}
+
+	var migrate []string
+	for _, name := range report.Candidates {
+		if now-c.firstViolation[name] < c.cfg.Cooldown {
+			continue
+		}
+		migrate = append(migrate, name)
+	}
+
+	return Decision{
+		FullProbeLinks: probeLinks,
+		Migrate:        migrate,
+		Report:         report,
+		HeadroomEvents: events,
+	}, nil
+}
+
+// RecordMigration notes that a component was actually migrated, starting its
+// re-migration guard and clearing its violation clock.
+func (c *Controller) RecordMigration(component string) {
+	c.lastMigration[component] = c.now()
+	delete(c.firstViolation, component)
+	c.migrations++
+}
+
+// RecordMigrationFailure clears the violation clock without counting a
+// migration, so the component is reconsidered after a fresh cooldown rather
+// than retried every cycle.
+func (c *Controller) RecordMigrationFailure(component string) {
+	c.firstViolation[component] = c.now()
+}

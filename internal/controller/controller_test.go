@@ -1,0 +1,222 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"bass/internal/dag"
+	"bass/internal/mesh"
+	"bass/internal/netmon"
+	"bass/internal/scheduler"
+	"bass/internal/sim"
+	"bass/internal/simnet"
+)
+
+type fixture struct {
+	eng  *sim.Engine
+	net  *simnet.Network
+	mon  *netmon.Monitor
+	ctrl *Controller
+	g    *dag.Graph
+}
+
+func newFixture(t testing.TB, cfg Config) *fixture {
+	t.Helper()
+	topo := mesh.Line([]string{"a", "b"}, 25, time.Millisecond, time.Hour)
+	eng := sim.NewEngine(1)
+	net := simnet.New(eng, topo)
+	net.Start()
+	mon := netmon.New(topo, net.Prober(), netmon.DefaultConfig(), eng.Now)
+	if err := mon.FullProbeAll(); err != nil {
+		t.Fatal(err)
+	}
+	g := dag.NewGraph("app")
+	g.MustAddComponent(dag.Component{Name: "x", CPU: 1})
+	g.MustAddComponent(dag.Component{Name: "y", CPU: 1})
+	g.MustAddEdge("x", "y", 8)
+	return &fixture{
+		eng:  eng,
+		net:  net,
+		mon:  mon,
+		ctrl: New(mon, cfg, eng.Now),
+		g:    g,
+	}
+}
+
+func badUsage() []scheduler.DependencyUsage {
+	return []scheduler.DependencyUsage{{
+		Component: "x", Dep: "y",
+		RequiredMbps: 8, AchievedMbps: 2,
+		PathCapacityMbps: 5, PathAvailableMbps: 0.5,
+	}}
+}
+
+func goodUsage() []scheduler.DependencyUsage {
+	return []scheduler.DependencyUsage{{
+		Component: "x", Dep: "y",
+		RequiredMbps: 8, AchievedMbps: 7,
+		PathCapacityMbps: 25, PathAvailableMbps: 14,
+	}}
+}
+
+func TestCooldownDelaysMigration(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cooldown = 60 * time.Second
+	f := newFixture(t, cfg)
+
+	// First evaluation: violation detected, cooldown starts — no migration.
+	d, err := f.ctrl.Evaluate(f.g, badUsage, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Migrate) != 0 {
+		t.Errorf("migrated during cooldown: %v", d.Migrate)
+	}
+	if len(d.Report.Candidates) == 0 {
+		t.Fatal("no candidates despite violation")
+	}
+
+	// 30 s later, still within cooldown.
+	if err := f.eng.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	d, err = f.ctrl.Evaluate(f.g, badUsage, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Migrate) != 0 {
+		t.Errorf("migrated at 30s with 60s cooldown: %v", d.Migrate)
+	}
+
+	// 70 s after detection: migration approved.
+	if err := f.eng.Run(70 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	d, err = f.ctrl.Evaluate(f.g, badUsage, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Migrate) != 1 {
+		t.Errorf("Migrate = %v, want the surviving candidate", d.Migrate)
+	}
+}
+
+func TestTransientViolationResetsCooldown(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cooldown = 60 * time.Second
+	f := newFixture(t, cfg)
+
+	if _, err := f.ctrl.Evaluate(f.g, badUsage, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.eng.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Violation clears: the clock must reset.
+	if _, err := f.ctrl.Evaluate(f.g, goodUsage, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.eng.Run(70 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Violation returns: not yet past a fresh cooldown.
+	d, err := f.ctrl.Evaluate(f.g, badUsage, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Migrate) != 0 {
+		t.Errorf("transient violation migrated: %v", d.Migrate)
+	}
+}
+
+func TestReMigrationGuard(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cooldown = 0
+	cfg.ReMigrationInterval = 5 * time.Minute
+	f := newFixture(t, cfg)
+
+	d, err := f.ctrl.Evaluate(f.g, badUsage, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Migrate) != 1 {
+		t.Fatalf("want immediate migration with zero cooldown, got %v", d.Migrate)
+	}
+	comp := d.Migrate[0]
+	f.ctrl.RecordMigration(comp)
+	if f.ctrl.Migrations() != 1 {
+		t.Errorf("Migrations = %d", f.ctrl.Migrations())
+	}
+
+	if err := f.eng.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	d, err = f.ctrl.Evaluate(f.g, badUsage, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range d.Migrate {
+		if m == comp {
+			t.Error("component re-migrated within the guard interval")
+		}
+	}
+}
+
+func TestMigrationFailureDefersRetry(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cooldown = 30 * time.Second
+	f := newFixture(t, cfg)
+
+	if _, err := f.ctrl.Evaluate(f.g, badUsage, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.eng.Run(40 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	d, err := f.ctrl.Evaluate(f.g, badUsage, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Migrate) != 1 {
+		t.Fatalf("Migrate = %v", d.Migrate)
+	}
+	f.ctrl.RecordMigrationFailure(d.Migrate[0])
+
+	// Immediately after a failure the cooldown restarts.
+	d, err = f.ctrl.Evaluate(f.g, badUsage, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Migrate) != 0 {
+		t.Errorf("failed migration retried without fresh cooldown: %v", d.Migrate)
+	}
+}
+
+func TestEvaluateRequestsFullProbesOnHeadroomChange(t *testing.T) {
+	cfg := DefaultConfig()
+	f := newFixture(t, cfg)
+	// First evaluation observes initial spare capacity (a change from
+	// nothing): expect full-probe requests.
+	d, err := f.ctrl.Evaluate(f.g, goodUsage, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.FullProbeLinks) == 0 {
+		t.Error("no full probes requested on first headroom observation")
+	}
+	// Steady state: quiet.
+	d, err = f.ctrl.Evaluate(f.g, goodUsage, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.FullProbeLinks) != 0 {
+		t.Errorf("steady state requested probes: %v", d.FullProbeLinks)
+	}
+}
+
+func TestDefaultConfigFilled(t *testing.T) {
+	c := New(nil, Config{}, func() time.Duration { return 0 })
+	if c.Config().Migration.UtilizationThreshold == 0 {
+		t.Error("zero-value config not defaulted")
+	}
+}

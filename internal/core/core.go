@@ -1,0 +1,506 @@
+// Package core is the BASS orchestrator: it deploys application DAGs onto a
+// mesh-connected cluster with a pluggable placement policy, monitors link
+// bandwidth through the net-monitor, and migrates components when the
+// controller detects bandwidth violations — the full system of Fig 7,
+// running over the simulated substrate.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bass/internal/cluster"
+	"bass/internal/controller"
+	"bass/internal/dag"
+	"bass/internal/mesh"
+	"bass/internal/netmon"
+	"bass/internal/scheduler"
+	"bass/internal/sim"
+	"bass/internal/simnet"
+)
+
+// Sentinel errors.
+var (
+	ErrAppExists  = errors.New("core: application already deployed")
+	ErrUnknownApp = errors.New("core: unknown application")
+)
+
+// Workload is an application that can run on the orchestrator. Implementations
+// model their own traffic (streams/transfers through Env.Net) and metrics.
+type Workload interface {
+	// Graph returns the application's component DAG with bandwidth-annotated
+	// edges. Called once at deployment.
+	Graph() *dag.Graph
+	// Start installs the workload's traffic and timers. The placement is
+	// available through env.NodeOf.
+	Start(env *Env) error
+	// OnMigration tells the workload a component has moved. The component is
+	// unavailable for the downtime window starting now; the workload must
+	// re-route its traffic accordingly.
+	OnMigration(env *Env, component, fromNode, toNode string, downtime time.Duration)
+}
+
+// Env is the execution environment handed to workloads.
+type Env struct {
+	app  string
+	orch *Orchestrator
+}
+
+// App returns the application name the environment is scoped to.
+func (e *Env) App() string { return e.app }
+
+// Engine returns the simulation engine for timers and randomness.
+func (e *Env) Engine() *sim.Engine { return e.orch.eng }
+
+// Net returns the flow-level network.
+func (e *Env) Net() *simnet.Network { return e.orch.net }
+
+// Now reports current virtual time.
+func (e *Env) Now() time.Duration { return e.orch.eng.Now() }
+
+// NodeOf reports which node a component currently runs on ("" if absent).
+func (e *Env) NodeOf(component string) string {
+	return e.orch.clus.NodeOf(e.app, component)
+}
+
+// Tag builds the accounting tag for traffic between two components. The
+// orchestrator measures pair goodput by these tags, so workloads must use
+// them when creating streams and transfers.
+func (e *Env) Tag(from, to string) string {
+	return e.app + "/" + from + "->" + to
+}
+
+// Config assembles an orchestrator.
+type Config struct {
+	// Policy decides placement; defaults to the BASS longest-path scheduler.
+	Policy scheduler.Policy
+	// Monitor configures probing (defaults: §4.2 settings).
+	Monitor netmon.Config
+	// Controller configures migration decisions (defaults: §4.3 settings).
+	Controller controller.Config
+	// MonitorInterval is how often the controller evaluates the system — the
+	// paper's "bandwidth querying interval" (30/60/90 s sweeps).
+	MonitorInterval time.Duration
+	// EnableMigration turns the controller loop on.
+	EnableMigration bool
+	// MigrationDowntime is how long a migrated component is unavailable
+	// (paper: ~20 s for the videoconf server to re-establish WebRTC, ~4 s
+	// for a social-network microservice restart).
+	MigrationDowntime time.Duration
+	// ReservedCPU is subtracted from every node's schedulable CPU to model
+	// the k3s agent and monitoring daemons.
+	ReservedCPU float64
+	// OnlineProfiling refines DAG edge bandwidth requirements from observed
+	// traffic peaks (§8's future-work item): each controller cycle, any edge
+	// whose measured peak × ProfilingPeakFactor exceeds its declared
+	// requirement is raised to that value. Declared requirements act as a
+	// floor; profiling never lowers them.
+	OnlineProfiling bool
+	// ProfilingPeakFactor is the burst headroom applied to observed peaks
+	// (default 1.6, the same factor the social-network profile uses).
+	ProfilingPeakFactor float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == nil {
+		c.Policy = scheduler.NewBass(scheduler.HeuristicLongestPath)
+	}
+	if c.MonitorInterval == 0 {
+		c.MonitorInterval = 30 * time.Second
+	}
+	if c.MigrationDowntime == 0 {
+		c.MigrationDowntime = 20 * time.Second
+	}
+	if c.Controller == (controller.Config{}) {
+		c.Controller = controller.DefaultConfig()
+	}
+	if c.ProfilingPeakFactor == 0 {
+		c.ProfilingPeakFactor = 1.6
+	}
+	return c
+}
+
+// MigrationEvent records one component move.
+type MigrationEvent struct {
+	At        time.Duration
+	App       string
+	Component string
+	From, To  string
+}
+
+// EvaluationRecord captures one controller cycle for Table 1-style output.
+type EvaluationRecord struct {
+	At         time.Duration
+	Violating  int
+	Candidates int
+	Migrated   int
+}
+
+type deployedApp struct {
+	name     string
+	workload Workload
+	graph    *dag.Graph
+	env      *Env
+}
+
+// Orchestrator is the BASS control plane over a simulated mesh.
+type Orchestrator struct {
+	cfg     Config
+	eng     *sim.Engine
+	topo    *mesh.Topology
+	net     *simnet.Network
+	clus    *cluster.Cluster
+	monitor *netmon.Monitor
+	ctrl    *controller.Controller
+
+	apps        map[string]*deployedApp
+	appOrder    []string
+	migrations  []MigrationEvent
+	evaluations []EvaluationRecord
+	stopMonitor func()
+	schedLatNS  []float64          // per-component scheduling latencies (Table 3)
+	dagProcNS   []float64          // DAG processing times (Table 4)
+	edgePeaks   map[string]float64 // tag → peak observed Mbps (online profiling)
+}
+
+// New wires an orchestrator over an engine, topology, network, and cluster.
+func New(eng *sim.Engine, topo *mesh.Topology, net *simnet.Network, clus *cluster.Cluster, cfg Config) *Orchestrator {
+	cfg = cfg.withDefaults()
+	o := &Orchestrator{
+		cfg:       cfg,
+		eng:       eng,
+		topo:      topo,
+		net:       net,
+		clus:      clus,
+		apps:      make(map[string]*deployedApp),
+		edgePeaks: make(map[string]float64),
+	}
+	o.monitor = netmon.New(topo, net.Prober(), cfg.Monitor, eng.Now)
+	o.ctrl = controller.New(o.monitor, cfg.Controller, eng.Now)
+	return o
+}
+
+// Monitor exposes the net-monitor (read-only use by experiments).
+func (o *Orchestrator) Monitor() *netmon.Monitor { return o.monitor }
+
+// Controller exposes the bandwidth controller.
+func (o *Orchestrator) Controller() *controller.Controller { return o.ctrl }
+
+// Cluster exposes placement state.
+func (o *Orchestrator) Cluster() *cluster.Cluster { return o.clus }
+
+// Migrations returns the migration log.
+func (o *Orchestrator) Migrations() []MigrationEvent {
+	out := make([]MigrationEvent, len(o.migrations))
+	copy(out, o.migrations)
+	return out
+}
+
+// Evaluations returns the controller cycle log.
+func (o *Orchestrator) Evaluations() []EvaluationRecord {
+	out := make([]EvaluationRecord, len(o.evaluations))
+	copy(out, o.evaluations)
+	return out
+}
+
+// Bootstrap performs the startup max-capacity probing round (§4.2) and, if
+// migration is enabled, starts the periodic controller loop.
+func (o *Orchestrator) Bootstrap() error {
+	if err := o.monitor.FullProbeAll(); err != nil {
+		return fmt.Errorf("core: bootstrap probing: %w", err)
+	}
+	if o.cfg.EnableMigration && o.stopMonitor == nil {
+		o.stopMonitor = o.eng.Every(o.cfg.MonitorInterval, o.controlCycle)
+	}
+	return nil
+}
+
+// Stop halts the controller loop.
+func (o *Orchestrator) Stop() {
+	if o.stopMonitor != nil {
+		o.stopMonitor()
+		o.stopMonitor = nil
+	}
+}
+
+// nodeInfos builds the scheduler's view of the cluster.
+func (o *Orchestrator) nodeInfos() []scheduler.NodeInfo {
+	var out []scheduler.NodeInfo
+	for _, name := range o.clus.SchedulableNodes() {
+		n, err := o.clus.Node(name)
+		if err != nil {
+			continue
+		}
+		free := o.clus.FreeCPU(name) - o.cfg.ReservedCPU
+		if free < 0 {
+			free = 0
+		}
+		total := n.CPU - o.cfg.ReservedCPU
+		if total < 0 {
+			total = 0
+		}
+		out = append(out, scheduler.NodeInfo{
+			Name:             name,
+			FreeCPU:          free,
+			FreeMemoryMB:     o.clus.FreeMemoryMB(name),
+			TotalCPU:         total,
+			TotalMemoryMB:    n.MemoryMB,
+			LinkCapacityMbps: o.monitor.NodeLinkCapacityMbps(name),
+		})
+	}
+	return out
+}
+
+// Deploy schedules and starts a workload. Call Bootstrap first so the
+// monitor has link capacities for node ranking.
+func (o *Orchestrator) Deploy(name string, w Workload) (scheduler.Assignment, error) {
+	return o.DeployAt(name, w, nil)
+}
+
+// DeployAt deploys like Deploy but forces the listed components onto the
+// given nodes for the initial placement (they remain migratable afterwards —
+// unlike a dag.Pin label). The paper's Fig 12 experiment starts the Pion
+// server on node 2 this way.
+func (o *Orchestrator) DeployAt(name string, w Workload, overrides scheduler.Assignment) (scheduler.Assignment, error) {
+	if _, ok := o.apps[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrAppExists, name)
+	}
+	g := w.Graph()
+	if g.AppName != name {
+		return nil, fmt.Errorf("core: workload graph is named %q, deploying as %q", g.AppName, name)
+	}
+	assignment, err := o.schedule(g)
+	if err != nil {
+		return nil, err
+	}
+	for comp, node := range overrides {
+		if !g.HasComponent(comp) {
+			return nil, fmt.Errorf("core: override for unknown component %q", comp)
+		}
+		assignment[comp] = node
+	}
+	for comp, node := range assignment {
+		c, cerr := g.Component(comp)
+		if cerr != nil {
+			return nil, cerr
+		}
+		if perr := o.clus.Place(cluster.Placement{
+			App:       name,
+			Component: comp,
+			Node:      node,
+			CPU:       c.CPU,
+			MemoryMB:  c.MemoryMB,
+		}); perr != nil {
+			return nil, fmt.Errorf("core: commit placement: %w", perr)
+		}
+	}
+	env := &Env{app: name, orch: o}
+	app := &deployedApp{name: name, workload: w, graph: g, env: env}
+	o.apps[name] = app
+	o.appOrder = append(o.appOrder, name)
+	if err := w.Start(env); err != nil {
+		return nil, fmt.Errorf("core: start workload %q: %w", name, err)
+	}
+	return assignment, nil
+}
+
+// schedule runs the placement policy, recording Table 3/4 timings.
+func (o *Orchestrator) schedule(g *dag.Graph) (scheduler.Assignment, error) {
+	procStart := time.Now()
+	assignment, err := o.cfg.Policy.Schedule(g, o.nodeInfos())
+	elapsed := time.Since(procStart)
+	if err != nil {
+		return nil, fmt.Errorf("core: schedule %q with %s: %w", g.AppName, o.cfg.Policy.Name(), err)
+	}
+	o.dagProcNS = append(o.dagProcNS, float64(elapsed.Nanoseconds()))
+	if n := g.NumComponents(); n > 0 {
+		per := float64(elapsed.Nanoseconds()) / float64(n)
+		for i := 0; i < n; i++ {
+			o.schedLatNS = append(o.schedLatNS, per)
+		}
+	}
+	return assignment, nil
+}
+
+// SchedulingLatenciesNS returns per-component scheduling latencies (Table 3).
+func (o *Orchestrator) SchedulingLatenciesNS() []float64 {
+	out := make([]float64, len(o.schedLatNS))
+	copy(out, o.schedLatNS)
+	return out
+}
+
+// DAGProcessingNS returns whole-DAG scheduling times (Table 4).
+func (o *Orchestrator) DAGProcessingNS() []float64 {
+	out := make([]float64, len(o.dagProcNS))
+	copy(out, o.dagProcNS)
+	return out
+}
+
+// usages assembles the controller's view of every deployed, cross-node
+// dependency pair: required bandwidth from the DAG, achieved bandwidth from
+// passive per-tag measurement, and path capacity/spare from the monitor.
+func (o *Orchestrator) usages(app *deployedApp) []scheduler.DependencyUsage {
+	var out []scheduler.DependencyUsage
+	for _, e := range app.graph.Edges() {
+		fromNode := o.clus.NodeOf(app.name, e.From)
+		toNode := o.clus.NodeOf(app.name, e.To)
+		if fromNode == "" || toNode == "" || fromNode == toNode {
+			continue
+		}
+		pathCap, _, err := o.monitor.PathCapacityMbps(fromNode, toNode)
+		if err != nil {
+			continue
+		}
+		pathSpare, _, err := o.monitor.PathSpareMbps(fromNode, toNode)
+		if err != nil {
+			continue
+		}
+		out = append(out, scheduler.DependencyUsage{
+			Component:         e.From,
+			Dep:               e.To,
+			RequiredMbps:      e.BandwidthMbps,
+			AchievedMbps:      o.net.FlowRateByTag(app.env.Tag(e.From, e.To)),
+			PathCapacityMbps:  pathCap,
+			PathAvailableMbps: pathSpare,
+		})
+	}
+	return out
+}
+
+// profileEdges tracks per-edge traffic peaks and, when online profiling is
+// enabled, raises edge requirements whose observed peak outgrew the declared
+// value (§8).
+func (o *Orchestrator) profileEdges(app *deployedApp) {
+	for _, e := range app.graph.Edges() {
+		tag := app.env.Tag(e.From, e.To)
+		rate := o.net.FlowRateByTag(tag)
+		if rate > o.edgePeaks[tag] {
+			o.edgePeaks[tag] = rate
+		}
+		if !o.cfg.OnlineProfiling {
+			continue
+		}
+		if want := o.edgePeaks[tag] * o.cfg.ProfilingPeakFactor; want > e.BandwidthMbps {
+			_ = app.graph.SetWeight(e.From, e.To, want)
+		}
+	}
+}
+
+// EdgePeakMbps reports the peak observed traffic for an app edge so far.
+func (o *Orchestrator) EdgePeakMbps(appName, from, to string) float64 {
+	app, ok := o.apps[appName]
+	if !ok {
+		return 0
+	}
+	return o.edgePeaks[app.env.Tag(from, to)]
+}
+
+// controlCycle runs one controller evaluation across all apps.
+func (o *Orchestrator) controlCycle() {
+	for _, name := range o.appOrder {
+		app := o.apps[name]
+		o.profileEdges(app)
+		decision, err := o.ctrl.Evaluate(app.graph,
+			func() []scheduler.DependencyUsage { return o.usages(app) },
+			o.monitor.FullProbe)
+		if err != nil {
+			continue // probing failure: retry next cycle
+		}
+		migrated := 0
+		for _, comp := range decision.Migrate {
+			if o.migrate(app, comp) {
+				migrated++
+			}
+		}
+		o.evaluations = append(o.evaluations, EvaluationRecord{
+			At:         o.eng.Now(),
+			Violating:  len(decision.Report.Violating),
+			Candidates: len(decision.Report.Candidates),
+			Migrated:   migrated,
+		})
+	}
+}
+
+// migrate moves one component to the best target node, reporting success.
+func (o *Orchestrator) migrate(app *deployedApp, comp string) bool {
+	assignment := make(scheduler.Assignment)
+	for _, c := range app.graph.Components() {
+		if node := o.clus.NodeOf(app.name, c); node != "" {
+			assignment[c] = node
+		}
+	}
+	target, err := scheduler.ChooseMigrationTarget(
+		app.graph, comp, assignment, o.nodeInfos(),
+		func(a, b string) float64 {
+			spare, networked, perr := o.monitor.PathSpareMbps(a, b)
+			if perr != nil {
+				return 0
+			}
+			if !networked {
+				return simnet.LocalMbps
+			}
+			return spare
+		},
+		o.ctrl.Config().Migration,
+	)
+	if err != nil {
+		o.ctrl.RecordMigrationFailure(comp)
+		return false
+	}
+	from := assignment[comp]
+	if err := o.clus.Move(app.name, comp, target); err != nil {
+		o.ctrl.RecordMigrationFailure(comp)
+		return false
+	}
+	o.ctrl.RecordMigration(comp)
+	o.migrations = append(o.migrations, MigrationEvent{
+		At:        o.eng.Now(),
+		App:       app.name,
+		Component: comp,
+		From:      from,
+		To:        target,
+	})
+	app.workload.OnMigration(app.env, comp, from, target, o.migrationDowntime(app, comp, from, target))
+	return true
+}
+
+// migrationDowntime charges the restart cost plus, for stateful components,
+// the time to ship their state across the mesh (§8's CRIU/Medes-style
+// stateful migration). The state transfer is also injected as real traffic
+// so it contends with application flows.
+func (o *Orchestrator) migrationDowntime(app *deployedApp, comp, from, to string) time.Duration {
+	downtime := o.cfg.MigrationDowntime
+	c, err := app.graph.Component(comp)
+	if err != nil || c.StateMB <= 0 || from == "" || from == to {
+		return downtime
+	}
+	capMbps, networked, cerr := o.monitor.PathCapacityMbps(from, to)
+	if cerr != nil || !networked {
+		return downtime
+	}
+	if capMbps < 0.5 {
+		capMbps = 0.5
+	}
+	transfer := time.Duration(c.StateMB * 8 / capMbps * float64(time.Second))
+	_, _ = o.net.AddTransfer(app.name+"/__state__/"+comp, from, to, c.StateMB*1e6, 0, nil)
+	return downtime + transfer
+}
+
+// ForceMigrate moves a component immediately (used by experiments that
+// script migrations, e.g. Fig 14a's restart-cost measurement).
+func (o *Orchestrator) ForceMigrate(appName, comp, toNode string) error {
+	app, ok := o.apps[appName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownApp, appName)
+	}
+	from := o.clus.NodeOf(appName, comp)
+	if err := o.clus.Move(appName, comp, toNode); err != nil {
+		return err
+	}
+	o.migrations = append(o.migrations, MigrationEvent{
+		At: o.eng.Now(), App: appName, Component: comp, From: from, To: toNode,
+	})
+	app.workload.OnMigration(app.env, comp, from, toNode, o.migrationDowntime(app, comp, from, toNode))
+	return nil
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bass/internal/cluster"
+	"bass/internal/dag"
+	"bass/internal/mesh"
+	"bass/internal/scheduler"
+	"bass/internal/simnet"
+	"bass/internal/trace"
+)
+
+// pairWorkload is a minimal two-component workload: src streams to dst at
+// the edge's bandwidth requirement. It re-attaches its stream after
+// migrations, like the paper's Fig 8 component pair.
+type pairWorkload struct {
+	graph  *dag.Graph
+	demand float64
+
+	env          *Env
+	stream       simnet.FlowID
+	attached     bool
+	lastDowntime time.Duration
+}
+
+func newPairWorkload(app string, demand float64, pinSrc string, cpu float64) *pairWorkload {
+	g := dag.NewGraph(app)
+	src := dag.Component{Name: "src", CPU: cpu}
+	if pinSrc != "" {
+		src.Labels = dag.Pin(pinSrc)
+	}
+	g.MustAddComponent(src)
+	g.MustAddComponent(dag.Component{Name: "dst", CPU: cpu})
+	g.MustAddEdge("src", "dst", demand)
+	return &pairWorkload{graph: g, demand: demand}
+}
+
+func (w *pairWorkload) Graph() *dag.Graph { return w.graph }
+
+func (w *pairWorkload) Start(env *Env) error {
+	w.env = env
+	return w.attach()
+}
+
+func (w *pairWorkload) attach() error {
+	if w.attached {
+		if err := w.env.Net().RemoveStream(w.stream); err != nil {
+			return err
+		}
+		w.attached = false
+	}
+	id, err := w.env.Net().AddStream(w.env.Tag("src", "dst"), w.env.NodeOf("src"), w.env.NodeOf("dst"), w.demand)
+	if err != nil {
+		return err
+	}
+	w.stream, w.attached = id, true
+	return nil
+}
+
+func (w *pairWorkload) OnMigration(env *Env, component, fromNode, toNode string, downtime time.Duration) {
+	w.lastDowntime = downtime
+	if w.attached {
+		_ = env.Net().RemoveStream(w.stream)
+		w.attached = false
+	}
+	env.Engine().After(downtime, func() { _ = w.attach() })
+}
+
+var _ Workload = (*pairWorkload)(nil)
+
+// fig8Topology builds the three-worker subset of Fig 8's scenario: the pair
+// starts on node3/node4 (25 Mbps link); the link later degrades to 7 Mbps.
+func fig8Topology(dropAt time.Duration) *mesh.Topology {
+	topo := mesh.NewTopology()
+	for _, n := range []string{"node1", "node3", "node4"} {
+		topo.AddNode(n)
+	}
+	hour := time.Hour
+	n3n4 := trace.StepTrace("node3-node4", time.Second, hour, []trace.Level{
+		{From: 0, Mbps: 25},
+		{From: dropAt, Mbps: 7},
+	})
+	topo.MustAddLink("node3", "node4", n3n4, 3*time.Millisecond)
+	topo.MustAddLink("node1", "node3", trace.Constant("node1-node3", time.Second, 20, 3600), 3*time.Millisecond)
+	topo.MustAddLink("node1", "node4", trace.Constant("node1-node4", time.Second, 20, 3600), 3*time.Millisecond)
+	return topo
+}
+
+func fig8Nodes() []cluster.Node {
+	return []cluster.Node{
+		// node3 can host only the pinned src (CPU 3 < 2+2).
+		{Name: "node3", CPU: 3, MemoryMB: 4096},
+		// node4 outranks node1 on link capacity (45 vs 40 Mbps combined), so
+		// dst initially lands there.
+		{Name: "node4", CPU: 8, MemoryMB: 8192},
+		{Name: "node1", CPU: 8, MemoryMB: 8192},
+	}
+}
+
+func TestDeployPlacesPairAcrossLink(t *testing.T) {
+	topo := fig8Topology(time.Hour)
+	sim, err := NewSimulation(topo, fig8Nodes(), 1, Config{
+		Policy: scheduler.NewBass(scheduler.HeuristicBFS),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	w := newPairWorkload("pair", 8, "node3", 2)
+	assignment, err := sim.Orch.Deploy("pair", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assignment["src"] != "node3" {
+		t.Errorf("src on %q, want pinned node3", assignment["src"])
+	}
+	if assignment["dst"] != "node4" {
+		t.Errorf("dst on %q, want node4 (highest-ranked with space)", assignment["dst"])
+	}
+}
+
+func TestDeployDuplicateApp(t *testing.T) {
+	topo := fig8Topology(time.Hour)
+	sim, err := NewSimulation(topo, fig8Nodes(), 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	w := newPairWorkload("pair", 8, "", 1)
+	if _, err := sim.Orch.Deploy("pair", w); err != nil {
+		t.Fatal(err)
+	}
+	w2 := newPairWorkload("pair", 8, "", 1)
+	if _, err := sim.Orch.Deploy("pair", w2); !errors.Is(err, ErrAppExists) {
+		t.Errorf("want ErrAppExists, got %v", err)
+	}
+}
+
+func TestDeployNameMismatch(t *testing.T) {
+	topo := fig8Topology(time.Hour)
+	sim, err := NewSimulation(topo, fig8Nodes(), 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	w := newPairWorkload("pair", 8, "", 1)
+	if _, err := sim.Orch.Deploy("other-name", w); err == nil {
+		t.Error("want error on app-name mismatch")
+	}
+}
+
+// TestFig8MigrationTimeline reproduces the paper's Fig 8: the node3-node4
+// link degrades at t=540 s; the controller notices the headroom drop,
+// refreshes the capacity estimate with a full probe, and migrates the pair's
+// movable component from node4 to node1, restoring goodput.
+func TestFig8MigrationTimeline(t *testing.T) {
+	const dropAt = 540 * time.Second
+	topo := fig8Topology(dropAt)
+	sim, err := NewSimulation(topo, fig8Nodes(), 1, Config{
+		Policy:            scheduler.NewBass(scheduler.HeuristicBFS),
+		EnableMigration:   true,
+		MonitorInterval:   30 * time.Second,
+		MigrationDowntime: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+
+	w := newPairWorkload("pair", 8, "node3", 2)
+	if _, err := sim.Orch.Deploy("pair", w); err != nil {
+		t.Fatal(err)
+	}
+
+	// Before the drop: no migrations, goodput at demand.
+	if err := sim.Run(dropAt - time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(sim.Orch.Migrations()); n != 0 {
+		t.Fatalf("migrated %d times before any degradation", n)
+	}
+	rate, err := sim.Net.StreamRate(w.stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 8 {
+		t.Errorf("pre-drop rate = %v, want 8", rate)
+	}
+
+	// Run past the drop + probing interval + cooldown.
+	if err := sim.Run(dropAt + 3*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	migs := sim.Orch.Migrations()
+	if len(migs) != 1 {
+		t.Fatalf("migrations = %+v, want exactly one", migs)
+	}
+	m := migs[0]
+	if m.Component != "dst" || m.From != "node4" || m.To != "node1" {
+		t.Errorf("migration = %+v, want dst node4→node1", m)
+	}
+	if m.At < dropAt {
+		t.Errorf("migration at %v precedes the capacity drop", m.At)
+	}
+
+	// After reconnect: goodput restored over node1-node3.
+	if err := sim.Run(dropAt + 4*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	rate, err = sim.Net.StreamRate(w.stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 8 {
+		t.Errorf("post-migration rate = %v, want restored 8", rate)
+	}
+	if got := sim.Cluster.NodeOf("pair", "dst"); got != "node1" {
+		t.Errorf("dst on %q after migration", got)
+	}
+}
+
+func TestMigrationDisabledStaysPut(t *testing.T) {
+	const dropAt = 60 * time.Second
+	topo := fig8Topology(dropAt)
+	sim, err := NewSimulation(topo, fig8Nodes(), 1, Config{
+		Policy:          scheduler.NewBass(scheduler.HeuristicBFS),
+		EnableMigration: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	w := newPairWorkload("pair", 8, "node3", 2)
+	if _, err := sim.Orch.Deploy("pair", w); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(sim.Orch.Migrations()); n != 0 {
+		t.Errorf("migrations = %d with controller disabled", n)
+	}
+	rate, err := sim.Net.StreamRate(w.stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate > 7.01 {
+		t.Errorf("rate = %v on a 7 Mbps link without migration", rate)
+	}
+}
+
+func TestForceMigrate(t *testing.T) {
+	topo := fig8Topology(time.Hour)
+	sim, err := NewSimulation(topo, fig8Nodes(), 1, Config{MigrationDowntime: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	w := newPairWorkload("pair", 8, "node3", 2)
+	if _, err := sim.Orch.Deploy("pair", w); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Orch.ForceMigrate("pair", "dst", "node1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.Cluster.NodeOf("pair", "dst"); got != "node1" {
+		t.Errorf("dst on %q", got)
+	}
+	if err := sim.Orch.ForceMigrate("ghost", "dst", "node1"); !errors.Is(err, ErrUnknownApp) {
+		t.Errorf("want ErrUnknownApp, got %v", err)
+	}
+}
+
+func TestSchedulingLatencyRecorded(t *testing.T) {
+	topo := fig8Topology(time.Hour)
+	sim, err := NewSimulation(topo, fig8Nodes(), 1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	w := newPairWorkload("pair", 8, "", 1)
+	if _, err := sim.Orch.Deploy("pair", w); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sim.Orch.SchedulingLatenciesNS()); got != 2 {
+		t.Errorf("per-component latencies = %d, want 2", got)
+	}
+	if got := len(sim.Orch.DAGProcessingNS()); got != 1 {
+		t.Errorf("DAG processing samples = %d, want 1", got)
+	}
+}
+
+func TestNewSimulationRejectsForeignNode(t *testing.T) {
+	topo := fig8Topology(time.Hour)
+	_, err := NewSimulation(topo, []cluster.Node{{Name: "mars", CPU: 1}}, 1, Config{})
+	if err == nil {
+		t.Error("want error for node outside topology")
+	}
+}

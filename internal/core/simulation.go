@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"bass/internal/cluster"
+	"bass/internal/mesh"
+	"bass/internal/sim"
+	"bass/internal/simnet"
+)
+
+// Simulation bundles an engine, topology, network, cluster, and orchestrator
+// into one runnable experiment, the way a CloudLab cluster bundles VMs, tc
+// rules, and the k3s control plane in the paper's evaluation.
+type Simulation struct {
+	Eng     *sim.Engine
+	Topo    *mesh.Topology
+	Net     *simnet.Network
+	Cluster *cluster.Cluster
+	Orch    *Orchestrator
+
+	stopNet func()
+}
+
+// NewSimulation wires a simulation. Every node in nodes must exist in the
+// topology. The network's capacity ticks and the orchestrator's startup
+// probing round are armed; run with Run.
+func NewSimulation(topo *mesh.Topology, nodes []cluster.Node, seed int64, cfg Config) (*Simulation, error) {
+	for _, n := range nodes {
+		if !topo.HasNode(n.Name) {
+			return nil, fmt.Errorf("core: cluster node %q not in topology", n.Name)
+		}
+	}
+	clus, err := cluster.New(nodes...)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine(seed)
+	net := simnet.New(eng, topo)
+	orch := New(eng, topo, net, clus, cfg)
+	s := &Simulation{
+		Eng:     eng,
+		Topo:    topo,
+		Net:     net,
+		Cluster: clus,
+		Orch:    orch,
+	}
+	s.stopNet = net.Start()
+	if err := orch.Bootstrap(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Run advances virtual time to the horizon.
+func (s *Simulation) Run(until time.Duration) error {
+	return s.Eng.Run(until)
+}
+
+// Close stops periodic activity (network ticks, controller loop).
+func (s *Simulation) Close() {
+	s.Orch.Stop()
+	if s.stopNet != nil {
+		s.stopNet()
+		s.stopNet = nil
+	}
+}

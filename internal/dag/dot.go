@@ -1,0 +1,46 @@
+package dag
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format: components as boxes
+// labelled with their resource requests, edges labelled with bandwidth
+// requirements, pinned components annotated with their node. Useful for
+// inspecting application topologies (`dot -Tpng app.dot`).
+func (g *Graph) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.AppName)
+	b.WriteString("  rankdir=LR;\n  node [shape=box];\n")
+	names := g.Components()
+	sort.Strings(names)
+	for _, name := range names {
+		c, err := g.Component(name)
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("%s\\n%.2g cpu / %.0f MB", c.Name, c.CPU, c.MemoryMB)
+		if pin := c.PinnedTo(); pin != "" {
+			label += "\\npinned: " + pin
+		}
+		fmt.Fprintf(&b, "  %q [label=%q];\n", name, label)
+	}
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%.2f Mbps\"];\n", e.From, e.To, e.BandwidthMbps)
+	}
+	b.WriteString("}\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("dag: write dot: %w", err)
+	}
+	return nil
+}

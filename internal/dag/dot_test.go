@@ -1,0 +1,43 @@
+package dag
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := NewGraph("demo")
+	g.MustAddComponent(Component{Name: "front", CPU: 1, MemoryMB: 256, Labels: Pin("node1")})
+	g.MustAddComponent(Component{Name: "back", CPU: 2, MemoryMB: 512})
+	g.MustAddEdge("front", "back", 12.5)
+
+	var b strings.Builder
+	if err := g.WriteDOT(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`digraph "demo"`,
+		`"front" -> "back"`,
+		"12.50 Mbps",
+		"pinned: node1",
+		"2 cpu / 512 MB",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("sink full") }
+
+func TestWriteDOTError(t *testing.T) {
+	g := NewGraph("x")
+	g.MustAddComponent(Component{Name: "a"})
+	if err := g.WriteDOT(failWriter{}); err == nil {
+		t.Error("failing writer: want error")
+	}
+}

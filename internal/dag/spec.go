@@ -1,0 +1,112 @@
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Spec is the on-disk deployment description of an application, mirroring
+// the way BASS attaches bandwidth requirements to the metadata section of a
+// Kubernetes deployment file (§5). It serialises to/from JSON.
+type Spec struct {
+	App        string          `json:"app"`
+	Components []ComponentSpec `json:"components"`
+	Edges      []EdgeSpec      `json:"edges"`
+}
+
+// ComponentSpec describes one component's resource requests.
+type ComponentSpec struct {
+	Name     string            `json:"name"`
+	CPU      float64           `json:"cpu"`
+	MemoryMB float64           `json:"memoryMB"`
+	StateMB  float64           `json:"stateMB,omitempty"`
+	Labels   map[string]string `json:"labels,omitempty"`
+}
+
+// EdgeSpec describes one inter-component bandwidth requirement.
+type EdgeSpec struct {
+	From          string  `json:"from"`
+	To            string  `json:"to"`
+	BandwidthMbps float64 `json:"bandwidthMbps"`
+}
+
+// Graph materialises the spec into a validated Graph.
+func (s Spec) Graph() (*Graph, error) {
+	g := NewGraph(s.App)
+	for _, c := range s.Components {
+		if err := g.AddComponent(Component{
+			Name:     c.Name,
+			CPU:      c.CPU,
+			MemoryMB: c.MemoryMB,
+			StateMB:  c.StateMB,
+			Labels:   c.Labels,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range s.Edges {
+		if err := g.AddEdge(e.From, e.To, e.BandwidthMbps); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ToSpec converts a graph back into its serialisable form.
+func (g *Graph) ToSpec() Spec {
+	s := Spec{App: g.AppName}
+	for _, name := range g.order {
+		c := g.components[name]
+		s.Components = append(s.Components, ComponentSpec{
+			Name:     c.Name,
+			CPU:      c.CPU,
+			MemoryMB: c.MemoryMB,
+			StateMB:  c.StateMB,
+			Labels:   c.Labels,
+		})
+	}
+	for _, e := range g.Edges() {
+		s.Edges = append(s.Edges, EdgeSpec{From: e.From, To: e.To, BandwidthMbps: e.BandwidthMbps})
+	}
+	return s
+}
+
+// ReadSpec parses a Spec from JSON.
+func ReadSpec(r io.Reader) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("dag: decode spec: %w", err)
+	}
+	return s, nil
+}
+
+// LoadSpec reads a Spec from a JSON file and materialises the graph.
+func LoadSpec(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dag: open %q: %w", path, err)
+	}
+	defer f.Close()
+	s, err := ReadSpec(f)
+	if err != nil {
+		return nil, err
+	}
+	return s.Graph()
+}
+
+// WriteSpec writes the spec as indented JSON.
+func WriteSpec(w io.Writer, s Spec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("dag: encode spec: %w", err)
+	}
+	return nil
+}

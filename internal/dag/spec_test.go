@@ -1,0 +1,90 @@
+package dag
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	g := diamond(t)
+	spec := g.ToSpec()
+	var buf bytes.Buffer
+	if err := WriteSpec(&buf, spec); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadSpec(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := parsed.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumComponents() != g.NumComponents() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip lost structure: %d/%d vs %d/%d",
+			back.NumComponents(), back.NumEdges(), g.NumComponents(), g.NumEdges())
+	}
+	if back.Weight("a", "b") != 10 {
+		t.Errorf("edge weight lost: %v", back.Weight("a", "b"))
+	}
+}
+
+func TestSpecGraphValidates(t *testing.T) {
+	s := Spec{
+		App:        "bad",
+		Components: []ComponentSpec{{Name: "a"}, {Name: "b"}},
+		Edges:      []EdgeSpec{{From: "a", To: "b"}, {From: "b", To: "a"}},
+	}
+	if _, err := s.Graph(); err == nil {
+		t.Error("cyclic spec: want error")
+	}
+}
+
+func TestReadSpecRejectsUnknownFields(t *testing.T) {
+	in := strings.NewReader(`{"app":"x","components":[],"edges":[],"bogus":1}`)
+	if _, err := ReadSpec(in); err == nil {
+		t.Error("unknown field: want error")
+	}
+}
+
+func TestLoadSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "app.json")
+	content := `{
+  "app": "demo",
+  "components": [
+    {"name": "front", "cpu": 1, "memoryMB": 256, "labels": {"bass.dev/pin": "node1"}},
+    {"name": "back", "cpu": 2, "memoryMB": 512}
+  ],
+  "edges": [{"from": "front", "to": "back", "bandwidthMbps": 12}]
+}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.AppName != "demo" || g.NumComponents() != 2 {
+		t.Fatalf("loaded %q with %d components", g.AppName, g.NumComponents())
+	}
+	front, err := g.Component("front")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if front.PinnedTo() != "node1" {
+		t.Errorf("pin lost: %q", front.PinnedTo())
+	}
+	if g.Weight("front", "back") != 12 {
+		t.Errorf("weight = %v", g.Weight("front", "back"))
+	}
+}
+
+func TestLoadSpecMissingFile(t *testing.T) {
+	if _, err := LoadSpec("/nonexistent/app.json"); err == nil {
+		t.Error("missing file: want error")
+	}
+}

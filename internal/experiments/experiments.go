@@ -1,0 +1,110 @@
+// Package experiments contains one reproducible harness per table and figure
+// of the BASS paper's evaluation (§6). Each Run* function builds the
+// corresponding scenario on the simulated substrate, executes it, and
+// returns a typed result whose Table method renders the same rows/series the
+// paper reports. The cmd/benchtab binary and the repository-root benchmarks
+// drive these harnesses.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bass/internal/cluster"
+	"bass/internal/mesh"
+)
+
+// Table is a printable experiment result: a header row plus data rows.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString("== " + t.Title + " ==\n")
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// f formats a float compactly for table cells.
+func f(v float64) string { return fmt.Sprintf("%.3g", v) }
+
+// f2 formats a float with fixed precision.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// ms renders seconds as milliseconds.
+func ms(seconds float64) string { return fmt.Sprintf("%.0f", seconds*1e3) }
+
+// CityLabWorkers returns the paper's heterogeneous worker set for the
+// emulated mesh (§6.3): VMs with 8 GB RAM and 12 or 8 cores. node0 hosts
+// the control plane and is unschedulable.
+func CityLabWorkers() []cluster.Node {
+	return []cluster.Node{
+		{Name: mesh.CityLabControl, CPU: 12, MemoryMB: 8192, Unschedulable: true},
+		{Name: mesh.CityLabNode1, CPU: 12, MemoryMB: 8192},
+		{Name: mesh.CityLabNode2, CPU: 8, MemoryMB: 8192},
+		{Name: mesh.CityLabNode3, CPU: 12, MemoryMB: 8192},
+		{Name: mesh.CityLabNode4, CPU: 8, MemoryMB: 8192},
+	}
+}
+
+// LANNodes returns an n-node microbenchmark cluster: CloudLab-style machines
+// on a bridged 1 Gbps LAN. cpu/memMB pick the machine class (c6525-25g ≈ 16
+// cores / 128 GB; d710 ≈ 8 hardware threads / 12 GB).
+func LANNodes(n int, cpu, memMB float64) []cluster.Node {
+	nodes := make([]cluster.Node, n)
+	for i := range nodes {
+		nodes[i] = cluster.Node{
+			Name:     fmt.Sprintf("node%d", i+1),
+			CPU:      cpu,
+			MemoryMB: memMB,
+		}
+	}
+	return nodes
+}
+
+// LANTopology returns a full-mesh 1 Gbps topology over the given nodes.
+func LANTopology(nodes []cluster.Node, horizon time.Duration) *mesh.Topology {
+	names := make([]string, len(nodes))
+	for i, n := range nodes {
+		names[i] = n.Name
+	}
+	return mesh.FullMesh(names, 1000, time.Millisecond, horizon)
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHarnessSmoke exercises every remaining Run* harness end-to-end with
+// reduced sweeps (the fast harnesses have dedicated shape tests). Skipped
+// under -short.
+func TestHarnessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy harness smoke test")
+	}
+	t.Run("fig5", func(t *testing.T) {
+		r, err := RunFig5(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.ThrottledSec < r.CalmSec*10 {
+			t.Errorf("throttle inflation too small: %.3f vs %.3f", r.ThrottledSec, r.CalmSec)
+		}
+		if len(r.Table().Rows) == 0 {
+			t.Error("empty table")
+		}
+	})
+	t.Run("fig11", func(t *testing.T) {
+		r, err := RunFig11(7, []float64{300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Rows) != 4 {
+			t.Fatalf("rows = %d, want 2 schedulers × 2 restriction states", len(r.Rows))
+		}
+		// Restricted k3s must be far worse than restricted longest-path.
+		var lp, k3s Fig11Row
+		for _, row := range r.Rows {
+			if !row.Restricted {
+				continue
+			}
+			if strings.Contains(row.Scheduler, "k3s") {
+				k3s = row
+			} else {
+				lp = row
+			}
+		}
+		if k3s.P99Sec < lp.P99Sec*10 {
+			t.Errorf("restricted k3s p99 %.3f not ≫ longest-path %.3f", k3s.P99Sec, lp.P99Sec)
+		}
+	})
+	t.Run("fig13", func(t *testing.T) {
+		r, err := RunFig13(7, []int{30, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Rows) != 2 {
+			t.Fatalf("rows = %d", len(r.Rows))
+		}
+		if r.Rows[0].Migrations == 0 {
+			t.Error("30s interval never migrated")
+		}
+		if r.Rows[1].Migrations != 0 {
+			t.Error("no-migration run migrated")
+		}
+		if len(r.Table1().Rows) == 0 {
+			t.Error("Table 1 empty")
+		}
+	})
+	t.Run("fig14b", func(t *testing.T) {
+		r, err := RunFig14b(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byName := map[string]Fig14bRow{}
+		for _, row := range r.Rows {
+			byName[row.Variant] = row
+		}
+		if byName["k3s-default"].P99Sec <= byName["longest-path+mig"].P99Sec {
+			t.Errorf("k3s p99 %.3f not above longest-path+mig %.3f",
+				byName["k3s-default"].P99Sec, byName["longest-path+mig"].P99Sec)
+		}
+	})
+	t.Run("fig14cd", func(t *testing.T) {
+		r, err := RunFig14cd(7, []int{65}, []int{20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Cells) != 2 { // 2 heuristics × 1×1
+			t.Fatalf("cells = %d", len(r.Cells))
+		}
+	})
+	t.Run("fig16", func(t *testing.T) {
+		r, err := RunFig16(7, []int{65, 95})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Rows) != 2 {
+			t.Fatalf("rows = %d", len(r.Rows))
+		}
+	})
+	t.Run("fig14a", func(t *testing.T) {
+		r, err := RunFig14a(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.RestartMeanSec <= r.BaselineMeanSec {
+			t.Errorf("restart %.3f not above baseline %.3f", r.RestartMeanSec, r.BaselineMeanSec)
+		}
+		if len(r.CDF) == 0 {
+			t.Error("empty CDF")
+		}
+	})
+	t.Run("ablations", func(t *testing.T) {
+		pack, err := RunAblationPackLimit(7, []float64{0.8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pack.Rows) != 1 || pack.Table().Title == "" {
+			t.Errorf("pack ablation rows = %+v", pack.Rows)
+		}
+		cd, err := RunAblationCooldown(7, []int{30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cd.Rows) != 1 {
+			t.Errorf("cooldown ablation rows = %+v", cd.Rows)
+		}
+		probe, err := RunAblationProbeInterval(7, []int{30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(probe.Rows) != 1 || probe.Rows[0].Extra <= 0 {
+			t.Errorf("probe ablation rows = %+v", probe.Rows)
+		}
+	})
+}

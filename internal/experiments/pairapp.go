@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"time"
+
+	"bass/internal/core"
+	"bass/internal/dag"
+	"bass/internal/metrics"
+	"bass/internal/simnet"
+)
+
+// pairApp is the two-component workload of the paper's Fig 8: a producer
+// streaming to a consumer at the pair's bandwidth requirement, re-attaching
+// after migrations, with the achieved rate sampled each second.
+type pairApp struct {
+	graph  *dag.Graph
+	demand float64
+
+	env      *core.Env
+	stream   simnet.FlowID
+	attached bool
+	goodput  *metrics.TimeSeries
+	stop     func()
+}
+
+var _ core.Workload = (*pairApp)(nil)
+
+// newPairApp builds the workload. pinSrc pins the producer (the immovable
+// side of the pair); cpu sizes both components.
+func newPairApp(app string, demandMbps float64, pinSrc string, cpu float64) *pairApp {
+	g := dag.NewGraph(app)
+	src := dag.Component{Name: "producer", CPU: cpu}
+	if pinSrc != "" {
+		src.Labels = dag.Pin(pinSrc)
+	}
+	g.MustAddComponent(src)
+	g.MustAddComponent(dag.Component{Name: "consumer", CPU: cpu})
+	g.MustAddEdge("producer", "consumer", demandMbps)
+	return &pairApp{graph: g, demand: demandMbps, goodput: metrics.NewTimeSeries(0)}
+}
+
+func (p *pairApp) Graph() *dag.Graph { return p.graph }
+
+func (p *pairApp) Start(env *core.Env) error {
+	p.env = env
+	if err := p.attach(); err != nil {
+		return err
+	}
+	p.stop = env.Engine().Every(time.Second, p.sample)
+	return nil
+}
+
+func (p *pairApp) attach() error {
+	id, err := p.env.Net().AddStream(
+		p.env.Tag("producer", "consumer"),
+		p.env.NodeOf("producer"), p.env.NodeOf("consumer"), p.demand)
+	if err != nil {
+		return err
+	}
+	p.stream, p.attached = id, true
+	return nil
+}
+
+func (p *pairApp) OnMigration(env *core.Env, component, fromNode, toNode string, downtime time.Duration) {
+	if p.attached {
+		_ = env.Net().RemoveStream(p.stream)
+		p.attached = false
+	}
+	env.Engine().After(downtime, func() {
+		if !p.attached {
+			_ = p.attach()
+		}
+	})
+}
+
+func (p *pairApp) sample() {
+	var rate float64
+	if p.attached {
+		if r, err := p.env.Net().StreamRate(p.stream); err == nil {
+			rate = r
+		}
+	}
+	p.goodput.Append(p.env.Now(), rate/p.demand)
+}
+
+// Goodput returns the achieved/required fraction over time.
+func (p *pairApp) Goodput() *metrics.TimeSeries { return p.goodput }

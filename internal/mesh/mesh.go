@@ -1,0 +1,346 @@
+// Package mesh models the wireless mesh substrate: an undirected topology of
+// nodes joined by links whose capacity varies over time (driven by package
+// trace), plus the decentralised routing view BASS assumes — the orchestrator
+// cannot control routing, it can only discover paths (traceroute) and treat
+// the path capacity as the bottleneck link along it (§4.2).
+package mesh
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"bass/internal/trace"
+)
+
+// Sentinel errors.
+var (
+	ErrUnknownNode   = errors.New("mesh: unknown node")
+	ErrDuplicateLink = errors.New("mesh: duplicate link")
+	ErrNoPath        = errors.New("mesh: no path")
+	ErrSelfLink      = errors.New("mesh: self link")
+)
+
+// LinkID identifies an undirected link by its two endpoints in lexicographic
+// order.
+type LinkID struct {
+	A, B string
+}
+
+// MakeLinkID normalises the endpoint order.
+func MakeLinkID(a, b string) LinkID {
+	if a > b {
+		a, b = b, a
+	}
+	return LinkID{A: a, B: b}
+}
+
+// String renders the link as "a-b".
+func (l LinkID) String() string { return l.A + "-" + l.B }
+
+// Link is one wireless link with time-varying, per-direction capacity.
+// Wireless links are roughly symmetric (the paper reports "similar bandwidth
+// in both directions"), so links are constructed with one trace for both
+// directions; tc-style directional shaping (throttling a node's outgoing
+// interface, as the paper's experiments do) is applied with
+// SetCapacityToward.
+type Link struct {
+	ID LinkID
+	// capFwd is the A→B capacity; capRev is B→A.
+	capFwd *trace.Trace
+	capRev *trace.Trace
+	// LatencyOneWay is the propagation + MAC latency per traversal.
+	LatencyOneWay time.Duration
+}
+
+// CapacityToward returns the capacity trace for the from→to direction.
+func (l *Link) CapacityToward(from, to string) (*trace.Trace, error) {
+	switch {
+	case from == l.ID.A && to == l.ID.B:
+		return l.capFwd, nil
+	case from == l.ID.B && to == l.ID.A:
+		return l.capRev, nil
+	default:
+		return nil, fmt.Errorf("mesh: %s-%s is not a direction of link %s", from, to, l.ID)
+	}
+}
+
+// SetCapacityToward replaces the capacity trace of one direction.
+func (l *Link) SetCapacityToward(from, to string, capacity *trace.Trace) error {
+	switch {
+	case from == l.ID.A && to == l.ID.B:
+		l.capFwd = capacity
+	case from == l.ID.B && to == l.ID.A:
+		l.capRev = capacity
+	default:
+		return fmt.Errorf("mesh: %s-%s is not a direction of link %s", from, to, l.ID)
+	}
+	return nil
+}
+
+// MinCapacityAt reports the lower of the two directions' capacities at
+// offset at — what a direction-agnostic probe of the link observes.
+func (l *Link) MinCapacityAt(at time.Duration) float64 {
+	fwd := l.capFwd.At(at)
+	if rev := l.capRev.At(at); rev < fwd {
+		return rev
+	}
+	return fwd
+}
+
+// CapacityFwd returns the A→B trace (for characterisation and tests; both
+// directions are identical until SetCapacityToward splits them).
+func (l *Link) CapacityFwd() *trace.Trace { return l.capFwd }
+
+// Topology is the mesh graph. Construct once, then query from any number of
+// goroutines; mutation after construction is not synchronised.
+type Topology struct {
+	nodes     map[string]bool
+	nodeOrder []string
+	links     map[LinkID]*Link
+	adj       map[string][]string
+}
+
+// NewTopology returns an empty topology.
+func NewTopology() *Topology {
+	return &Topology{
+		nodes: make(map[string]bool),
+		links: make(map[LinkID]*Link),
+		adj:   make(map[string][]string),
+	}
+}
+
+// AddNode registers a node; adding an existing node is a no-op.
+func (t *Topology) AddNode(name string) {
+	if !t.nodes[name] {
+		t.nodes[name] = true
+		t.nodeOrder = append(t.nodeOrder, name)
+	}
+}
+
+// HasNode reports whether the node exists.
+func (t *Topology) HasNode(name string) bool { return t.nodes[name] }
+
+// Nodes returns node names in insertion order.
+func (t *Topology) Nodes() []string {
+	out := make([]string, len(t.nodeOrder))
+	copy(out, t.nodeOrder)
+	return out
+}
+
+// AddLink joins two existing nodes with a capacity trace.
+func (t *Topology) AddLink(a, b string, capacity *trace.Trace, latency time.Duration) error {
+	if a == b {
+		return fmt.Errorf("%w: %q", ErrSelfLink, a)
+	}
+	if !t.nodes[a] {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, a)
+	}
+	if !t.nodes[b] {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, b)
+	}
+	id := MakeLinkID(a, b)
+	if _, ok := t.links[id]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateLink, id)
+	}
+	t.links[id] = &Link{ID: id, capFwd: capacity, capRev: capacity, LatencyOneWay: latency}
+	t.adj[a] = append(t.adj[a], b)
+	t.adj[b] = append(t.adj[b], a)
+	sort.Strings(t.adj[a])
+	sort.Strings(t.adj[b])
+	return nil
+}
+
+// MustAddLink is AddLink for statically known topologies; it panics on error.
+func (t *Topology) MustAddLink(a, b string, capacity *trace.Trace, latency time.Duration) {
+	if err := t.AddLink(a, b, capacity, latency); err != nil {
+		panic(err)
+	}
+}
+
+// SetCapacity replaces the capacity trace on both directions of an existing
+// link, used by experiments that throttle a link mid-run.
+func (t *Topology) SetCapacity(a, b string, capacity *trace.Trace) error {
+	l, ok := t.links[MakeLinkID(a, b)]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoPath, MakeLinkID(a, b))
+	}
+	l.capFwd = capacity
+	l.capRev = capacity
+	return nil
+}
+
+// SetDirectedCapacity replaces the capacity trace of the from→to direction
+// only — the equivalent of tc-shaping one interface's egress, as the paper's
+// experiments do to nodes 2 and 3 (§6.2.3).
+func (t *Topology) SetDirectedCapacity(from, to string, capacity *trace.Trace) error {
+	l, ok := t.links[MakeLinkID(from, to)]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoPath, MakeLinkID(from, to))
+	}
+	return l.SetCapacityToward(from, to, capacity)
+}
+
+// ThrottleEgress applies the capacity trace to the outgoing direction of
+// every link of the node, modelling tc on the node's interface.
+func (t *Topology) ThrottleEgress(node string, capacity *trace.Trace) error {
+	if !t.nodes[node] {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, node)
+	}
+	for _, nb := range t.adj[node] {
+		if err := t.SetDirectedCapacity(node, nb, capacity); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Link returns the link between two nodes, if present.
+func (t *Topology) Link(a, b string) (*Link, bool) {
+	l, ok := t.links[MakeLinkID(a, b)]
+	return l, ok
+}
+
+// Links returns all links sorted by ID.
+func (t *Topology) Links() []*Link {
+	out := make([]*Link, 0, len(t.links))
+	for _, l := range t.links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID.A != out[j].ID.A {
+			return out[i].ID.A < out[j].ID.A
+		}
+		return out[i].ID.B < out[j].ID.B
+	})
+	return out
+}
+
+// Neighbors returns the 1-hop neighbors of a node, sorted.
+func (t *Topology) Neighbors(name string) []string {
+	out := make([]string, len(t.adj[name]))
+	copy(out, t.adj[name])
+	return out
+}
+
+// CapacityAt returns the capacity of the a→b direction in Mbps at offset at.
+func (t *Topology) CapacityAt(a, b string, at time.Duration) (float64, error) {
+	l, ok := t.links[MakeLinkID(a, b)]
+	if !ok {
+		return 0, fmt.Errorf("mesh: no link %s", MakeLinkID(a, b))
+	}
+	tr, err := l.CapacityToward(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return tr.At(at), nil
+}
+
+// Route returns the minimum-hop path from src to dst (inclusive), breaking
+// ties lexicographically — a deterministic stand-in for the mesh's own
+// decentralised routing, which BASS treats as a black box it can only
+// observe. A node routes to itself via the single-element path.
+func (t *Topology) Route(src, dst string) ([]string, error) {
+	if !t.nodes[src] {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, src)
+	}
+	if !t.nodes[dst] {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, dst)
+	}
+	if src == dst {
+		return []string{src}, nil
+	}
+	prev := map[string]string{src: src}
+	queue := []string{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == dst {
+			break
+		}
+		for _, nb := range t.adj[cur] {
+			if _, seen := prev[nb]; !seen {
+				prev[nb] = cur
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if _, ok := prev[dst]; !ok {
+		return nil, fmt.Errorf("%w: %s -> %s", ErrNoPath, src, dst)
+	}
+	var rev []string
+	for cur := dst; cur != src; cur = prev[cur] {
+		rev = append(rev, cur)
+	}
+	rev = append(rev, src)
+	path := make([]string, len(rev))
+	for i, n := range rev {
+		path[len(rev)-1-i] = n
+	}
+	return path, nil
+}
+
+// PathLinks returns the links along a path.
+func (t *Topology) PathLinks(path []string) ([]*Link, error) {
+	if len(path) < 2 {
+		return nil, nil
+	}
+	out := make([]*Link, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		l, ok := t.Link(path[i], path[i+1])
+		if !ok {
+			return nil, fmt.Errorf("mesh: path uses missing link %s-%s", path[i], path[i+1])
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+// PathCapacityAt returns the bottleneck capacity in Mbps between two nodes at
+// offset at, following the routed path — exactly how the BASS net-monitor
+// estimates node-pair capacity (§4.2). Co-located endpoints report +Inf via
+// ok=false semantics: the second return is false when src == dst (no network
+// involved).
+func (t *Topology) PathCapacityAt(src, dst string, at time.Duration) (mbps float64, networked bool, err error) {
+	path, err := t.Route(src, dst)
+	if err != nil {
+		return 0, false, err
+	}
+	links, err := t.PathLinks(path)
+	if err != nil {
+		return 0, false, err
+	}
+	if len(links) == 0 {
+		return 0, false, nil
+	}
+	bottleneck := -1.0
+	for i, l := range links {
+		tr, terr := l.CapacityToward(path[i], path[i+1])
+		if terr != nil {
+			return 0, false, terr
+		}
+		c := tr.At(at)
+		if bottleneck < 0 || c < bottleneck {
+			bottleneck = c
+		}
+	}
+	return bottleneck, true, nil
+}
+
+// PathLatency sums one-way link latencies along the routed path.
+func (t *Topology) PathLatency(src, dst string) (time.Duration, error) {
+	path, err := t.Route(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	links, err := t.PathLinks(path)
+	if err != nil {
+		return 0, err
+	}
+	var total time.Duration
+	for _, l := range links {
+		total += l.LatencyOneWay
+	}
+	return total, nil
+}

@@ -1,0 +1,227 @@
+// Package metricstore is a minimal Prometheus-like time-series store: named
+// metrics with label sets, append-only samples, range queries, and an HTTP
+// query API. It plays the role Prometheus plays in the paper's
+// implementation (§5): the sink the monitoring services log into and the
+// source the bandwidth controller queries.
+package metricstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sample is one timestamped value.
+type Sample struct {
+	At    time.Time `json:"at"`
+	Value float64   `json:"value"`
+}
+
+// Series is a metric with one concrete label set.
+type Series struct {
+	Metric  string            `json:"metric"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Samples []Sample          `json:"samples"`
+}
+
+// seriesKey canonicalises (metric, labels) for map lookup.
+func seriesKey(metric string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return metric
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(metric)
+	for _, k := range keys {
+		b.WriteString("|")
+		b.WriteString(k)
+		b.WriteString("=")
+		b.WriteString(labels[k])
+	}
+	return b.String()
+}
+
+// Store holds series in memory. It is safe for concurrent use. Each series
+// is capped at maxSamples (oldest dropped), bounding memory for long runs.
+type Store struct {
+	mu         sync.RWMutex
+	series     map[string]*Series
+	maxSamples int
+}
+
+// New returns a store capping each series at maxSamples (default 10000 when
+// ≤ 0).
+func New(maxSamples int) *Store {
+	if maxSamples <= 0 {
+		maxSamples = 10000
+	}
+	return &Store{series: make(map[string]*Series), maxSamples: maxSamples}
+}
+
+// Append records a sample.
+func (s *Store) Append(metric string, labels map[string]string, at time.Time, value float64) {
+	key := seriesKey(metric, labels)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr, ok := s.series[key]
+	if !ok {
+		copied := make(map[string]string, len(labels))
+		for k, v := range labels {
+			copied[k] = v
+		}
+		sr = &Series{Metric: metric, Labels: copied}
+		s.series[key] = sr
+	}
+	sr.Samples = append(sr.Samples, Sample{At: at, Value: value})
+	if over := len(sr.Samples) - s.maxSamples; over > 0 {
+		sr.Samples = append(sr.Samples[:0], sr.Samples[over:]...)
+	}
+}
+
+// matches reports whether the series carries every selector label.
+func matches(sr *Series, selector map[string]string) bool {
+	for k, v := range selector {
+		if sr.Labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Query returns copies of all series of the metric matching the selector
+// labels, with samples restricted to [from, to] (zero times = unbounded).
+func (s *Store) Query(metric string, selector map[string]string, from, to time.Time) []Series {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Series
+	for _, sr := range s.series {
+		if sr.Metric != metric || !matches(sr, selector) {
+			continue
+		}
+		copied := Series{Metric: sr.Metric, Labels: sr.Labels}
+		for _, sample := range sr.Samples {
+			if !from.IsZero() && sample.At.Before(from) {
+				continue
+			}
+			if !to.IsZero() && sample.At.After(to) {
+				continue
+			}
+			copied.Samples = append(copied.Samples, sample)
+		}
+		out = append(out, copied)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return seriesKey(out[i].Metric, out[i].Labels) < seriesKey(out[j].Metric, out[j].Labels)
+	})
+	return out
+}
+
+// Latest returns the most recent sample of the single series matching the
+// metric and selector, with ok=false when absent or empty.
+func (s *Store) Latest(metric string, selector map[string]string) (Sample, bool) {
+	series := s.Query(metric, selector, time.Time{}, time.Time{})
+	var best Sample
+	found := false
+	for _, sr := range series {
+		if n := len(sr.Samples); n > 0 {
+			last := sr.Samples[n-1]
+			if !found || last.At.After(best.At) {
+				best = last
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// Rate computes the average of the samples within the trailing window ending
+// at now — the controller's "traffic over the last interval" query.
+func (s *Store) Rate(metric string, selector map[string]string, now time.Time, window time.Duration) (float64, bool) {
+	series := s.Query(metric, selector, now.Add(-window), now)
+	var sum float64
+	var n int
+	for _, sr := range series {
+		for _, sample := range sr.Samples {
+			sum += sample.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// Metrics lists distinct metric names, sorted.
+func (s *Store) Metrics() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := make(map[string]bool)
+	for _, sr := range s.series {
+		seen[sr.Metric] = true
+	}
+	out := make([]string, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Handler serves the query API:
+//
+//	GET /api/v1/query?metric=<name>[&label.<k>=<v>...][&from=unix][&to=unix]
+//	GET /api/v1/metrics
+func (s *Store) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(s.Metrics())
+	})
+	mux.HandleFunc("/api/v1/query", func(w http.ResponseWriter, r *http.Request) {
+		metric := r.URL.Query().Get("metric")
+		if metric == "" {
+			http.Error(w, "missing metric parameter", http.StatusBadRequest)
+			return
+		}
+		selector := make(map[string]string)
+		for key, vals := range r.URL.Query() {
+			if strings.HasPrefix(key, "label.") && len(vals) > 0 {
+				selector[strings.TrimPrefix(key, "label.")] = vals[0]
+			}
+		}
+		parseTime := func(name string) (time.Time, error) {
+			raw := r.URL.Query().Get(name)
+			if raw == "" {
+				return time.Time{}, nil
+			}
+			unix, err := strconv.ParseInt(raw, 10, 64)
+			if err != nil {
+				return time.Time{}, fmt.Errorf("bad %s: %w", name, err)
+			}
+			return time.Unix(unix, 0), nil
+		}
+		from, err := parseTime("from")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		to, err := parseTime("to")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(s.Query(metric, selector, from, to))
+	})
+	return mux
+}

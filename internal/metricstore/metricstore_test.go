@@ -1,0 +1,186 @@
+package metricstore
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func at(sec int) time.Time { return time.Unix(int64(sec), 0) }
+
+func TestAppendAndQuery(t *testing.T) {
+	s := New(0)
+	labels := map[string]string{"link": "node1-node2"}
+	for i := 0; i < 5; i++ {
+		s.Append("link_bandwidth_mbps", labels, at(i), float64(10+i))
+	}
+	series := s.Query("link_bandwidth_mbps", labels, time.Time{}, time.Time{})
+	if len(series) != 1 {
+		t.Fatalf("series = %d", len(series))
+	}
+	if len(series[0].Samples) != 5 {
+		t.Fatalf("samples = %d", len(series[0].Samples))
+	}
+	// Range restriction.
+	series = s.Query("link_bandwidth_mbps", labels, at(2), at(3))
+	if got := len(series[0].Samples); got != 2 {
+		t.Errorf("range samples = %d, want 2", got)
+	}
+}
+
+func TestQuerySelectorSubset(t *testing.T) {
+	s := New(0)
+	s.Append("tx_bytes", map[string]string{"pod": "a", "node": "n1"}, at(1), 1)
+	s.Append("tx_bytes", map[string]string{"pod": "b", "node": "n2"}, at(1), 2)
+	got := s.Query("tx_bytes", map[string]string{"node": "n2"}, time.Time{}, time.Time{})
+	if len(got) != 1 || got[0].Labels["pod"] != "b" {
+		t.Errorf("selector query = %+v", got)
+	}
+	all := s.Query("tx_bytes", nil, time.Time{}, time.Time{})
+	if len(all) != 2 {
+		t.Errorf("unselected query = %d series", len(all))
+	}
+}
+
+func TestLatest(t *testing.T) {
+	s := New(0)
+	if _, ok := s.Latest("missing", nil); ok {
+		t.Error("Latest on empty store: want ok=false")
+	}
+	s.Append("m", nil, at(1), 1)
+	s.Append("m", nil, at(9), 9)
+	got, ok := s.Latest("m", nil)
+	if !ok || got.Value != 9 {
+		t.Errorf("Latest = %+v ok=%v", got, ok)
+	}
+}
+
+func TestRate(t *testing.T) {
+	s := New(0)
+	for i := 0; i < 10; i++ {
+		s.Append("mbps", nil, at(i), float64(i))
+	}
+	avg, ok := s.Rate("mbps", nil, at(9), 3*time.Second)
+	if !ok {
+		t.Fatal("Rate: no samples")
+	}
+	// Samples at t=6..9: mean 7.5.
+	if avg != 7.5 {
+		t.Errorf("Rate = %v, want 7.5", avg)
+	}
+	if _, ok := s.Rate("ghost", nil, at(9), time.Second); ok {
+		t.Error("Rate on missing metric: want ok=false")
+	}
+}
+
+func TestSampleCap(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10; i++ {
+		s.Append("m", nil, at(i), float64(i))
+	}
+	series := s.Query("m", nil, time.Time{}, time.Time{})
+	if got := len(series[0].Samples); got != 3 {
+		t.Fatalf("capped samples = %d, want 3", got)
+	}
+	if series[0].Samples[0].Value != 7 {
+		t.Errorf("oldest kept sample = %v, want 7", series[0].Samples[0].Value)
+	}
+}
+
+func TestMetricsList(t *testing.T) {
+	s := New(0)
+	s.Append("b", nil, at(1), 1)
+	s.Append("a", nil, at(1), 1)
+	got := s.Metrics()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Metrics = %v", got)
+	}
+}
+
+func TestLabelsCopiedAtBoundary(t *testing.T) {
+	s := New(0)
+	labels := map[string]string{"k": "v"}
+	s.Append("m", labels, at(1), 1)
+	labels["k"] = "mutated"
+	got := s.Query("m", map[string]string{"k": "v"}, time.Time{}, time.Time{})
+	if len(got) != 1 {
+		t.Error("caller mutation leaked into stored labels")
+	}
+}
+
+func TestConcurrentAppendQuery(t *testing.T) {
+	s := New(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				s.Append("m", map[string]string{"w": string(rune('a' + i))}, at(j), float64(j))
+				_ = s.Query("m", nil, time.Time{}, time.Time{})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(s.Query("m", nil, time.Time{}, time.Time{})); got != 4 {
+		t.Errorf("series = %d, want 4", got)
+	}
+}
+
+func TestHTTPQueryAPI(t *testing.T) {
+	s := New(0)
+	s.Append("link_mbps", map[string]string{"link": "a-b"}, at(5), 19.9)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	tests := []struct {
+		url        string
+		wantStatus int
+		wantSeries int
+	}{
+		{url: "/api/v1/query?metric=link_mbps", wantStatus: 200, wantSeries: 1},
+		{url: "/api/v1/query?metric=link_mbps&label.link=a-b", wantStatus: 200, wantSeries: 1},
+		{url: "/api/v1/query?metric=link_mbps&label.link=zz", wantStatus: 200, wantSeries: 0},
+		{url: "/api/v1/query?metric=link_mbps&from=1&to=9", wantStatus: 200, wantSeries: 1},
+		{url: "/api/v1/query", wantStatus: 400},
+		{url: "/api/v1/query?metric=m&from=bogus", wantStatus: 400},
+	}
+	client := srv.Client()
+	for _, tt := range tests {
+		resp, err := client.Get(srv.URL + tt.url)
+		if err != nil {
+			t.Fatalf("%s: %v", tt.url, err)
+		}
+		if resp.StatusCode != tt.wantStatus {
+			t.Errorf("%s: status %d, want %d", tt.url, resp.StatusCode, tt.wantStatus)
+			resp.Body.Close()
+			continue
+		}
+		if tt.wantStatus == 200 {
+			var series []Series
+			if err := json.NewDecoder(resp.Body).Decode(&series); err != nil {
+				t.Errorf("%s: decode: %v", tt.url, err)
+			}
+			if len(series) != tt.wantSeries {
+				t.Errorf("%s: %d series, want %d", tt.url, len(series), tt.wantSeries)
+			}
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := client.Get(srv.URL + "/api/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var metrics []string
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if len(metrics) != 1 || metrics[0] != "link_mbps" {
+		t.Errorf("metrics = %v", metrics)
+	}
+}

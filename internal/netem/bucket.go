@@ -1,0 +1,101 @@
+// Package netem provides the real-socket substrate BASS's live monitoring
+// path runs on: token-bucket traffic shaping around TCP connections (the
+// role tc plays in the paper's testbed), an iperf3-like probe server and
+// client for max-capacity and headroom probing over real sockets, and an
+// HTTP endpoint exposing per-link statistics (the paper's per-node gRPC
+// stats endpoint, §5).
+package netem
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TokenBucket is a byte-rate limiter. A zero bucket is invalid; construct
+// with NewTokenBucket. It is safe for concurrent use.
+type TokenBucket struct {
+	mu sync.Mutex
+	// rateBps is the refill rate in bytes per second.
+	rateBps float64
+	// burst is the bucket depth in bytes.
+	burst float64
+	// tokens currently available.
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+	sleep  func(time.Duration)
+}
+
+// NewTokenBucket builds a bucket refilling at rateMbps (megabits/s) with the
+// given burst in bytes. Burst ≤ 0 defaults to 64 KiB.
+func NewTokenBucket(rateMbps float64, burstBytes float64) (*TokenBucket, error) {
+	if rateMbps <= 0 {
+		return nil, fmt.Errorf("netem: non-positive rate %v Mbps", rateMbps)
+	}
+	if burstBytes <= 0 {
+		burstBytes = 64 * 1024
+	}
+	tb := &TokenBucket{
+		rateBps: rateMbps * 1e6 / 8,
+		burst:   burstBytes,
+		tokens:  burstBytes,
+		now:     time.Now,
+		sleep:   time.Sleep,
+	}
+	tb.last = tb.now()
+	return tb, nil
+}
+
+// SetRate changes the refill rate, e.g. when replaying a bandwidth trace.
+func (tb *TokenBucket) SetRate(rateMbps float64) error {
+	if rateMbps <= 0 {
+		return fmt.Errorf("netem: non-positive rate %v Mbps", rateMbps)
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.refillLocked()
+	tb.rateBps = rateMbps * 1e6 / 8
+	return nil
+}
+
+// RateMbps reports the current refill rate.
+func (tb *TokenBucket) RateMbps() float64 {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return tb.rateBps * 8 / 1e6
+}
+
+func (tb *TokenBucket) refillLocked() {
+	now := tb.now()
+	dt := now.Sub(tb.last).Seconds()
+	tb.last = now
+	tb.tokens += dt * tb.rateBps
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+}
+
+// Take blocks until n bytes of budget are available, then consumes them.
+// Requests larger than the burst are served in burst-sized slices.
+func (tb *TokenBucket) Take(n int) {
+	remaining := float64(n)
+	for remaining > 0 {
+		tb.mu.Lock()
+		tb.refillLocked()
+		slice := remaining
+		if slice > tb.burst {
+			slice = tb.burst
+		}
+		if tb.tokens >= slice {
+			tb.tokens -= slice
+			tb.mu.Unlock()
+			remaining -= slice
+			continue
+		}
+		deficit := slice - tb.tokens
+		wait := time.Duration(deficit / tb.rateBps * float64(time.Second))
+		tb.mu.Unlock()
+		tb.sleep(wait)
+	}
+}

@@ -1,0 +1,207 @@
+package netem
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTokenBucketValidation(t *testing.T) {
+	if _, err := NewTokenBucket(0, 0); err == nil {
+		t.Error("zero rate: want error")
+	}
+	tb, err := NewTokenBucket(8, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.SetRate(-1); err == nil {
+		t.Error("negative rate: want error")
+	}
+	if got := tb.RateMbps(); got != 8 {
+		t.Errorf("RateMbps = %v", got)
+	}
+}
+
+// TestTokenBucketPacesWrites uses a fake clock to verify the pacing math:
+// at 8 Mbps (1 MB/s), taking 2 MB must require ≈2 s of accumulated sleep.
+func TestTokenBucketPacesWrites(t *testing.T) {
+	tb, err := NewTokenBucket(8, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var virtual time.Time
+	var slept time.Duration
+	tb.now = func() time.Time { return virtual }
+	tb.last = virtual
+	tb.sleep = func(d time.Duration) {
+		slept += d
+		virtual = virtual.Add(d)
+	}
+	tb.tokens = 0
+
+	total := 2 << 20 // 2 MiB
+	chunk := 32 * 1024
+	for taken := 0; taken < total; taken += chunk {
+		tb.Take(chunk)
+	}
+	wantSec := float64(total) / (8e6 / 8)
+	if got := slept.Seconds(); got < wantSec*0.95 || got > wantSec*1.05 {
+		t.Errorf("slept %.3fs for 2MiB at 8Mbps, want ≈%.3fs", got, wantSec)
+	}
+}
+
+func TestTokenBucketLargerThanBurst(t *testing.T) {
+	tb, err := NewTokenBucket(1000, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tb.Take(10 * 1024) // 10x burst must still complete
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Take larger than burst hung")
+	}
+}
+
+func TestTokenBucketConcurrentTakes(t *testing.T) {
+	tb, err := NewTokenBucket(1000, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				tb.Take(1024)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("concurrent takes hung")
+	}
+}
+
+// startServer runs a probe server on loopback and returns it with a cleanup.
+func startServer(t *testing.T, shaper *TokenBucket) *ProbeServer {
+	t.Helper()
+	srv, err := NewProbeServer("127.0.0.1:0", shaper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve()
+	}()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		<-done
+	})
+	return srv
+}
+
+func TestProbeCapacityMeasuresShapedLink(t *testing.T) {
+	shaper, err := NewTokenBucket(40, 64*1024) // 40 Mbps link
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startServer(t, shaper)
+	mbps, err := ProbeCapacity(srv.Addr(), 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loopback raw speed is GBs; the shaper must cap the measurement near
+	// 40 Mbps (allow generous slack for scheduling jitter + burst credit).
+	if mbps < 20 || mbps > 80 {
+		t.Errorf("measured %.1f Mbps through a 40 Mbps shaper", mbps)
+	}
+}
+
+func TestProbeHeadroom(t *testing.T) {
+	shaper, err := NewTokenBucket(40, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startServer(t, shaper)
+
+	achieved, ok, err := ProbeHeadroom(srv.Addr(), 400*time.Millisecond, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("5 Mbps headroom probe on a 40 Mbps link failed (achieved %.1f)", achieved)
+	}
+
+	// Shrink the link below the probe rate: headroom must be reported
+	// missing.
+	if err := srv.SetRate(2); err != nil {
+		t.Fatal(err)
+	}
+	achieved, ok, err = ProbeHeadroom(srv.Addr(), 400*time.Millisecond, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("20 Mbps headroom reported available on a 2 Mbps link (achieved %.1f)", achieved)
+	}
+}
+
+func TestProbeRecordsHistoryAndStatsEndpoint(t *testing.T) {
+	srv := startServer(t, nil)
+	if _, err := ProbeCapacity(srv.Addr(), 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	hist := srv.History()
+	if len(hist) != 1 {
+		t.Fatalf("history = %d entries", len(hist))
+	}
+	if hist[0].Kind != "flood" || hist[0].Bytes == 0 {
+		t.Errorf("history entry = %+v", hist[0])
+	}
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/stats", nil)
+	NewStatsHandler(srv).ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("stats status = %d", rec.Code)
+	}
+	var got []ProbeResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("stats returned %d entries", len(got))
+	}
+
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest("POST", "/stats", nil)
+	NewStatsHandler(srv).ServeHTTP(rec, req)
+	if rec.Code != 405 {
+		t.Errorf("POST status = %d, want 405", rec.Code)
+	}
+}
+
+func TestProbeBadAddress(t *testing.T) {
+	if _, err := ProbeCapacity("127.0.0.1:1", 50*time.Millisecond); err == nil {
+		t.Error("probe to closed port: want error")
+	}
+}
+
+func TestServerSetRateWithoutShaper(t *testing.T) {
+	srv := startServer(t, nil)
+	if err := srv.SetRate(5); err == nil {
+		t.Error("SetRate without shaper: want error")
+	}
+}

@@ -1,0 +1,228 @@
+package netem
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("netem: server closed")
+
+// ProbeResult is one bandwidth measurement.
+type ProbeResult struct {
+	// Peer is the probed endpoint address.
+	Peer string `json:"peer"`
+	// Mbps is the measured throughput.
+	Mbps float64 `json:"mbps"`
+	// Bytes transferred during the probe.
+	Bytes int64 `json:"bytes"`
+	// DurationMillis is the measured interval.
+	DurationMillis int64 `json:"durationMillis"`
+	// Kind is "flood" (max-capacity) or "rate" (headroom).
+	Kind string `json:"kind"`
+	// At is the wall-clock completion time.
+	At time.Time `json:"at"`
+}
+
+// ProbeServer accepts iperf3-like measurement connections: the client
+// streams data for a declared duration and the server reports the received
+// byte count, from which the client derives link throughput. The server's
+// inbound side can be shaped with a token bucket to emulate a constrained
+// wireless link.
+type ProbeServer struct {
+	ln      net.Listener
+	shaper  *TokenBucket
+	mu      sync.Mutex
+	closed  bool
+	history []ProbeResult
+}
+
+// NewProbeServer listens on addr (e.g. "127.0.0.1:0"). shaper may be nil for
+// an unshaped link.
+func NewProbeServer(addr string, shaper *TokenBucket) (*ProbeServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netem: listen %s: %w", addr, err)
+	}
+	return &ProbeServer{ln: ln, shaper: shaper}, nil
+}
+
+// Addr reports the listening address.
+func (s *ProbeServer) Addr() string { return s.ln.Addr().String() }
+
+// SetRate reshapes the server's inbound link.
+func (s *ProbeServer) SetRate(mbps float64) error {
+	if s.shaper == nil {
+		return errors.New("netem: server has no shaper")
+	}
+	return s.shaper.SetRate(mbps)
+}
+
+// Serve accepts probe connections until Close. Each connection is handled on
+// its own goroutine; Serve returns ErrServerClosed after Close.
+func (s *ProbeServer) Serve() error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return fmt.Errorf("netem: accept: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops the listener; in-flight probes finish.
+func (s *ProbeServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.ln.Close()
+}
+
+// History returns completed measurements, newest last.
+func (s *ProbeServer) History() []ProbeResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ProbeResult, len(s.history))
+	copy(out, s.history)
+	return out
+}
+
+// handle implements the wire protocol: a text header
+// "PROBE <kind>\n" followed by the payload stream; the connection's write
+// side is closed by the client when the probe ends, and the server responds
+// with a JSON ProbeResult line.
+func (s *ProbeServer) handle(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	r := bufio.NewReader(conn)
+	header, err := r.ReadString('\n')
+	if err != nil {
+		return
+	}
+	fields := strings.Fields(header)
+	if len(fields) != 2 || fields[0] != "PROBE" {
+		fmt.Fprintf(conn, `{"error":"bad header"}`+"\n")
+		return
+	}
+	kind := fields[1]
+
+	start := time.Now()
+	var total int64
+	buf := make([]byte, 64*1024)
+	for {
+		n, rerr := r.Read(buf)
+		if n > 0 {
+			if s.shaper != nil {
+				s.shaper.Take(n)
+			}
+			total += int64(n)
+		}
+		if rerr != nil {
+			if rerr != io.EOF {
+				return
+			}
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	res := ProbeResult{
+		Peer:           conn.RemoteAddr().String(),
+		Bytes:          total,
+		DurationMillis: elapsed.Milliseconds(),
+		Kind:           kind,
+		At:             time.Now(),
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		res.Mbps = float64(total) * 8 / sec / 1e6
+	}
+	s.mu.Lock()
+	s.history = append(s.history, res)
+	s.mu.Unlock()
+	enc := json.NewEncoder(conn)
+	_ = enc.Encode(res)
+}
+
+// Probe measures throughput to a probe server. kind "flood" sends as fast as
+// possible for the duration (max-capacity probing); kind "rate" paces at
+// rateMbps (headroom probing — success means the link has that much spare).
+func Probe(addr string, kind string, duration time.Duration, rateMbps float64) (ProbeResult, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return ProbeResult{}, fmt.Errorf("netem: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(duration + 20*time.Second))
+	if _, err := fmt.Fprintf(conn, "PROBE %s\n", kind); err != nil {
+		return ProbeResult{}, fmt.Errorf("netem: send header: %w", err)
+	}
+
+	var pacer *TokenBucket
+	if rateMbps > 0 {
+		pacer, err = NewTokenBucket(rateMbps, 32*1024)
+		if err != nil {
+			return ProbeResult{}, err
+		}
+	}
+	payload := make([]byte, 32*1024)
+	deadline := time.Now().Add(duration)
+	for time.Now().Before(deadline) {
+		if pacer != nil {
+			pacer.Take(len(payload))
+		}
+		if _, err := conn.Write(payload); err != nil {
+			return ProbeResult{}, fmt.Errorf("netem: send payload: %w", err)
+		}
+	}
+	// Half-close so the server sees EOF and reports.
+	type closeWriter interface{ CloseWrite() error }
+	if cw, ok := conn.(closeWriter); ok {
+		if err := cw.CloseWrite(); err != nil {
+			return ProbeResult{}, fmt.Errorf("netem: close write: %w", err)
+		}
+	}
+	var res ProbeResult
+	dec := json.NewDecoder(conn)
+	if err := dec.Decode(&res); err != nil {
+		return ProbeResult{}, fmt.Errorf("netem: read result: %w", err)
+	}
+	return res, nil
+}
+
+// ProbeCapacity floods the peer for the duration and reports measured Mbps.
+func ProbeCapacity(addr string, duration time.Duration) (float64, error) {
+	res, err := Probe(addr, "flood", duration, 0)
+	if err != nil {
+		return 0, err
+	}
+	return res.Mbps, nil
+}
+
+// ProbeHeadroom checks whether at least wantMbps of spare capacity exists by
+// pacing a probe at that rate; it reports the achieved rate and whether it
+// reached ≥90% of the target.
+func ProbeHeadroom(addr string, duration time.Duration, wantMbps float64) (achievedMbps float64, ok bool, err error) {
+	res, err := Probe(addr, "rate", duration, wantMbps)
+	if err != nil {
+		return 0, false, err
+	}
+	return res.Mbps, res.Mbps >= 0.9*wantMbps, nil
+}

@@ -1,0 +1,31 @@
+package netem
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// StatsHandler exposes a probe server's measurement history as JSON over
+// HTTP — the stand-in for the per-node gRPC stats endpoint of §5.
+type StatsHandler struct {
+	server *ProbeServer
+}
+
+// NewStatsHandler wraps a probe server.
+func NewStatsHandler(s *ProbeServer) *StatsHandler {
+	return &StatsHandler{server: s}
+}
+
+var _ http.Handler = (*StatsHandler)(nil)
+
+// ServeHTTP writes the probe history as a JSON array.
+func (h *StatsHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(h.server.History()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,317 @@
+// Package netmon implements the BASS network monitor (§4.2): it maintains
+// cached link capacities via max-capacity probing, checks spare capacity via
+// lightweight headroom probing, estimates node-pair bandwidth as the
+// bottleneck of the routed path, and accounts the probing overhead the paper
+// reports (~0.3% of link traffic).
+//
+// The monitor is substrate-agnostic: it probes through the Prober interface,
+// implemented by the simulation (simnet) and by the real token-bucket link
+// emulator (netem).
+package netmon
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"bass/internal/mesh"
+)
+
+// ErrUnknownLink is returned for probes of links not in the topology.
+var ErrUnknownLink = errors.New("netmon: unknown link")
+
+// Prober is the measurable network underneath the monitor.
+type Prober interface {
+	// ProbeCapacity floods the link to measure its full capacity in Mbps
+	// (max-capacity probing). It is expensive: it saturates the link for
+	// about a second.
+	ProbeCapacity(id mesh.LinkID) (float64, error)
+	// ProbeSpare measures the link's currently unused capacity in Mbps by
+	// probing at a small fraction of the cached capacity (headroom probing).
+	ProbeSpare(id mesh.LinkID) (float64, error)
+}
+
+// Config tunes the monitor.
+type Config struct {
+	// HeadroomFrac is the spare capacity to maintain on every link, as a
+	// fraction of its cached capacity (paper default: 0.2).
+	HeadroomFrac float64
+	// ProbeInterval is the headroom probing period (paper default: 30 s).
+	ProbeInterval time.Duration
+	// ProbeDuration is how long each probe lasts (paper: 1 s).
+	ProbeDuration time.Duration
+	// ProbeRateFrac is the probing rate as a fraction of link capacity
+	// (paper: 0.1).
+	ProbeRateFrac float64
+	// ChangeTolerance is the relative spare-capacity change that counts as
+	// "headroom changed" and triggers a full probe (default 0.25).
+	ChangeTolerance float64
+}
+
+// DefaultConfig mirrors the paper's settings.
+func DefaultConfig() Config {
+	return Config{
+		HeadroomFrac:    0.2,
+		ProbeInterval:   30 * time.Second,
+		ProbeDuration:   time.Second,
+		ProbeRateFrac:   0.1,
+		ChangeTolerance: 0.25,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeadroomFrac == 0 {
+		c.HeadroomFrac = 0.2
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 30 * time.Second
+	}
+	if c.ProbeDuration == 0 {
+		c.ProbeDuration = time.Second
+	}
+	if c.ProbeRateFrac == 0 {
+		c.ProbeRateFrac = 0.1
+	}
+	if c.ChangeTolerance == 0 {
+		c.ChangeTolerance = 0.25
+	}
+	return c
+}
+
+// LinkView is the monitor's cached knowledge of one link.
+type LinkView struct {
+	ID mesh.LinkID
+	// CapacityMbps is the capacity measured by the last full probe.
+	CapacityMbps float64
+	// SpareMbps is the spare capacity from the last headroom probe.
+	SpareMbps float64
+	// HeadroomMbps is the spare capacity the system wants on this link
+	// (HeadroomFrac × capacity).
+	HeadroomMbps float64
+	// HeadroomOK reports whether the last probe found at least the wanted
+	// headroom.
+	HeadroomOK bool
+	// LastFullProbe and LastHeadroomProbe are virtual-time stamps.
+	LastFullProbe     time.Duration
+	LastHeadroomProbe time.Duration
+}
+
+// HeadroomEvent reports a headroom probe whose result changed materially
+// since the previous probe, or violated the headroom requirement.
+type HeadroomEvent struct {
+	Link      mesh.LinkID
+	SpareMbps float64
+	WantMbps  float64
+	// Violated is true when spare < want.
+	Violated bool
+	// Changed is true when spare moved more than ChangeTolerance relative to
+	// the previous observation.
+	Changed bool
+}
+
+// ProbeStats accounts monitoring overhead.
+type ProbeStats struct {
+	FullProbes     int
+	HeadroomProbes int
+	// OverheadMbits is the traffic injected by probes.
+	OverheadMbits float64
+}
+
+// OverheadFrac estimates probing overhead as a fraction of total capacity ×
+// elapsed time over the given horizon and mean capacity.
+func (s ProbeStats) OverheadFrac(horizon time.Duration, meanCapacityMbps float64, links int) float64 {
+	total := meanCapacityMbps * horizon.Seconds() * float64(links)
+	if total <= 0 {
+		return 0
+	}
+	return s.OverheadMbits / total
+}
+
+// Monitor caches link state. It is driven by its owner (the orchestrator
+// schedules FullProbeAll at startup and HeadroomProbeAll every
+// ProbeInterval); it does not spawn goroutines.
+type Monitor struct {
+	topo   *mesh.Topology
+	prober Prober
+	cfg    Config
+	now    func() time.Duration
+
+	views map[mesh.LinkID]*LinkView
+	stats ProbeStats
+}
+
+// New builds a monitor over the topology. now supplies virtual (or real)
+// time for staleness bookkeeping.
+func New(topo *mesh.Topology, prober Prober, cfg Config, now func() time.Duration) *Monitor {
+	m := &Monitor{
+		topo:   topo,
+		prober: prober,
+		cfg:    cfg.withDefaults(),
+		now:    now,
+		views:  make(map[mesh.LinkID]*LinkView),
+	}
+	for _, l := range topo.Links() {
+		m.views[l.ID] = &LinkView{ID: l.ID, HeadroomOK: true}
+	}
+	return m
+}
+
+// Config returns the monitor's effective configuration.
+func (m *Monitor) Config() Config { return m.cfg }
+
+// FullProbeAll measures every link's capacity (system startup, §4.2).
+func (m *Monitor) FullProbeAll() error {
+	for _, l := range m.topo.Links() {
+		if err := m.FullProbe(l.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FullProbe floods one link to refresh its cached capacity.
+func (m *Monitor) FullProbe(id mesh.LinkID) error {
+	v, ok := m.views[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownLink, id)
+	}
+	cap, err := m.prober.ProbeCapacity(id)
+	if err != nil {
+		return fmt.Errorf("netmon: full probe %s: %w", id, err)
+	}
+	v.CapacityMbps = cap
+	v.HeadroomMbps = m.cfg.HeadroomFrac * cap
+	v.LastFullProbe = m.now()
+	m.stats.FullProbes++
+	// A full probe floods the link for ProbeDuration.
+	m.stats.OverheadMbits += cap * m.cfg.ProbeDuration.Seconds()
+	return nil
+}
+
+// HeadroomProbeAll probes every link's spare capacity and returns events for
+// links whose headroom is violated or materially changed.
+func (m *Monitor) HeadroomProbeAll() ([]HeadroomEvent, error) {
+	var events []HeadroomEvent
+	for _, l := range m.topo.Links() {
+		ev, err := m.HeadroomProbe(l.ID)
+		if err != nil {
+			return events, err
+		}
+		if ev.Violated || ev.Changed {
+			events = append(events, ev)
+		}
+	}
+	return events, nil
+}
+
+// HeadroomProbe probes one link's spare capacity.
+func (m *Monitor) HeadroomProbe(id mesh.LinkID) (HeadroomEvent, error) {
+	v, ok := m.views[id]
+	if !ok {
+		return HeadroomEvent{}, fmt.Errorf("%w: %s", ErrUnknownLink, id)
+	}
+	spare, err := m.prober.ProbeSpare(id)
+	if err != nil {
+		return HeadroomEvent{}, fmt.Errorf("netmon: headroom probe %s: %w", id, err)
+	}
+	prev := v.SpareMbps
+	v.SpareMbps = spare
+	v.LastHeadroomProbe = m.now()
+	m.stats.HeadroomProbes++
+	m.stats.OverheadMbits += v.CapacityMbps * m.cfg.ProbeRateFrac * m.cfg.ProbeDuration.Seconds()
+
+	want := v.HeadroomMbps
+	ev := HeadroomEvent{
+		Link:      id,
+		SpareMbps: spare,
+		WantMbps:  want,
+		Violated:  spare < want,
+	}
+	if prev > 0 {
+		rel := (spare - prev) / prev
+		if rel < 0 {
+			rel = -rel
+		}
+		ev.Changed = rel > m.cfg.ChangeTolerance
+	} else if spare > 0 {
+		ev.Changed = true
+	}
+	v.HeadroomOK = !ev.Violated
+	return ev, nil
+}
+
+// View returns the cached view of a link.
+func (m *Monitor) View(id mesh.LinkID) (LinkView, error) {
+	v, ok := m.views[id]
+	if !ok {
+		return LinkView{}, fmt.Errorf("%w: %s", ErrUnknownLink, id)
+	}
+	return *v, nil
+}
+
+// Views returns all cached link views sorted by link ID.
+func (m *Monitor) Views() []LinkView {
+	out := make([]LinkView, 0, len(m.views))
+	for _, v := range m.views {
+		out = append(out, *v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID.A != out[j].ID.A {
+			return out[i].ID.A < out[j].ID.A
+		}
+		return out[i].ID.B < out[j].ID.B
+	})
+	return out
+}
+
+// Stats returns probe overhead accounting.
+func (m *Monitor) Stats() ProbeStats { return m.stats }
+
+// PathCapacityMbps estimates node-pair capacity as the bottleneck cached
+// capacity along the routed path (the paper's traceroute + per-link
+// bandwidth method). Co-located pairs report ok=false (no network involved).
+func (m *Monitor) PathCapacityMbps(src, dst string) (mbps float64, networked bool, err error) {
+	return m.pathMin(src, dst, func(v *LinkView) float64 { return v.CapacityMbps })
+}
+
+// PathSpareMbps estimates spare node-pair capacity as the bottleneck cached
+// spare capacity along the routed path.
+func (m *Monitor) PathSpareMbps(src, dst string) (mbps float64, networked bool, err error) {
+	return m.pathMin(src, dst, func(v *LinkView) float64 { return v.SpareMbps })
+}
+
+func (m *Monitor) pathMin(src, dst string, metric func(*LinkView) float64) (float64, bool, error) {
+	path, err := m.topo.Route(src, dst)
+	if err != nil {
+		return 0, false, err
+	}
+	if len(path) < 2 {
+		return 0, false, nil
+	}
+	bottleneck := -1.0
+	for i := 0; i+1 < len(path); i++ {
+		id := mesh.MakeLinkID(path[i], path[i+1])
+		v, ok := m.views[id]
+		if !ok {
+			return 0, false, fmt.Errorf("%w: %s", ErrUnknownLink, id)
+		}
+		val := metric(v)
+		if bottleneck < 0 || val < bottleneck {
+			bottleneck = val
+		}
+	}
+	return bottleneck, true, nil
+}
+
+// NodeLinkCapacityMbps sums the cached capacities of a node's links — the
+// bandwidth term of the scheduler's node ranking.
+func (m *Monitor) NodeLinkCapacityMbps(node string) float64 {
+	var total float64
+	for _, nb := range m.topo.Neighbors(node) {
+		if v, ok := m.views[mesh.MakeLinkID(node, nb)]; ok {
+			total += v.CapacityMbps
+		}
+	}
+	return total
+}

@@ -1,0 +1,335 @@
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"bass/internal/dag"
+)
+
+// ErrNoBetterNode is returned by ChooseMigrationTarget when no node improves
+// on the component's current placement.
+var ErrNoBetterNode = errors.New("scheduler: no better node for component")
+
+// DependencyUsage is the controller's observation of one deployed component
+// pair (an edge of the application DAG whose endpoints sit on different
+// nodes). It merges the net-monitor's passive measurement (achieved
+// bandwidth) with the probing view of the link (§3.2.2, Algorithm 3).
+type DependencyUsage struct {
+	// Component is the edge source; Dep the edge target.
+	Component string
+	Dep       string
+	// RequiredMbps is the profiled bandwidth requirement (DAG edge weight).
+	RequiredMbps float64
+	// AchievedMbps is the passively measured traffic between the pair.
+	AchievedMbps float64
+	// PathCapacityMbps is the bottleneck capacity of the network path
+	// between the two components' nodes, from the net-monitor's cache.
+	PathCapacityMbps float64
+	// PathAvailableMbps is the spare capacity on that path (capacity minus
+	// other traffic), from headroom probing.
+	PathAvailableMbps float64
+}
+
+// UtilizationFrac reports achieved/path-capacity: the pair's "link
+// utilization" that §6.3.2/§6.3.3 set migration thresholds against (25-95%).
+func (d DependencyUsage) UtilizationFrac() float64 {
+	if d.PathCapacityMbps <= 0 {
+		return 0
+	}
+	return d.AchievedMbps / d.PathCapacityMbps
+}
+
+// GoodputFrac reports achieved/required — Algorithm 3's "goodput": the
+// fraction of its profiled bandwidth requirement the pair is achieving.
+func (d DependencyUsage) GoodputFrac() float64 {
+	if d.RequiredMbps <= 0 {
+		return 0
+	}
+	return d.AchievedMbps / d.RequiredMbps
+}
+
+// MigrationConfig holds the two controller parameters (§6.3.3): the link
+// utilization threshold and the headroom capacity to maintain on each link.
+type MigrationConfig struct {
+	// UtilizationThreshold triggers migration when a pair consumes more than
+	// this fraction of its bandwidth quota while the link lacks headroom
+	// (Algorithm 3 line 8). The paper sweeps 0.25–0.95; 0.5–0.65 balances
+	// best for fixed arrivals.
+	UtilizationThreshold float64
+	// GoodputFloor triggers migration when the link has degraded so much
+	// that the pair achieves less than this fraction of its requirement
+	// (§3.2.2 scenario 2, Fig 8's 50% goodput trigger).
+	GoodputFloor float64
+	// HeadroomMbps is the spare capacity the system maintains on every link.
+	HeadroomMbps float64
+}
+
+// DefaultMigrationConfig mirrors the paper's defaults: 50% thresholds and a
+// headroom of 20% of a 20 Mbps-class link (4 Mbps, per Fig 8).
+func DefaultMigrationConfig() MigrationConfig {
+	return MigrationConfig{
+		UtilizationThreshold: 0.5,
+		GoodputFloor:         0.5,
+		HeadroomMbps:         4,
+	}
+}
+
+// PathUtilizationFrac reports the aggregate utilization of the pair's path
+// bottleneck: (capacity − available) / capacity. Several pairs sharing one
+// link can saturate it while each pair's own share stays small; the
+// aggregate view catches that (§6.3.2's "link utilization").
+func (d DependencyUsage) PathUtilizationFrac() float64 {
+	if d.PathCapacityMbps <= 0 {
+		return 0
+	}
+	u := (d.PathCapacityMbps - d.PathAvailableMbps) / d.PathCapacityMbps
+	if u < 0 {
+		return 0
+	}
+	return u
+}
+
+// violated reports whether a dependency pair needs migration under the
+// config.
+func (cfg MigrationConfig) violated(d DependencyUsage) bool {
+	// Scenario 1 (§3.2.2, Algorithm 3): the pair's traffic consumes more
+	// than the threshold fraction of the link while the link cannot also
+	// hold the required headroom.
+	if cfg.UtilizationThreshold > 0 &&
+		d.UtilizationFrac() > cfg.UtilizationThreshold &&
+		d.PathAvailableMbps < cfg.HeadroomMbps {
+		return true
+	}
+	// Scenario 1b: the pair's path is saturated in aggregate (many pairs
+	// sharing the link) and the pair is actually using it.
+	if cfg.UtilizationThreshold > 0 && d.AchievedMbps > 0 &&
+		d.PathUtilizationFrac() > cfg.UtilizationThreshold &&
+		d.PathAvailableMbps < cfg.HeadroomMbps {
+		return true
+	}
+	// Scenario 2 (Fig 8): link degradation starves the pair outright —
+	// goodput falls below the floor with no headroom left to recover into.
+	if cfg.GoodputFloor > 0 && d.RequiredMbps > 0 &&
+		d.GoodputFrac() < cfg.GoodputFloor &&
+		d.PathAvailableMbps < cfg.HeadroomMbps {
+		return true
+	}
+	return false
+}
+
+// MigrationReport is the outcome of one candidate-selection pass, feeding
+// Table 1 ("components exceeding link utilization quota" vs "components
+// migrated").
+type MigrationReport struct {
+	// Violating lists every component appearing in a violated pair.
+	Violating []string
+	// Candidates is the deduplicated migration list: at most one endpoint of
+	// each communicating pair, heaviest bandwidth requirement first.
+	Candidates []string
+}
+
+// FindMigrationCandidates implements Algorithm 3. It scans the observed
+// dependency pairs for bandwidth violations, sorts the violating components
+// by bandwidth requirement (descending), and removes the dependency partner
+// of any already-selected component so that only one side of each
+// communicating pair migrates. Components in exclude (typically those still
+// inside their re-migration guard window) cannot become candidates, letting
+// their violating partner be selected instead.
+func FindMigrationCandidates(g *dag.Graph, usages []DependencyUsage, cfg MigrationConfig, exclude map[string]bool) MigrationReport {
+	// Total bandwidth requirement per component (both directions), used for
+	// the descending sort.
+	bw := make(map[string]float64, g.NumComponents())
+	for _, name := range g.Components() {
+		for _, mbps := range g.Neighbors(name) {
+			bw[name] += mbps
+		}
+	}
+
+	violating := make(map[string]bool)
+	var violatingOrder []string
+	mark := func(name string) {
+		if !violating[name] {
+			violating[name] = true
+			violatingOrder = append(violatingOrder, name)
+		}
+	}
+	for _, u := range usages {
+		if cfg.violated(u) {
+			mark(u.Component)
+			mark(u.Dep)
+		}
+	}
+
+	// Pinned components (nodeSelector-style) can never migrate, and excluded
+	// ones must not thrash; both still count as violating so their movable
+	// partner gets selected.
+	candidates := make([]string, 0, len(violatingOrder))
+	for _, name := range violatingOrder {
+		if exclude[name] {
+			continue
+		}
+		if c, err := g.Component(name); err == nil && c.Pinned() {
+			continue
+		}
+		candidates = append(candidates, name)
+	}
+	sort.SliceStable(candidates, func(i, j int) bool {
+		if bw[candidates[i]] != bw[candidates[j]] {
+			return bw[candidates[i]] > bw[candidates[j]]
+		}
+		return candidates[i] < candidates[j]
+	})
+
+	// Deduplicate: walking heaviest-first, drop any remaining candidate that
+	// is a DAG neighbor of an already-kept one.
+	removed := make(map[string]bool)
+	var final []string
+	for _, cand := range candidates {
+		if removed[cand] {
+			continue
+		}
+		final = append(final, cand)
+		for dep := range g.Neighbors(cand) {
+			removed[dep] = true
+		}
+	}
+
+	sort.Strings(violatingOrder)
+	return MigrationReport{Violating: violatingOrder, Candidates: final}
+}
+
+// PathQuery reports the spare capacity (Mbps) available on the network path
+// between two nodes; co-located nodes report a very large value.
+type PathQuery func(fromNode, toNode string) float64
+
+// ChooseMigrationTarget picks the node to move a component to (§3.2.2): among
+// nodes with sufficient CPU and memory, prefer the node hosting the most of
+// the component's DAG neighbors (minimising inter-node transfer), requiring
+// that every remote dependency's bandwidth fits within the path's available
+// capacity plus headroom. Returns ErrNoBetterNode when no candidate beats
+// the current placement.
+func ChooseMigrationTarget(
+	g *dag.Graph,
+	component string,
+	assignment Assignment,
+	nodes []NodeInfo,
+	pathAvail PathQuery,
+	cfg MigrationConfig,
+) (string, error) {
+	comp, err := g.Component(component)
+	if err != nil {
+		return "", err
+	}
+	if comp.Pinned() {
+		return "", fmt.Errorf("%w: %q is pinned to %q", ErrNoBetterNode, component, comp.PinnedTo())
+	}
+	current, ok := assignment[component]
+	if !ok {
+		return "", fmt.Errorf("scheduler: component %q not in assignment", component)
+	}
+	neighbors := g.Neighbors(component)
+
+	type candidate struct {
+		node     NodeInfo
+		depCount int
+		// score is the bandwidth (Mbps) of this component's edges that the
+		// placement could satisfy: local edges count in full, remote edges up
+		// to the path's available capacity.
+		score float64
+		// feasible reports whether every remote dependency fits in the
+		// path's available capacity plus headroom.
+		feasible bool
+	}
+	evaluate := func(nodeName string) candidate {
+		c := candidate{feasible: true}
+		for dep, mbps := range neighbors {
+			depNode, placed := assignment[dep]
+			if !placed {
+				continue
+			}
+			// Edges to pinned endpoints weigh double: no later migration can
+			// relieve them, so satisfying them now matters more than edges
+			// between movable pairs, which progressive relocation can fix.
+			weight := 1.0
+			if d, derr := g.Component(dep); derr == nil && d.Pinned() {
+				weight = 2
+			}
+			if depNode == nodeName {
+				c.depCount++
+				c.score += weight * mbps
+				continue
+			}
+			avail := mbps
+			if pathAvail != nil {
+				avail = pathAvail(nodeName, depNode)
+			}
+			if avail < mbps+cfg.HeadroomMbps {
+				c.feasible = false
+			}
+			if avail < mbps {
+				c.score += weight * avail
+			} else {
+				c.score += weight * mbps
+			}
+		}
+		return c
+	}
+	var cands []candidate
+	for _, n := range nodes {
+		if n.Name == current || !fits(n, comp) {
+			continue
+		}
+		c := evaluate(n.Name)
+		c.node = n
+		cands = append(cands, c)
+	}
+	if len(cands) == 0 {
+		return "", fmt.Errorf("%w: %q stays on %q", ErrNoBetterNode, component, current)
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].feasible != cands[j].feasible {
+			return cands[i].feasible
+		}
+		// Feasible nodes rank by dependency count (the paper's rule);
+		// saturated fallbacks rank by satisfiable bandwidth, where a single
+		// light co-located dependency must not outvote a heavy reachable one.
+		if cands[i].feasible {
+			if cands[i].depCount != cands[j].depCount {
+				return cands[i].depCount > cands[j].depCount
+			}
+			if cands[i].score != cands[j].score {
+				return cands[i].score > cands[j].score
+			}
+		} else {
+			if cands[i].score != cands[j].score {
+				return cands[i].score > cands[j].score
+			}
+			if cands[i].depCount != cands[j].depCount {
+				return cands[i].depCount > cands[j].depCount
+			}
+		}
+		// Secondary: more free CPU, then name.
+		if cands[i].node.FreeCPU != cands[j].node.FreeCPU {
+			return cands[i].node.FreeCPU > cands[j].node.FreeCPU
+		}
+		return cands[i].node.Name < cands[j].node.Name
+	})
+	best := cands[0]
+	if best.feasible {
+		return best.node.Name, nil
+	}
+	// No node passes the bandwidth check — the network around the component
+	// is saturated (the very situation that triggered the migration). Fall
+	// back to the node that can satisfy the most of the component's
+	// bandwidth, with a hysteresis margin over the current placement so the
+	// component does not thrash. Accepting the best partially-feasible node
+	// shifts the bottleneck onto edges whose endpoints are movable,
+	// unlocking the progressive relocation the paper observes in Table 1.
+	currentScore := evaluate(current).score
+	if best.score > currentScore*1.05 {
+		return best.node.Name, nil
+	}
+	return "", fmt.Errorf("%w: %q stays on %q", ErrNoBetterNode, component, current)
+}

@@ -1,0 +1,368 @@
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"bass/internal/dag"
+)
+
+// ErrInfeasible is returned when no node can host a component.
+var ErrInfeasible = errors.New("scheduler: no feasible placement")
+
+// NodeInfo is the scheduler's view of one node.
+type NodeInfo struct {
+	Name string
+	// FreeCPU and FreeMemoryMB are the schedulable remainders.
+	FreeCPU      float64
+	FreeMemoryMB float64
+	// TotalCPU and TotalMemoryMB are node capacities (used by the k3s-like
+	// baseline's least-allocated scoring).
+	TotalCPU      float64
+	TotalMemoryMB float64
+	// LinkCapacityMbps is the combined capacity across all the node's links —
+	// the bandwidth component of BASS's node ranking (§3.2.1).
+	LinkCapacityMbps float64
+}
+
+// Assignment maps component name → node name.
+type Assignment map[string]string
+
+// Clone returns a copy of the assignment.
+func (a Assignment) Clone() Assignment {
+	out := make(Assignment, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// RankNodes orders nodes for packing: each of free CPU, free memory, and
+// combined link capacity is normalised by the maximum across nodes and
+// summed; higher scores first, ties by name for determinism.
+func RankNodes(nodes []NodeInfo) []NodeInfo {
+	var maxCPU, maxMem, maxLink float64
+	for _, n := range nodes {
+		maxCPU = maxf(maxCPU, n.FreeCPU)
+		maxMem = maxf(maxMem, n.FreeMemoryMB)
+		maxLink = maxf(maxLink, n.LinkCapacityMbps)
+	}
+	score := func(n NodeInfo) float64 {
+		var s float64
+		if maxCPU > 0 {
+			s += n.FreeCPU / maxCPU
+		}
+		if maxMem > 0 {
+			s += n.FreeMemoryMB / maxMem
+		}
+		if maxLink > 0 {
+			s += n.LinkCapacityMbps / maxLink
+		}
+		return s
+	}
+	out := make([]NodeInfo, len(nodes))
+	copy(out, nodes)
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := score(out[i]), score(out[j])
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Bass is the BASS scheduler: it orders components with the configured
+// heuristic and packs them onto ranked nodes, keeping CPU and memory as hard
+// constraints (§3.2.1). A zero value is not usable; construct with NewBass.
+type Bass struct {
+	heuristic Heuristic
+	packFrac  float64
+}
+
+// BassOption configures the BASS scheduler.
+type BassOption func(*Bass)
+
+// WithPackLimit caps initial packing at the given fraction of each node's
+// free capacity (0 < frac ≤ 1). Leaving slack on every node keeps migration
+// targets available when links degrade later; production schedulers keep
+// similar burst headroom. The default (1.0) packs nodes completely.
+func WithPackLimit(frac float64) BassOption {
+	return func(b *Bass) {
+		if frac > 0 && frac <= 1 {
+			b.packFrac = frac
+		}
+	}
+}
+
+// NewBass returns a BASS scheduler using the given ordering heuristic.
+func NewBass(h Heuristic, opts ...BassOption) *Bass {
+	b := &Bass{heuristic: h, packFrac: 1}
+	for _, opt := range opts {
+		opt(b)
+	}
+	return b
+}
+
+// Name identifies the scheduler in experiment output.
+func (b *Bass) Name() string { return "bass-" + b.heuristic.String() }
+
+// Heuristic reports the configured ordering heuristic.
+func (b *Bass) Heuristic() Heuristic { return b.heuristic }
+
+// Schedule assigns every component of g to a node. Packing walks the ranked
+// node list with a moving cursor: consecutive components in heuristic order
+// stay on the current node while its capacity permits, then the cursor
+// advances — so heuristic-adjacent (bandwidth-heavy) components co-locate.
+// For the longest-path heuristic, each extracted chain restarts the cursor
+// at the best-ranked node with remaining capacity, keeping whole chains
+// together when possible.
+func (b *Bass) Schedule(g *dag.Graph, nodes []NodeInfo) (Assignment, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	heuristic := b.heuristic
+	if heuristic == HeuristicAuto {
+		chosen, err := ChooseHeuristic(g)
+		if err != nil {
+			return nil, err
+		}
+		heuristic = chosen
+	}
+	var chains [][]string
+	switch heuristic {
+	case HeuristicLongestPath:
+		cs, err := LongestPathChains(g)
+		if err != nil {
+			return nil, err
+		}
+		chains = cs
+	default:
+		order, err := Order(g, heuristic)
+		if err != nil {
+			return nil, err
+		}
+		chains = [][]string{order}
+	}
+
+	ranked := RankNodes(nodes)
+	if len(ranked) == 0 {
+		return nil, fmt.Errorf("%w: no nodes", ErrInfeasible)
+	}
+	free := make([]NodeInfo, len(ranked))
+	copy(free, ranked)
+	if b.packFrac < 1 {
+		for i := range free {
+			free[i].FreeCPU *= b.packFrac
+			free[i].FreeMemoryMB *= b.packFrac
+		}
+	}
+
+	assignment, err := placePinned(g, free)
+	if err != nil {
+		return nil, err
+	}
+	nodeIdx := func(nodeName string) int {
+		for i := range free {
+			if free[i].Name == nodeName {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, chain := range chains {
+		cursor := 0
+		started := false
+		for _, name := range chain {
+			if pinNode, pinned := assignment[name]; pinned {
+				// A pinned component anchors the chain: its successors try
+				// to co-locate with it (the camera on a pole pulls the
+				// sampler to its node).
+				if idx := nodeIdx(pinNode); idx >= 0 {
+					cursor = idx
+					started = true
+				}
+				continue
+			}
+			comp, err := g.Component(name)
+			if err != nil {
+				return nil, err
+			}
+			if !started {
+				started = true
+				// Chain start: best-ranked node that can host it.
+				cursor = firstFit(free, 0, comp)
+			} else if !fits(free[cursor], comp) {
+				cursor = firstFit(free, cursor+1, comp)
+				if cursor < 0 {
+					// Wrap: earlier nodes may still have room.
+					cursor = firstFit(free, 0, comp)
+				}
+			}
+			if cursor < 0 {
+				return nil, fmt.Errorf("%w: component %q (cpu=%.2f mem=%.0fMB)",
+					ErrInfeasible, name, comp.CPU, comp.MemoryMB)
+			}
+			free[cursor].FreeCPU -= comp.CPU
+			free[cursor].FreeMemoryMB -= comp.MemoryMB
+			assignment[name] = free[cursor].Name
+		}
+	}
+	return assignment, nil
+}
+
+func fits(n NodeInfo, c *dag.Component) bool {
+	const eps = 1e-9
+	return n.FreeCPU+eps >= c.CPU && n.FreeMemoryMB+eps >= c.MemoryMB
+}
+
+// placePinned assigns every pinned component to its pinned node, deducting
+// capacity from the free view. It returns the partial assignment.
+func placePinned(g *dag.Graph, free []NodeInfo) (Assignment, error) {
+	assignment := make(Assignment)
+	for _, name := range g.Components() {
+		comp, err := g.Component(name)
+		if err != nil {
+			return nil, err
+		}
+		pin := comp.PinnedTo()
+		if pin == "" {
+			continue
+		}
+		idx := -1
+		for i := range free {
+			if free[i].Name == pin {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			// Zero-resource components may pin to hosts outside the
+			// schedulable set (external endpoints such as load generators).
+			if comp.CPU == 0 && comp.MemoryMB == 0 {
+				assignment[name] = pin
+				continue
+			}
+			return nil, fmt.Errorf("%w: component %q pinned to unknown node %q", ErrInfeasible, name, pin)
+		}
+		if !fits(free[idx], comp) {
+			return nil, fmt.Errorf("%w: pinned component %q does not fit on %q", ErrInfeasible, name, pin)
+		}
+		free[idx].FreeCPU -= comp.CPU
+		free[idx].FreeMemoryMB -= comp.MemoryMB
+		assignment[name] = pin
+	}
+	return assignment, nil
+}
+
+func firstFit(nodes []NodeInfo, from int, c *dag.Component) int {
+	for i := from; i < len(nodes); i++ {
+		if fits(nodes[i], c) {
+			return i
+		}
+	}
+	return -1
+}
+
+// K3s approximates the default k3s/kube-scheduler behaviour the paper
+// compares against: components are placed one at a time in spec order;
+// feasible nodes are scored with LeastRequestedPriority plus
+// BalancedResourceAllocation, both bandwidth-oblivious, and the best-scoring
+// node wins (ties by name). The result spreads load across nodes without
+// regard to inter-component traffic.
+type K3s struct{}
+
+// NewK3s returns the baseline scheduler.
+func NewK3s() *K3s { return &K3s{} }
+
+// Name identifies the scheduler in experiment output.
+func (*K3s) Name() string { return "k3s-default" }
+
+// Schedule assigns every component of g to a node, one component at a time.
+func (*K3s) Schedule(g *dag.Graph, nodes []NodeInfo) (Assignment, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	free := make([]NodeInfo, len(nodes))
+	copy(free, nodes)
+
+	assignment, err := placePinned(g, free)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range g.Components() {
+		if _, pinned := assignment[name]; pinned {
+			continue
+		}
+		comp, err := g.Component(name)
+		if err != nil {
+			return nil, err
+		}
+		best := -1
+		bestScore := -1.0
+		for i, n := range free {
+			if !fits(n, comp) {
+				continue
+			}
+			s := k3sScore(n, comp)
+			if s > bestScore || (s == bestScore && best >= 0 && n.Name < free[best].Name) {
+				best, bestScore = i, s
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("%w: component %q (cpu=%.2f mem=%.0fMB)",
+				ErrInfeasible, name, comp.CPU, comp.MemoryMB)
+		}
+		free[best].FreeCPU -= comp.CPU
+		free[best].FreeMemoryMB -= comp.MemoryMB
+		assignment[name] = free[best].Name
+	}
+	return assignment, nil
+}
+
+// k3sScore combines LeastRequested and BalancedResourceAllocation, each
+// worth up to 100 points, mirroring the default scheduler's scoring plugins.
+func k3sScore(n NodeInfo, c *dag.Component) float64 {
+	cpuAfter := n.FreeCPU - c.CPU
+	memAfter := n.FreeMemoryMB - c.MemoryMB
+	var leastReq float64
+	if n.TotalCPU > 0 {
+		leastReq += 50 * cpuAfter / n.TotalCPU
+	}
+	if n.TotalMemoryMB > 0 {
+		leastReq += 50 * memAfter / n.TotalMemoryMB
+	}
+	var cpuFrac, memFrac float64
+	if n.TotalCPU > 0 {
+		cpuFrac = (n.TotalCPU - cpuAfter) / n.TotalCPU
+	}
+	if n.TotalMemoryMB > 0 {
+		memFrac = (n.TotalMemoryMB - memAfter) / n.TotalMemoryMB
+	}
+	diff := cpuFrac - memFrac
+	if diff < 0 {
+		diff = -diff
+	}
+	balanced := 100 * (1 - diff)
+	return leastReq + balanced
+}
+
+// Policy is the interface all placement policies satisfy.
+type Policy interface {
+	Name() string
+	Schedule(g *dag.Graph, nodes []NodeInfo) (Assignment, error)
+}
+
+// Compile-time interface checks.
+var (
+	_ Policy = (*Bass)(nil)
+	_ Policy = (*K3s)(nil)
+)

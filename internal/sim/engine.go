@@ -1,0 +1,176 @@
+// Package sim provides the discrete-event simulation engine BASS experiments
+// run on: a virtual clock, an event queue with deterministic ordering, and
+// periodic-task helpers. Time is modelled as time.Duration offsets from the
+// start of the experiment.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ErrStopped is returned by Run when the engine was stopped explicitly.
+var ErrStopped = errors.New("sim: stopped")
+
+// Event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-break so same-time events run in schedule order
+	fn  func()
+	id  uint64
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. All callbacks run on
+// the goroutine that calls Run; scheduling from within callbacks is the
+// normal mode of operation.
+type Engine struct {
+	now       time.Duration
+	queue     eventHeap
+	seq       uint64
+	nextID    uint64
+	cancelled map[uint64]bool
+	stopped   bool
+	rng       *rand.Rand
+	executed  uint64
+}
+
+// NewEngine returns an engine with a deterministic random source.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		cancelled: make(map[uint64]bool),
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source. Callers must only
+// use it from event callbacks (single-threaded).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Executed reports the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// EventID identifies a scheduled event for cancellation.
+type EventID uint64
+
+// At schedules fn at absolute virtual time at. Scheduling in the past runs
+// the event at the current time (it cannot run before already-elapsed time).
+func (e *Engine) At(at time.Duration, fn func()) EventID {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.nextID++
+	ev := &event{at: at, seq: e.seq, fn: fn, id: e.nextID}
+	heap.Push(&e.queue, ev)
+	return EventID(e.nextID)
+}
+
+// After schedules fn after delay d from now.
+func (e *Engine) After(d time.Duration, fn func()) EventID {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from running. Cancelling an event that
+// already ran is a no-op.
+func (e *Engine) Cancel(id EventID) {
+	e.cancelled[uint64(id)] = true
+}
+
+// Stop halts Run after the current event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty or virtual time would exceed
+// until. The clock finishes at min(until, last event time); if events remain
+// beyond until the clock is set to until exactly.
+func (e *Engine) Run(until time.Duration) error {
+	for len(e.queue) > 0 {
+		if e.stopped {
+			return ErrStopped
+		}
+		next := e.queue[0]
+		if next.at > until {
+			e.now = until
+			return nil
+		}
+		heap.Pop(&e.queue)
+		if e.cancelled[next.id] {
+			delete(e.cancelled, next.id)
+			continue
+		}
+		e.now = next.at
+		e.executed++
+		next.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return nil
+}
+
+// Step executes exactly one pending event, reporting whether one ran.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		next := heap.Pop(&e.queue).(*event)
+		if e.cancelled[next.id] {
+			delete(e.cancelled, next.id)
+			continue
+		}
+		e.now = next.at
+		e.executed++
+		next.fn()
+		return true
+	}
+	return false
+}
+
+// Pending reports the number of events still queued (including cancelled
+// events not yet reaped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Every schedules fn at now+period, then every period thereafter, until the
+// returned stop function is called or the run horizon ends. fn observes the
+// tick time via Engine.Now.
+func (e *Engine) Every(period time.Duration, fn func()) (stop func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %v", period))
+	}
+	stopped := false
+	var schedule func()
+	schedule = func() {
+		e.After(period, func() {
+			if stopped {
+				return
+			}
+			fn()
+			schedule()
+		})
+	}
+	schedule()
+	return func() { stopped = true }
+}

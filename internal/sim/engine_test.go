@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestRunExecutesInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.At(3*time.Second, func() { got = append(got, 3) })
+	e.At(1*time.Second, func() { got = append(got, 1) })
+	e.At(2*time.Second, func() { got = append(got, 2) })
+	if err := e.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Errorf("order = %v", got)
+	}
+	if e.Now() != time.Minute {
+		t.Errorf("Now = %v, want horizon", e.Now())
+	}
+}
+
+func TestSameTimeEventsRunInScheduleOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(time.Second, func() { got = append(got, i) })
+	}
+	if err := e.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("order = %v", got)
+	}
+}
+
+func TestRunStopsAtHorizon(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.At(2*time.Hour, func() { ran = true })
+	if err := e.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("event beyond horizon ran")
+	}
+	if e.Now() != time.Hour {
+		t.Errorf("Now = %v", e.Now())
+	}
+	// Resuming runs it.
+	if err := e.Run(3 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("event did not run after extending horizon")
+	}
+}
+
+func TestScheduleFromCallback(t *testing.T) {
+	e := NewEngine(1)
+	var times []time.Duration
+	e.At(time.Second, func() {
+		times = append(times, e.Now())
+		e.After(2*time.Second, func() { times = append(times, e.Now()) })
+	})
+	if err := e.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{time.Second, 3 * time.Second}
+	if !reflect.DeepEqual(times, want) {
+		t.Errorf("times = %v, want %v", times, want)
+	}
+}
+
+func TestSchedulingInPastClampsToNow(t *testing.T) {
+	e := NewEngine(1)
+	var at time.Duration
+	e.At(5*time.Second, func() {
+		e.At(time.Second, func() { at = e.Now() }) // in the past
+	})
+	if err := e.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5*time.Second {
+		t.Errorf("past event ran at %v, want clamp to 5s", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	id := e.At(time.Second, func() { ran = true })
+	e.Cancel(id)
+	if err := e.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("cancelled event ran")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.At(time.Second, func() { count++; e.Stop() })
+	e.At(2*time.Second, func() { count++ })
+	if err := e.Run(time.Minute); !errors.Is(err, ErrStopped) {
+		t.Fatalf("want ErrStopped, got %v", err)
+	}
+	if count != 1 {
+		t.Errorf("count = %d, want 1", count)
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := NewEngine(1)
+	e.At(time.Second, func() {})
+	e.At(2*time.Second, func() {})
+	if !e.Step() {
+		t.Fatal("Step = false with pending events")
+	}
+	if e.Now() != time.Second {
+		t.Errorf("Now = %v", e.Now())
+	}
+	if !e.Step() || e.Step() {
+		t.Error("Step sequencing wrong")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	e := NewEngine(1)
+	var ticks []time.Duration
+	stop := e.Every(10*time.Second, func() {
+		ticks = append(ticks, e.Now())
+		if len(ticks) == 3 {
+			// stop is captured below; stopping from inside the callback must
+			// prevent further ticks.
+		}
+	})
+	e.At(35*time.Second, func() { stop() })
+	if err := e.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{10 * time.Second, 20 * time.Second, 30 * time.Second}
+	if !reflect.DeepEqual(ticks, want) {
+		t.Errorf("ticks = %v, want %v", ticks, want)
+	}
+}
+
+func TestEveryPanicsOnNonPositivePeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for period 0")
+		}
+	}()
+	NewEngine(1).Every(0, func() {})
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a := NewEngine(42)
+	b := NewEngine(42)
+	for i := 0; i < 10; i++ {
+		if a.Rand().Float64() != b.Rand().Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestExecutedCounter(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 7; i++ {
+		e.After(time.Duration(i)*time.Second, func() {})
+	}
+	if err := e.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if e.Executed() != 7 {
+		t.Errorf("Executed = %d", e.Executed())
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine(1)
+	for i := 0; i < b.N; i++ {
+		e.After(time.Duration(i%1000)*time.Millisecond, func() {})
+	}
+	b.ResetTimer()
+	if err := e.Run(time.Hour); err != nil {
+		b.Fatal(err)
+	}
+}

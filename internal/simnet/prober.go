@@ -1,0 +1,66 @@
+package simnet
+
+import (
+	"fmt"
+
+	"bass/internal/mesh"
+)
+
+// Prober adapts the simulated network to the netmon.Prober interface
+// (structurally — no import needed). Probes measure both directions of the
+// link and report the bottleneck one, matching the conservative view a
+// monitor needs for placement decisions. A full-capacity probe observes the
+// link's current trace-driven capacity, as flooding the real link would; a
+// spare probe observes capacity minus current allocations, as a rate-limited
+// headroom probe would.
+type Prober struct {
+	n *Network
+}
+
+// Prober returns the probing adapter for this network.
+func (n *Network) Prober() *Prober { return &Prober{n: n} }
+
+func (p *Prober) directions(id mesh.LinkID) (*linkState, *linkState, error) {
+	fwd, ok1 := p.n.links[dhop{from: id.A, to: id.B}]
+	rev, ok2 := p.n.links[dhop{from: id.B, to: id.A}]
+	if !ok1 || !ok2 {
+		return nil, nil, fmt.Errorf("simnet: probe unknown link %s", id)
+	}
+	return fwd, rev, nil
+}
+
+// ProbeCapacity reports the link's current full capacity in Mbps (the
+// bottleneck of its two directions).
+func (p *Prober) ProbeCapacity(id mesh.LinkID) (float64, error) {
+	fwd, rev, err := p.directions(id)
+	if err != nil {
+		return 0, err
+	}
+	capMbps := fwd.capacityBps / 1e6
+	if rev.capacityBps/1e6 < capMbps {
+		capMbps = rev.capacityBps / 1e6
+	}
+	return capMbps, nil
+}
+
+// ProbeSpare reports the link's unallocated capacity in Mbps (the bottleneck
+// of its two directions).
+func (p *Prober) ProbeSpare(id mesh.LinkID) (float64, error) {
+	fwd, rev, err := p.directions(id)
+	if err != nil {
+		return 0, err
+	}
+	spare := func(ls *linkState) float64 {
+		s := p.n.statsOf(ls)
+		v := s.CapacityMbps - s.AllocatedMbps
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	sf, sr := spare(fwd), spare(rev)
+	if sr < sf {
+		return sr, nil
+	}
+	return sf, nil
+}

@@ -1,0 +1,524 @@
+// Package simnet is a flow-level network simulator over a mesh topology.
+// Persistent streams (video feeds, RPC traffic aggregates) and bounded
+// transfers (frames, probes) share links under max-min fairness with demand
+// caps, recomputed on every flow arrival, completion, and once-per-second
+// link-capacity change driven by bandwidth traces. Per-link fluid backlogs
+// capture queueing delay when offered load exceeds capacity — the mechanism
+// behind the order-of-magnitude latency inflation the BASS paper shows in
+// Fig 5.
+//
+// This plays the role CloudLab VMs + tc traffic shaping play in the paper's
+// evaluation: a controlled substrate that replays CityLab traces underneath
+// unmodified orchestration logic.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"bass/internal/mesh"
+	"bass/internal/sim"
+)
+
+// Sentinel errors.
+var (
+	ErrUnknownFlow = errors.New("simnet: unknown flow")
+)
+
+// LocalMbps is the effective bandwidth between co-located components. The
+// paper treats co-location as "avoiding the network altogether"; we model the
+// node-local bus as a fixed, very fast link.
+const LocalMbps = 10_000
+
+// unboundedBps is the demand assigned to transfers without a rate cap.
+const unboundedBps = 1e15
+
+// DefaultMaxQueueSeconds bounds each link's fluid backlog to this many
+// seconds of drain time at current capacity, modelling finite router buffers
+// plus application-level timeouts: sustained overload parks latency at the
+// cap instead of growing without bound.
+const DefaultMaxQueueSeconds = 30
+
+// FlowID identifies a stream or transfer.
+type FlowID uint64
+
+// Kind distinguishes flow types.
+type Kind int
+
+// Flow kinds.
+const (
+	KindStream Kind = iota + 1
+	KindTransfer
+)
+
+// dhop is one directed link traversal.
+type dhop struct {
+	from, to string
+}
+
+// linkID returns the undirected link the hop crosses.
+func (h dhop) linkID() mesh.LinkID { return mesh.MakeLinkID(h.from, h.to) }
+
+type flow struct {
+	id   FlowID
+	kind Kind
+	tag  string
+	src  string
+	dst  string
+	path []dhop
+
+	demandBps float64 // rate cap; streams: offered rate, transfers: cap or unbounded
+	rateBps   float64 // current max-min allocation
+
+	remainingBits float64 // transfers only
+	totalBits     float64
+	started       time.Duration
+	onComplete    func(TransferResult)
+	completionEv  sim.EventID
+	hasEvent      bool
+
+	accruedBits float64 // cumulative bits actually carried
+}
+
+// TransferResult reports a finished transfer to its completion callback.
+type TransferResult struct {
+	ID       FlowID
+	Tag      string
+	Bits     float64
+	Started  time.Duration
+	Finished time.Duration
+}
+
+// Duration reports the transfer's total time.
+func (r TransferResult) Duration() time.Duration { return r.Finished - r.Started }
+
+type linkState struct {
+	hop         dhop
+	capacityBps float64
+	backlogBits float64
+	carriedBits float64 // cumulative
+	demandBps   float64 // stream demand routed over the direction (last reallocate)
+}
+
+// Network is the flow-level simulator. All methods must be called from the
+// simulation goroutine (inside event callbacks or before Run).
+type Network struct {
+	eng  *sim.Engine
+	topo *mesh.Topology
+
+	nextID      FlowID
+	flows       map[FlowID]*flow
+	links       map[dhop]*linkState
+	lastAdvance time.Duration
+	lastTick    time.Duration
+	tickStop    func()
+	maxQueueSec float64
+
+	bytesByTag map[string]float64 // cumulative bits carried per tag
+}
+
+// New builds a network over the topology. Call Start to begin trace-driven
+// capacity updates.
+func New(eng *sim.Engine, topo *mesh.Topology) *Network {
+	n := &Network{
+		eng:         eng,
+		topo:        topo,
+		flows:       make(map[FlowID]*flow),
+		links:       make(map[dhop]*linkState),
+		bytesByTag:  make(map[string]float64),
+		maxQueueSec: DefaultMaxQueueSeconds,
+	}
+	for _, l := range topo.Links() {
+		for _, h := range []dhop{{from: l.ID.A, to: l.ID.B}, {from: l.ID.B, to: l.ID.A}} {
+			tr, err := l.CapacityToward(h.from, h.to)
+			if err != nil {
+				continue // unreachable: both directions exist by construction
+			}
+			n.links[h] = &linkState{hop: h, capacityBps: tr.AtBps(0)}
+		}
+	}
+	return n
+}
+
+// Start begins once-per-second capacity ticks that sample each link's trace,
+// update fluid backlogs, and reallocate bandwidth. It returns a stop
+// function.
+func (n *Network) Start() (stop func()) {
+	n.lastTick = n.eng.Now()
+	n.tickStop = n.eng.Every(time.Second, n.tick)
+	return func() {
+		if n.tickStop != nil {
+			n.tickStop()
+			n.tickStop = nil
+		}
+	}
+}
+
+// SetMaxQueueSeconds overrides the per-link buffer budget.
+func (n *Network) SetMaxQueueSeconds(sec float64) {
+	if sec > 0 {
+		n.maxQueueSec = sec
+	}
+}
+
+func (n *Network) tick() {
+	now := n.eng.Now()
+	dt := (now - n.lastTick).Seconds()
+	n.lastTick = now
+	// Fluid backlog: grow when offered stream demand exceeds capacity,
+	// drain otherwise, bounded by the link's buffer budget.
+	for _, ls := range n.links {
+		if dt > 0 {
+			excess := ls.demandBps - ls.capacityBps
+			if excess > 0 {
+				ls.backlogBits += excess * dt
+				if maxBits := ls.capacityBps * n.maxQueueSec; ls.backlogBits > maxBits {
+					ls.backlogBits = maxBits
+				}
+			} else if ls.backlogBits > 0 {
+				ls.backlogBits += excess * dt // excess < 0: drain
+				if ls.backlogBits < 0 {
+					ls.backlogBits = 0
+				}
+			}
+		}
+	}
+	// Sample new capacities from the traces, per direction.
+	for _, l := range n.topo.Links() {
+		for _, h := range []dhop{{from: l.ID.A, to: l.ID.B}, {from: l.ID.B, to: l.ID.A}} {
+			tr, err := l.CapacityToward(h.from, h.to)
+			if err != nil {
+				continue
+			}
+			if ls, ok := n.links[h]; ok {
+				ls.capacityBps = tr.AtBps(now)
+			}
+		}
+	}
+	n.reallocate()
+}
+
+// route resolves the directed hop path between two nodes (empty for
+// co-location).
+func (n *Network) route(src, dst string) ([]dhop, error) {
+	if src == dst {
+		return nil, nil
+	}
+	path, err := n.topo.Route(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	hops := make([]dhop, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		hops = append(hops, dhop{from: path[i], to: path[i+1]})
+	}
+	return hops, nil
+}
+
+// AddStream registers a persistent flow offering demandMbps from src to dst.
+// The tag groups accounting (convention: "app/from->to").
+func (n *Network) AddStream(tag, src, dst string, demandMbps float64) (FlowID, error) {
+	path, err := n.route(src, dst)
+	if err != nil {
+		return 0, fmt.Errorf("simnet: stream %s: %w", tag, err)
+	}
+	n.nextID++
+	f := &flow{
+		id:        n.nextID,
+		kind:      KindStream,
+		tag:       tag,
+		src:       src,
+		dst:       dst,
+		path:      path,
+		demandBps: demandMbps * 1e6,
+		started:   n.eng.Now(),
+	}
+	n.flows[f.id] = f
+	n.reallocate()
+	return f.id, nil
+}
+
+// SetStreamDemand updates a stream's offered rate.
+func (n *Network) SetStreamDemand(id FlowID, demandMbps float64) error {
+	f, ok := n.flows[id]
+	if !ok || f.kind != KindStream {
+		return fmt.Errorf("%w: stream %d", ErrUnknownFlow, id)
+	}
+	f.demandBps = demandMbps * 1e6
+	n.reallocate()
+	return nil
+}
+
+// RemoveStream deregisters a stream. Removing an unknown stream is an error.
+func (n *Network) RemoveStream(id FlowID) error {
+	f, ok := n.flows[id]
+	if !ok || f.kind != KindStream {
+		return fmt.Errorf("%w: stream %d", ErrUnknownFlow, id)
+	}
+	n.advanceProgress()
+	delete(n.flows, id)
+	n.reallocate()
+	return nil
+}
+
+// StreamRate reports a stream's current allocation in Mbps.
+func (n *Network) StreamRate(id FlowID) (float64, error) {
+	f, ok := n.flows[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownFlow, id)
+	}
+	return f.rateBps / 1e6, nil
+}
+
+// StreamLoss reports the fraction of a stream's offered rate that the
+// network cannot carry: max(0, 1-alloc/demand).
+func (n *Network) StreamLoss(id FlowID) (float64, error) {
+	f, ok := n.flows[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownFlow, id)
+	}
+	if f.demandBps <= 0 {
+		return 0, nil
+	}
+	loss := 1 - f.rateBps/f.demandBps
+	if loss < 0 {
+		loss = 0
+	}
+	return loss, nil
+}
+
+// AddTransfer starts a bounded transfer of the given size. capMbps limits the
+// transfer's rate (0 means unbounded). onComplete runs when the last bit is
+// delivered; it may start new flows.
+func (n *Network) AddTransfer(tag, src, dst string, bytes float64, capMbps float64, onComplete func(TransferResult)) (FlowID, error) {
+	path, err := n.route(src, dst)
+	if err != nil {
+		return 0, fmt.Errorf("simnet: transfer %s: %w", tag, err)
+	}
+	demand := unboundedBps
+	if capMbps > 0 {
+		demand = capMbps * 1e6
+	}
+	n.nextID++
+	f := &flow{
+		id:            n.nextID,
+		kind:          KindTransfer,
+		tag:           tag,
+		src:           src,
+		dst:           dst,
+		path:          path,
+		demandBps:     demand,
+		remainingBits: bytes * 8,
+		totalBits:     bytes * 8,
+		started:       n.eng.Now(),
+		onComplete:    onComplete,
+	}
+	n.flows[f.id] = f
+	n.reallocate()
+	return f.id, nil
+}
+
+// CancelTransfer aborts an in-flight transfer without invoking its callback.
+func (n *Network) CancelTransfer(id FlowID) error {
+	f, ok := n.flows[id]
+	if !ok || f.kind != KindTransfer {
+		return fmt.Errorf("%w: transfer %d", ErrUnknownFlow, id)
+	}
+	n.advanceProgress()
+	if f.hasEvent {
+		n.eng.Cancel(f.completionEv)
+	}
+	delete(n.flows, id)
+	n.reallocate()
+	return nil
+}
+
+// advanceProgress credits every flow with the bits carried since the last
+// call, at the rates set by the previous allocation.
+func (n *Network) advanceProgress() {
+	now := n.eng.Now()
+	dt := (now - n.lastAdvance).Seconds()
+	n.lastAdvance = now
+	if dt <= 0 {
+		return
+	}
+	for _, f := range n.flows {
+		carried := f.rateBps * dt
+		if f.kind == KindTransfer {
+			if carried > f.remainingBits {
+				carried = f.remainingBits
+			}
+			f.remainingBits -= carried
+		}
+		f.accruedBits += carried
+		n.bytesByTag[f.tag] += carried
+		for _, h := range f.path {
+			if ls, ok := n.links[h]; ok {
+				ls.carriedBits += carried
+			}
+		}
+	}
+}
+
+// reallocate recomputes max-min fair rates with demand caps (progressive
+// water-filling) and reschedules transfer completion events.
+func (n *Network) reallocate() {
+	n.advanceProgress()
+
+	// Reset link stream-demand accounting.
+	residual := make(map[dhop]float64, len(n.links))
+	count := make(map[dhop]int, len(n.links))
+	for h, ls := range n.links {
+		residual[h] = ls.capacityBps
+		ls.demandBps = 0
+	}
+
+	unfrozen := make(map[FlowID]*flow, len(n.flows))
+	for id, f := range n.flows {
+		if f.kind == KindStream {
+			for _, h := range f.path {
+				if ls, ok := n.links[h]; ok {
+					ls.demandBps += f.demandBps
+				}
+			}
+		}
+		if len(f.path) == 0 {
+			// Co-located: node-local bus. Streams stay capped at their
+			// offered rate; transfers deliver at bus speed (rate caps model
+			// network pacing, which does not apply in-process).
+			if f.kind == KindTransfer {
+				f.rateBps = LocalMbps * 1e6
+			} else {
+				f.rateBps = math.Min(f.demandBps, LocalMbps*1e6)
+			}
+			continue
+		}
+		unfrozen[id] = f
+		for _, h := range f.path {
+			count[h]++
+		}
+	}
+
+	freeze := func(f *flow, rate float64) {
+		if rate < 0 {
+			rate = 0
+		}
+		f.rateBps = rate
+		for _, h := range f.path {
+			residual[h] -= rate
+			if residual[h] < 0 {
+				residual[h] = 0
+			}
+			count[h]--
+		}
+		delete(unfrozen, f.id)
+	}
+
+	for len(unfrozen) > 0 {
+		// Min fair share over constrained links.
+		minShare := math.Inf(1)
+		var bottleneck dhop
+		haveBottleneck := false
+		for h, c := range count {
+			if c <= 0 {
+				continue
+			}
+			share := residual[h] / float64(c)
+			if share < minShare {
+				minShare = share
+				bottleneck = h
+				haveBottleneck = true
+			}
+		}
+		// Freeze demand-limited flows first.
+		frozeAny := false
+		for _, f := range n.flows {
+			if _, ok := unfrozen[f.id]; !ok {
+				continue
+			}
+			if f.demandBps <= minShare {
+				freeze(f, f.demandBps)
+				frozeAny = true
+			}
+		}
+		if frozeAny {
+			continue
+		}
+		if !haveBottleneck {
+			// No constrained links remain; all remaining flows get demand.
+			for id := range unfrozen {
+				f := n.flows[id]
+				freeze(f, f.demandBps)
+			}
+			break
+		}
+		// Freeze every unfrozen flow crossing the bottleneck at the share.
+		for id := range unfrozen {
+			f := n.flows[id]
+			for _, h := range f.path {
+				if h == bottleneck {
+					freeze(f, minShare)
+					break
+				}
+			}
+		}
+	}
+
+	// Reschedule transfer completions at the new rates.
+	now := n.eng.Now()
+	for _, f := range n.flows {
+		if f.kind != KindTransfer {
+			continue
+		}
+		if f.hasEvent {
+			n.eng.Cancel(f.completionEv)
+			f.hasEvent = false
+		}
+		if f.remainingBits <= 1e-9 {
+			n.finishTransfer(f)
+			continue
+		}
+		if f.rateBps <= 0 {
+			continue // stalled until conditions change
+		}
+		eta := time.Duration(f.remainingBits / f.rateBps * float64(time.Second))
+		if eta < time.Nanosecond {
+			eta = time.Nanosecond
+		}
+		id := f.id
+		f.completionEv = n.eng.At(now+eta, func() { n.completeTransfer(id) })
+		f.hasEvent = true
+	}
+}
+
+func (n *Network) completeTransfer(id FlowID) {
+	f, ok := n.flows[id]
+	if !ok {
+		return
+	}
+	n.advanceProgress()
+	f.hasEvent = false
+	if f.remainingBits > 1e-9 {
+		// Conditions changed since the event was scheduled; reallocate will
+		// reschedule.
+		n.reallocate()
+		return
+	}
+	n.finishTransfer(f)
+	n.reallocate()
+}
+
+func (n *Network) finishTransfer(f *flow) {
+	delete(n.flows, f.id)
+	if f.onComplete != nil {
+		f.onComplete(TransferResult{
+			ID:       f.id,
+			Tag:      f.tag,
+			Bits:     f.totalBits,
+			Started:  f.started,
+			Finished: n.eng.Now(),
+		})
+	}
+}

@@ -1,0 +1,223 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bass/internal/mesh"
+)
+
+// LinkStats is a point-in-time view of one link direction.
+type LinkStats struct {
+	// From/To identify the direction.
+	From, To      string
+	CapacityMbps  float64
+	DemandMbps    float64 // offered stream demand routed over the direction
+	AllocatedMbps float64 // sum of current flow allocations over the direction
+	BacklogKB     float64
+	CarriedMB     float64 // cumulative
+}
+
+// ID returns the undirected link the direction belongs to.
+func (s LinkStats) ID() mesh.LinkID { return mesh.MakeLinkID(s.From, s.To) }
+
+// UtilizationFrac reports allocated/capacity (0 when capacity is 0).
+func (s LinkStats) UtilizationFrac() float64 {
+	if s.CapacityMbps <= 0 {
+		return 0
+	}
+	return s.AllocatedMbps / s.CapacityMbps
+}
+
+// LinkStats returns the current stats of the from→to direction.
+func (n *Network) LinkStats(from, to string) (LinkStats, error) {
+	ls, ok := n.links[dhop{from: from, to: to}]
+	if !ok {
+		return LinkStats{}, fmt.Errorf("simnet: no link %s-%s", from, to)
+	}
+	return n.statsOf(ls), nil
+}
+
+func (n *Network) statsOf(ls *linkState) LinkStats {
+	var alloc float64
+	for _, f := range n.flows {
+		for _, h := range f.path {
+			if h == ls.hop {
+				alloc += f.rateBps
+				break
+			}
+		}
+	}
+	return LinkStats{
+		From:          ls.hop.from,
+		To:            ls.hop.to,
+		CapacityMbps:  ls.capacityBps / 1e6,
+		DemandMbps:    ls.demandBps / 1e6,
+		AllocatedMbps: alloc / 1e6,
+		BacklogKB:     ls.backlogBits / 8 / 1e3,
+		CarriedMB:     ls.carriedBits / 8 / 1e6,
+	}
+}
+
+// AllLinkStats returns stats for every link direction, sorted.
+func (n *Network) AllLinkStats() []LinkStats {
+	out := make([]LinkStats, 0, len(n.links))
+	for _, ls := range n.links {
+		out = append(out, n.statsOf(ls))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// LinkCapacityMbps reports the current (trace-sampled) capacity of the
+// from→to direction.
+func (n *Network) LinkCapacityMbps(from, to string) (float64, error) {
+	s, err := n.LinkStats(from, to)
+	if err != nil {
+		return 0, err
+	}
+	return s.CapacityMbps, nil
+}
+
+// LinkAvailableMbps reports capacity minus current allocations on the
+// from→to direction — the spare capacity headroom probing measures.
+func (n *Network) LinkAvailableMbps(from, to string) (float64, error) {
+	s, err := n.LinkStats(from, to)
+	if err != nil {
+		return 0, err
+	}
+	avail := s.CapacityMbps - s.AllocatedMbps
+	if avail < 0 {
+		avail = 0
+	}
+	return avail, nil
+}
+
+// QueueDelay estimates the queueing delay a new arrival experiences on the
+// from→to direction: the time to drain the current backlog at the current
+// capacity.
+func (n *Network) QueueDelay(from, to string) (time.Duration, error) {
+	ls, ok := n.links[dhop{from: from, to: to}]
+	if !ok {
+		return 0, fmt.Errorf("simnet: no link %s-%s", from, to)
+	}
+	if ls.backlogBits <= 0 || ls.capacityBps <= 0 {
+		return 0, nil
+	}
+	return time.Duration(ls.backlogBits / ls.capacityBps * float64(time.Second)), nil
+}
+
+// PathQueueDelay sums queueing delays along the routed path src→dst.
+func (n *Network) PathQueueDelay(src, dst string) (time.Duration, error) {
+	hops, err := n.route(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	var total time.Duration
+	for _, h := range hops {
+		ls, ok := n.links[h]
+		if !ok {
+			continue
+		}
+		if ls.backlogBits > 0 && ls.capacityBps > 0 {
+			total += time.Duration(ls.backlogBits / ls.capacityBps * float64(time.Second))
+		}
+	}
+	return total, nil
+}
+
+// PathAllocatedMbps estimates the rate a new flow of the given demand would
+// receive between src and dst given the current allocations: the minimum
+// spare capacity along the directed path, capped by demand. Co-located pairs
+// see the node-local bus.
+func (n *Network) PathAllocatedMbps(src, dst string, demandMbps float64) (float64, error) {
+	hops, err := n.route(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	if len(hops) == 0 {
+		return min(demandMbps, LocalMbps), nil
+	}
+	rate := demandMbps
+	for _, h := range hops {
+		ls, ok := n.links[h]
+		if !ok {
+			continue
+		}
+		s := n.statsOf(ls)
+		avail := s.CapacityMbps - s.AllocatedMbps
+		if avail < 0 {
+			avail = 0
+		}
+		if avail < rate {
+			rate = avail
+		}
+	}
+	return rate, nil
+}
+
+// PathLatencyOf sums one-way propagation latency along the routed path.
+func (n *Network) PathLatencyOf(src, dst string) (time.Duration, error) {
+	return n.topo.PathLatency(src, dst)
+}
+
+// BytesByTag returns cumulative megabytes carried per accounting tag.
+func (n *Network) BytesByTag() map[string]float64 {
+	out := make(map[string]float64, len(n.bytesByTag))
+	for tag, bits := range n.bytesByTag {
+		out[tag] = bits / 8 / 1e6
+	}
+	return out
+}
+
+// TagRate reports a tag's cumulative average rate in Mbps since start.
+func (n *Network) TagRate(tag string) float64 {
+	elapsed := n.eng.Now().Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return n.bytesByTag[tag] / elapsed / 1e6 // bits per second → Mbps
+}
+
+// ActiveFlows reports the number of active streams and transfers.
+func (n *Network) ActiveFlows() (streams, transfers int) {
+	for _, f := range n.flows {
+		if f.kind == KindStream {
+			streams++
+		} else {
+			transfers++
+		}
+	}
+	return streams, transfers
+}
+
+// FlowRateByTag sums current allocations (Mbps) across flows with the tag.
+func (n *Network) FlowRateByTag(tag string) float64 {
+	var bps float64
+	for _, f := range n.flows {
+		if f.tag == tag {
+			bps += f.rateBps
+		}
+	}
+	return bps / 1e6
+}
+
+// FlowDemandByTag sums current demands (Mbps) across flows with the tag.
+func (n *Network) FlowDemandByTag(tag string) float64 {
+	var bps float64
+	for _, f := range n.flows {
+		if f.tag == tag {
+			if f.demandBps >= unboundedBps {
+				continue
+			}
+			bps += f.demandBps
+		}
+	}
+	return bps / 1e6
+}

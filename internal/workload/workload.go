@@ -1,0 +1,131 @@
+// Package workload provides request arrival processes and latency recording
+// shared by the example applications: constant and exponential (Poisson)
+// arrivals, per-request latency logs, and per-second aggregated series — the
+// shapes the BASS paper reports (average latency per second, p99 across a
+// run, CDFs).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bass/internal/metrics"
+)
+
+// Arrival generates inter-arrival gaps for a request process.
+type Arrival interface {
+	// Next returns the gap until the next request.
+	Next(rng *rand.Rand) time.Duration
+	// Rate reports the mean request rate per second.
+	Rate() float64
+	// Name labels the process in experiment output.
+	Name() string
+}
+
+// Constant is a fixed-rate arrival process (the paper's "fixed request
+// distribution").
+type Constant struct {
+	PerSecond float64
+}
+
+// Next returns the constant gap 1/rate.
+func (c Constant) Next(*rand.Rand) time.Duration {
+	if c.PerSecond <= 0 {
+		return time.Hour
+	}
+	return time.Duration(float64(time.Second) / c.PerSecond)
+}
+
+// Rate reports the request rate.
+func (c Constant) Rate() float64 { return c.PerSecond }
+
+// Name labels the process.
+func (c Constant) Name() string { return fmt.Sprintf("constant-%.0frps", c.PerSecond) }
+
+// Exponential is a Poisson arrival process (exponentially distributed
+// inter-arrival gaps), "commonly used to model arrival rates" (§6.3.3).
+type Exponential struct {
+	MeanPerSecond float64
+}
+
+// Next draws an exponential gap.
+func (e Exponential) Next(rng *rand.Rand) time.Duration {
+	if e.MeanPerSecond <= 0 {
+		return time.Hour
+	}
+	return time.Duration(rng.ExpFloat64() / e.MeanPerSecond * float64(time.Second))
+}
+
+// Rate reports the mean request rate.
+func (e Exponential) Rate() float64 { return e.MeanPerSecond }
+
+// Name labels the process.
+func (e Exponential) Name() string { return fmt.Sprintf("exp-%.0frps", e.MeanPerSecond) }
+
+// Compile-time interface checks.
+var (
+	_ Arrival = Constant{}
+	_ Arrival = Exponential{}
+)
+
+// LatencyRecorder accumulates per-request latencies with timestamps.
+type LatencyRecorder struct {
+	hist    metrics.Histogram
+	series  metrics.TimeSeries
+	binSize time.Duration
+
+	binStart time.Duration
+	binSum   float64
+	binCount int
+}
+
+// NewLatencyRecorder aggregates per-request samples into bins of the given
+// size for the time-series view (the paper plots average latency at every
+// second). binSize <= 0 defaults to one second.
+func NewLatencyRecorder(binSize time.Duration) *LatencyRecorder {
+	if binSize <= 0 {
+		binSize = time.Second
+	}
+	return &LatencyRecorder{binSize: binSize}
+}
+
+// Observe records one request completing at virtual time at with the given
+// latency. Observations must arrive in non-decreasing time order.
+func (r *LatencyRecorder) Observe(at time.Duration, latency time.Duration) {
+	r.hist.Observe(latency.Seconds())
+	bin := at.Truncate(r.binSize)
+	if bin != r.binStart && r.binCount > 0 {
+		r.flushBin()
+		r.binStart = bin
+	} else if r.binCount == 0 {
+		r.binStart = bin
+	}
+	r.binSum += latency.Seconds()
+	r.binCount++
+}
+
+func (r *LatencyRecorder) flushBin() {
+	if r.binCount == 0 {
+		return
+	}
+	r.series.Append(r.binStart, r.binSum/float64(r.binCount))
+	r.binSum, r.binCount = 0, 0
+}
+
+// Histogram returns the distribution of all latencies (seconds). The
+// returned histogram is a live view; do not mutate concurrently with
+// Observe.
+func (r *LatencyRecorder) Histogram() *metrics.Histogram {
+	return &r.hist
+}
+
+// Series returns the binned average-latency time series, flushing the
+// in-progress bin.
+func (r *LatencyRecorder) Series() *metrics.TimeSeries {
+	r.flushBin()
+	return &r.series
+}
+
+// Count reports the number of recorded requests.
+func (r *LatencyRecorder) Count() int { return r.hist.Count() }

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestConstantArrival(t *testing.T) {
+	c := Constant{PerSecond: 50}
+	rng := rand.New(rand.NewSource(1))
+	if got := c.Next(rng); got != 20*time.Millisecond {
+		t.Errorf("Next = %v, want 20ms", got)
+	}
+	if got := c.Rate(); got != 50 {
+		t.Errorf("Rate = %v", got)
+	}
+	if c.Name() == "" {
+		t.Error("empty name")
+	}
+	zero := Constant{}
+	if got := zero.Next(rng); got < time.Minute {
+		t.Errorf("zero-rate gap = %v, want effectively never", got)
+	}
+}
+
+func TestExponentialArrivalMeanRate(t *testing.T) {
+	e := Exponential{MeanPerSecond: 100}
+	rng := rand.New(rand.NewSource(7))
+	var total time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		total += e.Next(rng)
+	}
+	meanGap := total.Seconds() / n
+	if math.Abs(meanGap-0.01) > 0.001 {
+		t.Errorf("mean gap = %.5fs, want ≈0.01s at 100 RPS", meanGap)
+	}
+	if got := e.Rate(); got != 100 {
+		t.Errorf("Rate = %v", got)
+	}
+	zero := Exponential{}
+	if got := zero.Next(rng); got < time.Minute {
+		t.Errorf("zero-rate gap = %v", got)
+	}
+}
+
+// TestExponentialGapsAreMemoryless property-checks positivity and rough
+// coefficient-of-variation ≈ 1 (the exponential's signature).
+func TestExponentialGapsAreMemoryless(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := Exponential{MeanPerSecond: 10}
+		var sum, sumSq float64
+		const n = 5000
+		for i := 0; i < n; i++ {
+			g := e.Next(rng).Seconds()
+			if g < 0 {
+				return false
+			}
+			sum += g
+			sumSq += g * g
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		cv := math.Sqrt(variance) / mean
+		return cv > 0.9 && cv < 1.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatencyRecorderBinning(t *testing.T) {
+	r := NewLatencyRecorder(time.Second)
+	// Two samples in bin 0, one in bin 2.
+	r.Observe(100*time.Millisecond, 10*time.Millisecond)
+	r.Observe(900*time.Millisecond, 30*time.Millisecond)
+	r.Observe(2500*time.Millisecond, 100*time.Millisecond)
+
+	if got := r.Count(); got != 3 {
+		t.Fatalf("Count = %d", got)
+	}
+	series := r.Series()
+	pts := series.Points()
+	if len(pts) != 2 {
+		t.Fatalf("series points = %d, want 2 bins", len(pts))
+	}
+	if pts[0].At != 0 || math.Abs(pts[0].Value-0.02) > 1e-9 {
+		t.Errorf("bin 0 = %+v, want avg 0.02 at t=0", pts[0])
+	}
+	if pts[1].At != 2*time.Second || pts[1].Value != 0.1 {
+		t.Errorf("bin 2 = %+v", pts[1])
+	}
+	if got := r.Histogram().Max(); got != 0.1 {
+		t.Errorf("histogram max = %v", got)
+	}
+}
+
+func TestLatencyRecorderDefaultBin(t *testing.T) {
+	r := NewLatencyRecorder(0)
+	r.Observe(0, time.Second)
+	if got := r.Series().Len(); got != 1 {
+		t.Errorf("series len = %d", got)
+	}
+}
+
+func TestLatencyRecorderEmptySeries(t *testing.T) {
+	r := NewLatencyRecorder(time.Second)
+	if got := r.Series().Len(); got != 0 {
+		t.Errorf("empty recorder series len = %d", got)
+	}
+}

@@ -11,10 +11,15 @@
 package bass_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"bass/internal/experiments"
+	"bass/internal/mesh"
+	"bass/internal/sim"
+	"bass/internal/simnet"
+	"bass/internal/trace"
 )
 
 func BenchmarkFig2TraceVariation(b *testing.B) {
@@ -216,6 +221,81 @@ func BenchmarkTable4DAGProcessing(b *testing.B) {
 		}
 		b.ReportMetric(r.Rows[0].DAGProcessUS, "bass_social_dag_us")
 	}
+}
+
+// benchMesh builds an 8-node ring where one link follows a step trace and
+// the rest stay constant — the mostly-quiet regime community mesh traces
+// show, where the incremental allocator earns its keep. A ring (rather than
+// a full mesh) forces multi-hop paths, so every water-filling pass touches
+// several links per flow and iterates under contention.
+func benchMesh() *mesh.Topology {
+	topo := mesh.NewTopology()
+	names := make([]string, 8)
+	for i := range names {
+		names[i] = fmt.Sprintf("n%d", i)
+		topo.AddNode(names[i])
+	}
+	for i, from := range names {
+		to := names[(i+1)%len(names)]
+		var tr *trace.Trace
+		if i == 0 {
+			tr = trace.StepTrace("n0-n1", time.Second, time.Minute, []trace.Level{
+				{From: 0, Mbps: 200},
+				{From: 20 * time.Second, Mbps: 60},
+				{From: 40 * time.Second, Mbps: 200},
+			})
+		} else {
+			tr = trace.Constant(from+"-"+to, time.Second, 200, 60)
+		}
+		topo.MustAddLink(from, to, tr, time.Millisecond)
+	}
+	return topo
+}
+
+// benchmarkReallocate drives 120 concurrent streams over benchMesh for five
+// simulated minutes per iteration (traces wrap past their horizon), with the
+// incremental reallocation path either enabled or forced off.
+func benchmarkReallocate(b *testing.B, fullRecompute bool) {
+	b.Helper()
+	var stats simnet.AllocStats
+	for i := 0; i < b.N; i++ {
+		b.StopTimer() // topology construction and stream arrival are not under test
+		eng := sim.NewEngine(1)
+		net := simnet.New(eng, benchMesh())
+		net.SetFullRecompute(fullRecompute)
+		net.Start()
+		for f := 0; f < 120; f++ {
+			src := fmt.Sprintf("n%d", f%8)
+			dst := fmt.Sprintf("n%d", (f+2+f/8%3)%8)
+			if src == dst {
+				dst = "n0"
+			}
+			if _, err := net.AddStream(fmt.Sprintf("f%d", f), src, dst, 2+float64(f%5)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		base := net.AllocStats()
+		b.StartTimer()
+		if err := eng.Run(5 * time.Minute); err != nil {
+			b.Fatal(err)
+		}
+		s := net.AllocStats()
+		stats = simnet.AllocStats{
+			FullPasses:    s.FullPasses - base.FullPasses,
+			SkippedPasses: s.SkippedPasses - base.SkippedPasses,
+		}
+	}
+	b.ReportMetric(float64(stats.FullPasses), "full_passes")
+	b.ReportMetric(float64(stats.SkippedPasses), "skipped_passes")
+}
+
+// BenchmarkReallocate compares the incremental allocator against full
+// per-epoch water-filling on a 40-flow scenario:
+//
+//	go test -bench=Reallocate -benchtime=10x
+func BenchmarkReallocate(b *testing.B) {
+	b.Run("incremental", func(b *testing.B) { benchmarkReallocate(b, false) })
+	b.Run("full", func(b *testing.B) { benchmarkReallocate(b, true) })
 }
 
 func nonZero(v float64) float64 {

@@ -1,11 +1,18 @@
-// Command bass-sim runs one BASS emulation scenario described by a JSON
-// config file and prints the application's outcome metrics — the
-// command-line front door to the same machinery the experiments use.
+// Command bass-sim runs BASS emulation scenarios described by JSON config
+// files and prints each application's outcome metrics — the command-line
+// front door to the same machinery the experiments use.
 //
 // Usage:
 //
-//	bass-sim -config scenario.json
+//	bass-sim scenario.json [more.json ...]
+//	bass-sim -config scenario.json          # single-config compatibility form
+//	bass-sim -seeds 4 -workers 2 scenario.json
 //	bass-sim -example > scenario.json       # print a starter config
+//
+// With -seeds N each scenario is replicated across seeds seed..seed+N-1.
+// Runs execute on a bounded worker pool (-workers, default GOMAXPROCS); each
+// run's output is buffered and printed in config-major, seed-ascending
+// order, so the report is byte-identical whatever the worker count.
 //
 // Config schema (JSON):
 //
@@ -22,10 +29,14 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
 	"bass/internal/apps/camera"
@@ -75,39 +86,116 @@ func exampleScenario() scenario {
 }
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "bass-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// runSpec is one scheduled scenario execution.
+type runSpec struct {
+	label string
+	sc    scenario
+}
+
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bass-sim", flag.ContinueOnError)
-	configPath := fs.String("config", "", "scenario JSON path")
+	configPath := fs.String("config", "", "scenario JSON path (configs may also be positional arguments)")
 	example := fs.Bool("example", false, "print a starter scenario and exit")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel scenario runs (1 = sequential)")
+	seeds := fs.Int("seeds", 1, "per-scenario seed replicas (seed, seed+1, ...)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *example {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(exampleScenario())
 	}
-	if *configPath == "" {
-		return fmt.Errorf("missing -config (try -example)")
+	paths := fs.Args()
+	if *configPath != "" {
+		paths = append([]string{*configPath}, paths...)
 	}
-	raw, err := os.ReadFile(*configPath)
-	if err != nil {
-		return err
+	if len(paths) == 0 {
+		return fmt.Errorf("missing scenario config (try -example)")
 	}
-	var sc scenario
-	if err := json.Unmarshal(raw, &sc); err != nil {
-		return fmt.Errorf("parse %s: %w", *configPath, err)
+	if *seeds < 1 {
+		return fmt.Errorf("seeds must be >= 1, got %d", *seeds)
 	}
-	return execute(sc)
+
+	// Load and validate every config before running anything.
+	specs := make([]runSpec, 0, len(paths)**seeds)
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		var sc scenario
+		if err := json.Unmarshal(raw, &sc); err != nil {
+			return fmt.Errorf("parse %s: %w", p, err)
+		}
+		for s := 0; s < *seeds; s++ {
+			replica := sc
+			replica.Seed = sc.Seed + int64(s)
+			specs = append(specs, runSpec{
+				label: fmt.Sprintf("%s seed=%d", p, replica.Seed),
+				sc:    replica,
+			})
+		}
+	}
+	return executeAll(specs, *workers, stdout)
 }
 
-func execute(sc scenario) error {
+// executeAll runs every spec across a bounded worker pool, buffering each
+// run's output and flushing in input order so reports are deterministic.
+func executeAll(specs []runSpec, workers int, stdout io.Writer) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	outputs := make([]bytes.Buffer, len(specs))
+	errs := make([]error, len(specs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = execute(specs[i].sc, &outputs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	var firstErr error
+	for i, spec := range specs {
+		if len(specs) > 1 {
+			fmt.Fprintf(stdout, "=== %s ===\n", spec.label)
+		}
+		if _, err := io.Copy(stdout, &outputs[i]); err != nil {
+			return err
+		}
+		if errs[i] != nil {
+			fmt.Fprintf(stdout, "error: %v\n", errs[i])
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", spec.label, errs[i])
+			}
+		}
+		if len(specs) > 1 {
+			fmt.Fprintln(stdout)
+		}
+	}
+	return firstErr
+}
+
+func execute(sc scenario, out io.Writer) error {
 	if sc.HorizonSec <= 0 {
 		sc.HorizonSec = 600
 	}
@@ -135,7 +223,7 @@ func execute(sc scenario) error {
 	}
 	defer sim.Close()
 
-	report, err := deployApp(sc, sim)
+	report, err := deployApp(sc, sim, out)
 	if err != nil {
 		return err
 	}
@@ -145,12 +233,12 @@ func execute(sc scenario) error {
 	report()
 
 	migs := sim.Orch.Migrations()
-	fmt.Printf("migrations: %d\n", len(migs))
+	fmt.Fprintf(out, "migrations: %d\n", len(migs))
 	for _, m := range migs {
-		fmt.Printf("  t=%.0fs %s: %s -> %s\n", m.At.Seconds(), m.Component, m.From, m.To)
+		fmt.Fprintf(out, "  t=%.0fs %s: %s -> %s\n", m.At.Seconds(), m.Component, m.From, m.To)
 	}
 	stats := sim.Orch.Monitor().Stats()
-	fmt.Printf("probing: %d full, %d headroom, %.1f Mbit injected\n",
+	fmt.Fprintf(out, "probing: %d full, %d headroom, %.1f Mbit injected\n",
 		stats.FullProbes, stats.HeadroomProbes, stats.OverheadMbits)
 	return nil
 }
@@ -210,8 +298,8 @@ func buildPolicy(name string) (scheduler.Policy, error) {
 }
 
 // deployApp deploys the configured workload and returns a closure that
-// prints its metrics after the run.
-func deployApp(sc scenario, sim *core.Simulation) (func(), error) {
+// writes its metrics to out after the run.
+func deployApp(sc scenario, sim *core.Simulation, out io.Writer) (func(), error) {
 	switch sc.App {
 	case "camera", "":
 		app, err := camera.New(camera.Config{})
@@ -223,8 +311,8 @@ func deployApp(sc scenario, sim *core.Simulation) (func(), error) {
 		}
 		return func() {
 			published, sampled, annotated, dropped := app.Counters()
-			fmt.Printf("camera: %s\n", app.Latency().Histogram().Summary())
-			fmt.Printf("frames: published=%d sampled=%d annotated=%d dropped=%d\n",
+			fmt.Fprintf(out, "camera: %s\n", app.Latency().Histogram().Summary())
+			fmt.Fprintf(out, "frames: published=%d sampled=%d annotated=%d dropped=%d\n",
 				published, sampled, annotated, dropped)
 		}, nil
 	case "socialnet":
@@ -247,7 +335,7 @@ func deployApp(sc scenario, sim *core.Simulation) (func(), error) {
 			return nil, err
 		}
 		return func() {
-			fmt.Printf("socialnet (%d requests): %s\n", app.Requests(), app.Latency().Histogram().Summary())
+			fmt.Fprintf(out, "socialnet (%d requests): %s\n", app.Requests(), app.Latency().Histogram().Summary())
 		}, nil
 	case "videoconf":
 		per := sc.ParticipantsPerNode
@@ -274,7 +362,7 @@ func deployApp(sc scenario, sim *core.Simulation) (func(), error) {
 		}
 		return func() {
 			for _, s := range app.StatsByNode() {
-				fmt.Printf("videoconf %s: median=%.2f Mbps mean=%.2f Mbps loss=%.1f%% (%d clients)\n",
+				fmt.Fprintf(out, "videoconf %s: median=%.2f Mbps mean=%.2f Mbps loss=%.1f%% (%d clients)\n",
 					s.Node, s.MedianBitrateMbps, s.MeanBitrateMbps, 100*s.MeanLossFrac, s.Clients)
 			}
 		}, nil

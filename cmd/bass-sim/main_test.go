@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -23,7 +25,7 @@ func writeScenario(t *testing.T, sc scenario) string {
 func TestExecuteCameraOnCityLab(t *testing.T) {
 	sc := exampleScenario()
 	sc.HorizonSec = 120
-	if err := execute(sc); err != nil {
+	if err := execute(sc, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -39,7 +41,7 @@ func TestExecuteSocialnetOnLAN(t *testing.T) {
 		RPS:        20,
 		ClientNode: "node3",
 	}
-	if err := execute(sc); err != nil {
+	if err := execute(sc, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -53,19 +55,19 @@ func TestExecuteVideoconf(t *testing.T) {
 		Seed:                1,
 		ParticipantsPerNode: 2,
 	}
-	if err := execute(sc); err != nil {
+	if err := execute(sc, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestExecuteErrors(t *testing.T) {
-	if err := execute(scenario{Topology: "moon"}); err == nil {
+	if err := execute(scenario{Topology: "moon"}, io.Discard); err == nil {
 		t.Error("unknown topology: want error")
 	}
-	if err := execute(scenario{App: "pacman"}); err == nil {
+	if err := execute(scenario{App: "pacman"}, io.Discard); err == nil {
 		t.Error("unknown app: want error")
 	}
-	if err := execute(scenario{Scheduler: "random"}); err == nil {
+	if err := execute(scenario{Scheduler: "random"}, io.Discard); err == nil {
 		t.Error("unknown scheduler: want error")
 	}
 }
@@ -74,22 +76,102 @@ func TestRunWithConfigFile(t *testing.T) {
 	sc := exampleScenario()
 	sc.HorizonSec = 30
 	path := writeScenario(t, sc)
-	if err := run([]string{"-config", path}); err != nil {
+	var out strings.Builder
+	if err := run([]string{"-config", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Single run: no per-run headers.
+	if strings.Contains(out.String(), "===") {
+		t.Errorf("single run printed headers:\n%s", out.String())
+	}
+	// Positional form is equivalent.
+	if err := run([]string{path}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMissingConfig(t *testing.T) {
-	if err := run(nil); err == nil {
-		t.Error("missing -config: want error")
+	if err := run(nil, io.Discard); err == nil {
+		t.Error("missing config: want error")
 	}
-	if err := run([]string{"-config", "/nonexistent.json"}); err == nil {
+	if err := run([]string{"-config", "/nonexistent.json"}, io.Discard); err == nil {
 		t.Error("missing file: want error")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{path}, io.Discard); err == nil {
+		t.Error("malformed config: want error")
+	}
+	if err := run([]string{"-seeds", "0", writeScenario(t, exampleScenario())}, io.Discard); err == nil {
+		t.Error("seeds=0: want error")
 	}
 }
 
 func TestRunExample(t *testing.T) {
-	if err := run([]string{"-example"}); err != nil {
+	var out strings.Builder
+	if err := run([]string{"-example"}, &out); err != nil {
 		t.Fatal(err)
+	}
+	var sc scenario
+	if err := json.Unmarshal([]byte(out.String()), &sc); err != nil {
+		t.Fatalf("-example is not valid scenario JSON: %v\n%s", err, out.String())
+	}
+}
+
+// TestRunSeedsParallelDeterministic fans one config across seeds on several
+// workers and demands byte-identical output to the sequential run, with
+// labelled sections in seed order.
+func TestRunSeedsParallelDeterministic(t *testing.T) {
+	sc := exampleScenario()
+	sc.HorizonSec = 30
+	path := writeScenario(t, sc)
+
+	var seq, par strings.Builder
+	if err := run([]string{"-seeds", "3", "-workers", "1", path}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-seeds", "3", "-workers", "4", path}, &par); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("parallel output diverges from sequential:\n--- sequential ---\n%s--- parallel ---\n%s",
+			seq.String(), par.String())
+	}
+	for _, want := range []string{"seed=42", "seed=43", "seed=44"} {
+		if !strings.Contains(seq.String(), want) {
+			t.Errorf("output missing %s header:\n%s", want, seq.String())
+		}
+	}
+	if i, j := strings.Index(seq.String(), "seed=42"), strings.Index(seq.String(), "seed=44"); i > j {
+		t.Error("seed sections out of order")
+	}
+}
+
+// TestRunMultipleConfigs passes two positional configs and checks both are
+// reported under their own headers, in argument order.
+func TestRunMultipleConfigs(t *testing.T) {
+	cam := exampleScenario()
+	cam.HorizonSec = 30
+	lan := scenario{
+		Topology:   "lan",
+		App:        "socialnet",
+		Scheduler:  "lp",
+		HorizonSec: 30,
+		Seed:       5,
+		RPS:        10,
+	}
+	p1, p2 := writeScenario(t, cam), writeScenario(t, lan)
+	var out strings.Builder
+	if err := run([]string{p1, p2}, &out); err != nil {
+		t.Fatal(err)
+	}
+	i, j := strings.Index(out.String(), "=== "+p1), strings.Index(out.String(), "=== "+p2)
+	if i < 0 || j < 0 || i > j {
+		t.Errorf("per-config headers missing or out of order (i=%d, j=%d):\n%s", i, j, out.String())
+	}
+	if !strings.Contains(out.String(), "camera:") || !strings.Contains(out.String(), "socialnet (") {
+		t.Errorf("missing app reports:\n%s", out.String())
 	}
 }

@@ -3,18 +3,25 @@
 //
 // Usage:
 //
-//	benchtab [-seed N] [-quick] <experiment>...
+//	benchtab [-seed N] [-quick] [-workers N] [-replicas N] <experiment>...
 //	benchtab all
 //
 // Experiments: fig2 fig4 fig5 fig6 fig8 fig10 fig11 fig12 fig13 table1
 // table2 fig14a fig14b fig14cd fig15a fig15b fig16 table3 table4, plus
 // design-choice ablations: ablate-pack ablate-cooldown ablate-probe
+//
+// Experiments run as jobs on a bounded worker pool (-workers, default
+// GOMAXPROCS); -replicas R fans each experiment out over seeds
+// seed..seed+R-1. Output order — and, modulo timing lines, output bytes —
+// is identical whatever the worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -22,16 +29,18 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
 	seed := fs.Int64("seed", 42, "simulation seed")
 	quick := fs.Bool("quick", false, "shorter horizons and smaller sweeps")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel experiment jobs (1 = sequential)")
+	replicas := fs.Int("replicas", 1, "per-seed replicas of each experiment (seed, seed+1, ...)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -40,188 +49,49 @@ func run(args []string) error {
 		return fmt.Errorf("no experiments given; try: benchtab all")
 	}
 	if len(names) == 1 && names[0] == "all" {
-		names = []string{
-			"fig2", "fig4", "fig5", "fig6", "fig8", "fig10", "fig11",
-			"fig12", "fig13", "table1", "table2", "fig14a", "fig14b",
-			"fig14cd", "fig15a", "fig15b", "fig16", "table3", "table4",
-			"ablate-pack", "ablate-cooldown", "ablate-probe",
+		names = experiments.CanonicalOrder()
+	}
+	// Fail fast on malformed input: every name must resolve before any
+	// simulation starts, so CI can gate on the exit code.
+	for i, name := range names {
+		names[i] = strings.ToLower(name)
+		if _, ok := experiments.Lookup(names[i]); !ok {
+			return fmt.Errorf("unknown experiment %q (known: %s)",
+				name, strings.Join(experiments.JobNames(), " "))
 		}
 	}
-	for _, name := range names {
-		start := time.Now()
-		tables, err := runOne(strings.ToLower(name), *seed, *quick)
-		if err != nil {
-			return fmt.Errorf("%s: %w", name, err)
-		}
-		for _, t := range tables {
-			fmt.Println(t.String())
-		}
-		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	if *replicas < 1 {
+		return fmt.Errorf("replicas must be >= 1, got %d", *replicas)
 	}
-	return nil
+
+	runs := experiments.Replicate(names, *seed, *replicas, *quick)
+	var firstErr error
+	experiments.ExecuteStream(runs, *workers, func(res experiments.Result) {
+		label := res.Run.Job
+		if *replicas > 1 {
+			label = fmt.Sprintf("%s seed=%d", label, res.Run.Params.Seed)
+		}
+		if res.Err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", label, res.Err)
+			}
+			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", label, res.Err)
+			return
+		}
+		for _, t := range res.Tables {
+			fmt.Fprintln(stdout, t.String())
+		}
+		fmt.Fprintf(stdout, "(%s completed in %v)\n\n", label, res.Elapsed.Round(time.Millisecond))
+	})
+	return firstErr
 }
 
+// runOne executes a single named experiment — the registry-backed
+// equivalent of the pre-runner per-experiment switch, kept for tests.
 func runOne(name string, seed int64, quick bool) ([]experiments.Table, error) {
-	horizon := func(full time.Duration) time.Duration {
-		if quick {
-			return full / 4
-		}
-		return full
-	}
-	switch name {
-	case "fig2":
-		r, err := experiments.RunFig2(seed, horizon(20*time.Minute))
-		if err != nil {
-			return nil, err
-		}
-		return []experiments.Table{r.Table()}, nil
-	case "fig4":
-		participants := []int{2, 4, 6, 8, 10, 12, 14}
-		if quick {
-			participants = []int{4, 10, 14}
-		}
-		r, err := experiments.RunFig4(seed, participants, 3)
-		if err != nil {
-			return nil, err
-		}
-		return []experiments.Table{r.Table()}, nil
-	case "fig5":
-		r, err := experiments.RunFig5(seed)
-		if err != nil {
-			return nil, err
-		}
-		return []experiments.Table{r.Table()}, nil
-	case "fig6":
-		r, err := experiments.RunFig6()
-		if err != nil {
-			return nil, err
-		}
-		return []experiments.Table{r.Table()}, nil
-	case "fig8":
-		r, err := experiments.RunFig8(seed)
-		if err != nil {
-			return nil, err
-		}
-		return []experiments.Table{r.Table()}, nil
-	case "fig10":
-		r, err := experiments.RunFig10(seed, horizon(30*time.Minute))
-		if err != nil {
-			return nil, err
-		}
-		return []experiments.Table{r.Table()}, nil
-	case "fig11":
-		rates := []float64{100, 200, 300}
-		if quick {
-			rates = []float64{100, 300}
-		}
-		r, err := experiments.RunFig11(seed, rates)
-		if err != nil {
-			return nil, err
-		}
-		return []experiments.Table{r.Table()}, nil
-	case "fig12":
-		intervals := []int{30, 60, 90, 0}
-		if quick {
-			intervals = []int{30, 0}
-		}
-		r, err := experiments.RunFig12(seed, intervals)
-		if err != nil {
-			return nil, err
-		}
-		return []experiments.Table{r.Table()}, nil
-	case "fig13", "table1":
-		intervals := []int{30, 60, 90, 0}
-		if quick {
-			intervals = []int{30, 0}
-		}
-		r, err := experiments.RunFig13(seed, intervals)
-		if err != nil {
-			return nil, err
-		}
-		if name == "table1" {
-			return []experiments.Table{r.Table1()}, nil
-		}
-		return []experiments.Table{r.Table(), r.Table1()}, nil
-	case "table2":
-		r, err := experiments.RunTable2(seed, horizon(20*time.Minute))
-		if err != nil {
-			return nil, err
-		}
-		return []experiments.Table{r.Table()}, nil
-	case "fig14a":
-		r, err := experiments.RunFig14a(seed)
-		if err != nil {
-			return nil, err
-		}
-		return []experiments.Table{r.Table()}, nil
-	case "fig14b":
-		r, err := experiments.RunFig14b(seed)
-		if err != nil {
-			return nil, err
-		}
-		return []experiments.Table{r.Table()}, nil
-	case "fig14cd":
-		thresholds := []int{25, 50, 65, 75, 95}
-		headrooms := []int{10, 20, 30}
-		if quick {
-			thresholds = []int{25, 65, 95}
-			headrooms = []int{20}
-		}
-		r, err := experiments.RunFig14cd(seed, thresholds, headrooms)
-		if err != nil {
-			return nil, err
-		}
-		return []experiments.Table{r.Table()}, nil
-	case "fig15a":
-		return []experiments.Table{experiments.Fig15aTable()}, nil
-	case "fig15b":
-		r, err := experiments.RunFig15b(seed)
-		if err != nil {
-			return nil, err
-		}
-		return []experiments.Table{r.Table()}, nil
-	case "fig16":
-		thresholds := []int{25, 50, 65, 75, 95}
-		if quick {
-			thresholds = []int{25, 65, 95}
-		}
-		r, err := experiments.RunFig16(seed, thresholds)
-		if err != nil {
-			return nil, err
-		}
-		return []experiments.Table{r.Table()}, nil
-	case "ablate-pack":
-		r, err := experiments.RunAblationPackLimit(seed, nil)
-		if err != nil {
-			return nil, err
-		}
-		return []experiments.Table{r.Table()}, nil
-	case "ablate-cooldown":
-		r, err := experiments.RunAblationCooldown(seed, nil)
-		if err != nil {
-			return nil, err
-		}
-		return []experiments.Table{r.Table()}, nil
-	case "ablate-probe":
-		r, err := experiments.RunAblationProbeInterval(seed, nil)
-		if err != nil {
-			return nil, err
-		}
-		return []experiments.Table{r.Table()}, nil
-	case "table3", "table4":
-		trials := 200
-		if quick {
-			trials = 30
-		}
-		r, err := experiments.RunTable34(trials)
-		if err != nil {
-			return nil, err
-		}
-		if name == "table3" {
-			return []experiments.Table{r.Table3()}, nil
-		}
-		return []experiments.Table{r.Table4()}, nil
-	default:
+	job, ok := experiments.Lookup(strings.ToLower(name))
+	if !ok {
 		return nil, fmt.Errorf("unknown experiment %q", name)
 	}
+	return job.Run(experiments.Params{Seed: seed, Quick: quick})
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -35,8 +37,62 @@ func TestRunOneUnknown(t *testing.T) {
 	}
 }
 
-func TestRunRequiresArgs(t *testing.T) {
-	if err := run(nil); err == nil {
+func TestRunRejectsMalformedInput(t *testing.T) {
+	if err := run(nil, io.Discard); err == nil {
 		t.Error("no experiments: want error")
+	}
+	if err := run([]string{"fig99"}, io.Discard); err == nil {
+		t.Error("unknown experiment: want error")
+	}
+	// Fail-fast: a bad name anywhere in the list must error before any
+	// simulation output is produced.
+	var out strings.Builder
+	if err := run([]string{"fig2", "not-an-experiment"}, &out); err == nil {
+		t.Error("unknown experiment in list: want error")
+	}
+	if out.Len() != 0 {
+		t.Errorf("output produced before validation failed:\n%s", out.String())
+	}
+	if err := run([]string{"-replicas", "0", "fig2"}, io.Discard); err == nil {
+		t.Error("replicas=0: want error")
+	}
+	if err := run([]string{"-bogus-flag"}, io.Discard); err == nil {
+		t.Error("unknown flag: want error")
+	}
+}
+
+// stripTiming removes the elapsed-time lines, the only legitimately
+// nondeterministic part of benchtab output.
+var timingLine = regexp.MustCompile(`(?m)^\(.* completed in .*\)\n`)
+
+func stripTiming(s string) string { return timingLine.ReplaceAllString(s, "") }
+
+// TestRunParallelMatchesSequential runs the CLI end to end at both worker
+// counts and demands identical output modulo timing lines.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations")
+	}
+	args := []string{"-quick", "-replicas", "2", "-seed", "7", "fig8", "fig2"}
+
+	var seq, par strings.Builder
+	if err := run(append([]string{"-workers", "1"}, args...), &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-workers", "8"}, args...), &par); err != nil {
+		t.Fatal(err)
+	}
+	if stripTiming(seq.String()) != stripTiming(par.String()) {
+		t.Errorf("parallel output diverges:\n--- sequential ---\n%s--- parallel ---\n%s",
+			seq.String(), par.String())
+	}
+	// Replicated runs are labelled with their seed, job-major order kept.
+	for _, want := range []string{"fig8 seed=7", "fig8 seed=8", "fig2 seed=7", "fig2 seed=8"} {
+		if !strings.Contains(seq.String(), want) {
+			t.Errorf("missing %q label:\n%s", want, seq.String())
+		}
+	}
+	if i, j := strings.Index(seq.String(), "Fig 8"), strings.Index(seq.String(), "Fig 2"); i > j {
+		t.Error("job-major output order not preserved")
 	}
 }

@@ -214,3 +214,27 @@ func RunAblationProbeInterval(seed int64, intervalsSec []int) (AblationResult, e
 	}
 	return out, nil
 }
+
+func init() {
+	register("ablate-pack", func(p Params) ([]Table, error) {
+		r, err := RunAblationPackLimit(p.Seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{r.Table()}, nil
+	})
+	register("ablate-cooldown", func(p Params) ([]Table, error) {
+		r, err := RunAblationCooldown(p.Seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{r.Table()}, nil
+	})
+	register("ablate-probe", func(p Params) ([]Table, error) {
+		r, err := RunAblationProbeInterval(p.Seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{r.Table()}, nil
+	})
+}

@@ -112,3 +112,13 @@ func (r Fig10Result) Table() Table {
 	}
 	return t
 }
+
+func init() {
+	register("fig10", func(p Params) ([]Table, error) {
+		r, err := RunFig10(p.Seed, p.Horizon(30*time.Minute))
+		if err != nil {
+			return nil, err
+		}
+		return []Table{r.Table()}, nil
+	})
+}

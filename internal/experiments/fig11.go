@@ -107,3 +107,17 @@ func (r Fig11Result) Table() Table {
 	}
 	return t
 }
+
+func init() {
+	register("fig11", func(p Params) ([]Table, error) {
+		rates := []float64{100, 200, 300}
+		if p.Quick {
+			rates = []float64{100, 300}
+		}
+		r, err := RunFig11(p.Seed, rates)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{r.Table()}, nil
+	})
+}

@@ -147,3 +147,17 @@ func (r Fig12Result) Table() Table {
 	}
 	return t
 }
+
+func init() {
+	register("fig12", func(p Params) ([]Table, error) {
+		intervals := []int{30, 60, 90, 0}
+		if p.Quick {
+			intervals = []int{30, 0}
+		}
+		r, err := RunFig12(p.Seed, intervals)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{r.Table()}, nil
+	})
+}

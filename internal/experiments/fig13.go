@@ -164,3 +164,29 @@ func (r Fig13Result) Table1() Table {
 	}
 	return t
 }
+
+// fig13Intervals returns the monitoring-interval sweep for the Fig 13 /
+// Table 1 scenario.
+func fig13Intervals(quick bool) []int {
+	if quick {
+		return []int{30, 0}
+	}
+	return []int{30, 60, 90, 0}
+}
+
+func init() {
+	register("fig13", func(p Params) ([]Table, error) {
+		r, err := RunFig13(p.Seed, fig13Intervals(p.Quick))
+		if err != nil {
+			return nil, err
+		}
+		return []Table{r.Table(), r.Table1()}, nil
+	})
+	register("table1", func(p Params) ([]Table, error) {
+		r, err := RunFig13(p.Seed, fig13Intervals(p.Quick))
+		if err != nil {
+			return nil, err
+		}
+		return []Table{r.Table1()}, nil
+	})
+}

@@ -279,3 +279,33 @@ func (r Fig14cdResult) Table() Table {
 	}
 	return t
 }
+
+func init() {
+	register("fig14a", func(p Params) ([]Table, error) {
+		r, err := RunFig14a(p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{r.Table()}, nil
+	})
+	register("fig14b", func(p Params) ([]Table, error) {
+		r, err := RunFig14b(p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{r.Table()}, nil
+	})
+	register("fig14cd", func(p Params) ([]Table, error) {
+		thresholds := []int{25, 50, 65, 75, 95}
+		headrooms := []int{10, 20, 30}
+		if p.Quick {
+			thresholds = []int{25, 65, 95}
+			headrooms = []int{20}
+		}
+		r, err := RunFig14cd(p.Seed, thresholds, headrooms)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{r.Table()}, nil
+	})
+}

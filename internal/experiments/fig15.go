@@ -138,3 +138,16 @@ func (r Fig15Result) Table() Table {
 	}
 	return t
 }
+
+func init() {
+	register("fig15a", func(Params) ([]Table, error) {
+		return []Table{Fig15aTable()}, nil
+	})
+	register("fig15b", func(p Params) ([]Table, error) {
+		r, err := RunFig15b(p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{r.Table()}, nil
+	})
+}

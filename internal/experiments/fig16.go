@@ -97,3 +97,17 @@ func (r Fig16Result) Table() Table {
 	}
 	return t
 }
+
+func init() {
+	register("fig16", func(p Params) ([]Table, error) {
+		thresholds := []int{25, 50, 65, 75, 95}
+		if p.Quick {
+			thresholds = []int{25, 65, 95}
+		}
+		r, err := RunFig16(p.Seed, thresholds)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{r.Table()}, nil
+	})
+}

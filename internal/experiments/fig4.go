@@ -95,3 +95,17 @@ func (r Fig4Result) Table() Table {
 	}
 	return t
 }
+
+func init() {
+	register("fig4", func(p Params) ([]Table, error) {
+		participants := []int{2, 4, 6, 8, 10, 12, 14}
+		if p.Quick {
+			participants = []int{4, 10, 14}
+		}
+		r, err := RunFig4(p.Seed, participants, 3)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{r.Table()}, nil
+	})
+}

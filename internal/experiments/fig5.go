@@ -108,3 +108,13 @@ func nonZero(v float64) float64 {
 	}
 	return v
 }
+
+func init() {
+	register("fig5", func(p Params) ([]Table, error) {
+		r, err := RunFig5(p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{r.Table()}, nil
+	})
+}

@@ -64,3 +64,13 @@ func (r Fig6Result) Table() Table {
 		},
 	}
 }
+
+func init() {
+	register("fig6", func(Params) ([]Table, error) {
+		r, err := RunFig6()
+		if err != nil {
+			return nil, err
+		}
+		return []Table{r.Table()}, nil
+	})
+}

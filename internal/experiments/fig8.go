@@ -127,3 +127,13 @@ func (r Fig8Result) Table() Table {
 		Rows:   rows,
 	}
 }
+
+func init() {
+	register("fig8", func(p Params) ([]Table, error) {
+		r, err := RunFig8(p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{r.Table()}, nil
+	})
+}

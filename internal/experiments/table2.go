@@ -107,3 +107,13 @@ func (r Table2Result) Table() Table {
 	}
 	return t
 }
+
+func init() {
+	register("table2", func(p Params) ([]Table, error) {
+		r, err := RunTable2(p.Seed, p.Horizon(20*time.Minute))
+		if err != nil {
+			return nil, err
+		}
+		return []Table{r.Table()}, nil
+	})
+}

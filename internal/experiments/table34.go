@@ -138,3 +138,28 @@ func (r Table34Result) Table4() Table {
 	}
 	return t
 }
+
+// table34Trials returns the timing-trial count for the Table 3/4 jobs.
+func table34Trials(quick bool) int {
+	if quick {
+		return 30
+	}
+	return 200
+}
+
+func init() {
+	register("table3", func(p Params) ([]Table, error) {
+		r, err := RunTable34(table34Trials(p.Quick))
+		if err != nil {
+			return nil, err
+		}
+		return []Table{r.Table3()}, nil
+	})
+	register("table4", func(p Params) ([]Table, error) {
+		r, err := RunTable34(table34Trials(p.Quick))
+		if err != nil {
+			return nil, err
+		}
+		return []Table{r.Table4()}, nil
+	})
+}

@@ -46,6 +46,11 @@ func (h *eventHeap) Pop() any {
 // Engine is a single-threaded discrete-event simulator. All callbacks run on
 // the goroutine that calls Run; scheduling from within callbacks is the
 // normal mode of operation.
+//
+// An Engine holds no package-level state and its random source is private to
+// the instance, so independent engines may run on concurrent goroutines —
+// the isolation the parallel experiment harness relies on. A single Engine
+// is not safe for concurrent use.
 type Engine struct {
 	now       time.Duration
 	queue     eventHeap
@@ -53,6 +58,7 @@ type Engine struct {
 	nextID    uint64
 	cancelled map[uint64]bool
 	stopped   bool
+	seed      int64
 	rng       *rand.Rand
 	executed  uint64
 }
@@ -61,9 +67,13 @@ type Engine struct {
 func NewEngine(seed int64) *Engine {
 	return &Engine{
 		cancelled: make(map[uint64]bool),
+		seed:      seed,
 		rng:       rand.New(rand.NewSource(seed)),
 	}
 }
+
+// Seed reports the seed the engine's random source was created with.
+func (e *Engine) Seed() int64 { return e.seed }
 
 // Now reports the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }

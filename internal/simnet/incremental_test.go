@@ -1,0 +1,275 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"bass/internal/mesh"
+	"bass/internal/sim"
+	"bass/internal/trace"
+)
+
+// steppyMesh builds a 4-node full mesh where one link follows a step trace
+// (drop and recovery) and the rest stay constant — enough churn to exercise
+// both the absorb path (quiet ticks, capacity growth on slack links) and the
+// full pass (shrinking capacity, flow arrivals).
+func steppyMesh(horizon time.Duration) *mesh.Topology {
+	names := []string{"a", "b", "c", "d"}
+	topo := mesh.NewTopology()
+	for _, n := range names {
+		topo.AddNode(n)
+	}
+	for i, from := range names {
+		for _, to := range names[i+1:] {
+			var tr *trace.Trace
+			if from == "a" && to == "b" {
+				tr = trace.StepTrace("a-b", time.Second, horizon, []trace.Level{
+					{From: 0, Mbps: 40},
+					{From: 20 * time.Second, Mbps: 8},
+					{From: 50 * time.Second, Mbps: 60},
+				})
+			} else {
+				tr = trace.Constant(from+"-"+to, time.Second, 30, int(horizon/time.Second))
+			}
+			topo.MustAddLink(from, to, tr, time.Millisecond)
+		}
+	}
+	return topo
+}
+
+// driveScenario runs a fixed mixed stream/transfer workload and samples every
+// stream's rate each second, returning the samples and transfer finish times.
+func driveScenario(t *testing.T, fullRecompute bool) (samples []float64, finishes []time.Duration, stats AllocStats) {
+	t.Helper()
+	const horizon = 90 * time.Second
+	eng := sim.NewEngine(7)
+	net := New(eng, steppyMesh(horizon))
+	net.SetFullRecompute(fullRecompute)
+	net.Start()
+
+	var streams []FlowID
+	addStream := func(tag, src, dst string, mbps float64) {
+		id, err := net.AddStream(tag, src, dst, mbps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams = append(streams, id)
+	}
+	addStream("s1", "a", "b", 25)
+	addStream("s2", "a", "c", 10)
+	addStream("s3", "b", "d", 15)
+	addStream("s4", "c", "d", 5)
+
+	done := func(r TransferResult) { finishes = append(finishes, r.Finished) }
+	if _, err := net.AddTransfer("t1", "a", "d", 20e6, 0, done); err != nil {
+		t.Fatal(err)
+	}
+	eng.At(10*time.Second, func() {
+		if _, err := net.AddTransfer("t2", "b", "a", 40e6, 12, done); err != nil {
+			t.Fatal(err)
+		}
+	})
+	eng.At(30*time.Second, func() {
+		if err := net.SetStreamDemand(streams[1], 18); err != nil {
+			t.Fatal(err)
+		}
+	})
+	eng.At(60*time.Second, func() {
+		if err := net.RemoveStream(streams[3]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	stopSample := eng.Every(time.Second, func() {
+		for _, id := range streams {
+			r, err := net.StreamRate(id)
+			if err != nil {
+				r = -1 // removed
+			}
+			samples = append(samples, r)
+		}
+	})
+	defer stopSample()
+	if err := eng.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	return samples, finishes, net.AllocStats()
+}
+
+func TestIncrementalMatchesFullRecompute(t *testing.T) {
+	incSamples, incFinishes, incStats := driveScenario(t, false)
+	fullSamples, fullFinishes, fullStats := driveScenario(t, true)
+
+	if len(incSamples) != len(fullSamples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(incSamples), len(fullSamples))
+	}
+	for i := range incSamples {
+		if incSamples[i] != fullSamples[i] {
+			t.Fatalf("sample %d: incremental %v != full %v", i, incSamples[i], fullSamples[i])
+		}
+	}
+	if len(incFinishes) != len(fullFinishes) {
+		t.Fatalf("transfer completions differ: %d vs %d", len(incFinishes), len(fullFinishes))
+	}
+	for i := range incFinishes {
+		if incFinishes[i] != fullFinishes[i] {
+			t.Fatalf("finish %d: incremental %v != full %v", i, incFinishes[i], fullFinishes[i])
+		}
+	}
+	if incStats.SkippedPasses == 0 {
+		t.Error("incremental run absorbed no passes; optimisation inactive")
+	}
+	if fullStats.SkippedPasses != 0 {
+		t.Errorf("full-recompute run skipped %d passes", fullStats.SkippedPasses)
+	}
+	if incStats.FullPasses >= fullStats.FullPasses {
+		t.Errorf("incremental ran %d full passes, full-recompute %d; want fewer",
+			incStats.FullPasses, fullStats.FullPasses)
+	}
+}
+
+func TestQuietEpochsSkipWaterFilling(t *testing.T) {
+	// Constant capacity, steady streams: after the initial allocations, every
+	// tick's reallocation must be absorbed.
+	topo := mesh.FullMesh([]string{"a", "b", "c"}, 100, time.Millisecond, time.Minute)
+	eng := sim.NewEngine(1)
+	net := New(eng, topo)
+	net.Start()
+	id, err := net.AddStream("s", "a", "b", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddStream("s2", "b", "c", 20); err != nil {
+		t.Fatal(err)
+	}
+	before := net.AllocStats()
+	if err := eng.Run(5 * time.Minute); err != nil { // traces wrap past their horizon
+		t.Fatal(err)
+	}
+	after := net.AllocStats()
+	if got := after.FullPasses - before.FullPasses; got != 0 {
+		t.Errorf("quiet ticks ran %d full passes, want 0", got)
+	}
+	if after.SkippedPasses < 290 {
+		t.Errorf("skipped %d passes, want ≈299 (one per tick)", after.SkippedPasses)
+	}
+	if r, _ := net.StreamRate(id); math.Abs(r-40) > 1e-9 {
+		t.Errorf("rate drifted to %v under skipped passes", r)
+	}
+	// Accounting must stay live across skipped passes.
+	if mb := net.BytesByTag()["s"]; math.Abs(mb-40*300/8) > 40 {
+		t.Errorf("carried %v MB, want ≈%v", mb, 40.0*300/8)
+	}
+}
+
+func TestCapacityGrowthOnSlackLinkAbsorbed(t *testing.T) {
+	// b-c grows from 50 to 80 Mbps at t=5s. The only flow runs a->b and is
+	// demand-limited, so the growth must be absorbed without a full pass.
+	topo := mesh.NewTopology()
+	for _, n := range []string{"a", "b", "c"} {
+		topo.AddNode(n)
+	}
+	horizon := time.Minute
+	topo.MustAddLink("a", "b", trace.Constant("a-b", time.Second, 100, 60), time.Millisecond)
+	topo.MustAddLink("b", "c", trace.StepTrace("b-c", time.Second, horizon, []trace.Level{
+		{From: 0, Mbps: 50},
+		{From: 5 * time.Second, Mbps: 80},
+	}), time.Millisecond)
+	eng := sim.NewEngine(1)
+	net := New(eng, topo)
+	net.Start()
+	if _, err := net.AddStream("s", "a", "b", 10); err != nil {
+		t.Fatal(err)
+	}
+	base := net.AllocStats().FullPasses
+	if err := eng.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.AllocStats().FullPasses - base; got != 0 {
+		t.Errorf("slack-link growth triggered %d full passes, want 0", got)
+	}
+}
+
+func TestCapacityDropForcesFullPass(t *testing.T) {
+	// The bottleneck link of two competing streams shrinks: rates must track.
+	topo := mesh.NewTopology()
+	for _, n := range []string{"a", "b"} {
+		topo.AddNode(n)
+	}
+	topo.MustAddLink("a", "b", trace.StepTrace("a-b", time.Second, time.Minute, []trace.Level{
+		{From: 0, Mbps: 30},
+		{From: 5 * time.Second, Mbps: 10},
+	}), time.Millisecond)
+	eng := sim.NewEngine(1)
+	net := New(eng, topo)
+	net.Start()
+	x, err := net.AddStream("x", "a", "b", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := net.AddStream("y", "a", "b", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(8 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rx, _ := net.StreamRate(x)
+	ry, _ := net.StreamRate(y)
+	if math.Abs(rx-5) > 1e-6 || math.Abs(ry-5) > 1e-6 {
+		t.Errorf("rates after drop = %v, %v, want 5 each", rx, ry)
+	}
+}
+
+// TestConcurrentNetworksIndependent drives several independent simulations on
+// parallel goroutines — the isolation contract the parallel experiment
+// harness depends on. Run under -race.
+func TestConcurrentNetworksIndependent(t *testing.T) {
+	const workers = 8
+	rates := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			horizon := 60 * time.Second
+			eng := sim.NewEngine(int64(w/2) + 1) // adjacent pairs share a seed: outputs must match
+			net := New(eng, steppyMesh(horizon))
+			net.Start()
+			id, err := net.AddStream(fmt.Sprintf("w%d", w), "a", "b", 25)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := net.AddTransfer("t", "a", "d", 10e6, 0, nil); err != nil {
+				t.Error(err)
+				return
+			}
+			eng.Every(time.Second, func() {
+				r, err := net.StreamRate(id)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				rates[w] = append(rates[w], r)
+			})
+			if err := eng.Run(horizon); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w+2 <= workers; w += 2 {
+		a, b := rates[w], rates[w+1]
+		if len(a) != len(b) {
+			t.Fatalf("workers %d/%d sample counts differ: %d vs %d", w, w+1, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("workers %d/%d diverge at sample %d: %v vs %v", w, w+1, i, a[i], b[i])
+			}
+		}
+	}
+}

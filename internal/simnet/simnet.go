@@ -7,6 +7,15 @@
 // behind the order-of-magnitude latency inflation the BASS paper shows in
 // Fig 5.
 //
+// Allocation is incremental: every link carries a dirty flag and the set of
+// links that acted as water-filling bottlenecks in the last full pass is
+// cached, so a reallocation request on an epoch where no flow changed and no
+// binding capacity moved is absorbed without re-running the full pass (see
+// AllocStats). All rate computations iterate flows and links in a fixed
+// order, so a given (topology, workload, seed) triple yields bit-identical
+// allocations run after run — the property the parallel experiment harness
+// relies on.
+//
 // This plays the role CloudLab VMs + tc traffic shaping play in the paper's
 // evaluation: a controlled substrate that replays CityLab traces underneath
 // unmodified orchestration logic.
@@ -16,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"bass/internal/mesh"
@@ -68,6 +78,9 @@ type flow struct {
 	src  string
 	dst  string
 	path []dhop
+	// linkPath holds the resolved link states along path, in hop order, so
+	// the allocation hot loops never touch the link map.
+	linkPath []*linkState
 
 	demandBps float64 // rate cap; streams: offered rate, transfers: cap or unbounded
 	rateBps   float64 // current max-min allocation
@@ -80,6 +93,11 @@ type flow struct {
 	hasEvent      bool
 
 	accruedBits float64 // cumulative bits actually carried
+
+	// Water-filling scratch state, valid during and after a full pass.
+	frozen        bool
+	frozenBy      *linkState // bottleneck link that froze the flow (nil if demand-limited)
+	demandLimited bool
 }
 
 // TransferResult reports a finished transfer to its completion callback.
@@ -100,23 +118,61 @@ type linkState struct {
 	backlogBits float64
 	carriedBits float64 // cumulative
 	demandBps   float64 // stream demand routed over the direction (last reallocate)
+
+	// Incremental-allocation bookkeeping.
+	flowCount  int  // routed flows currently crossing this direction
+	bottleneck bool // was an arg-min link in any iteration of the last full pass
+	dirty      bool // capacity changed since the last full pass
+	shrunk     bool // capacity decreased since the last full pass
+
+	// Water-filling scratch state, valid only inside a full pass.
+	residual  float64
+	iterCount int
+}
+
+// AllocStats counts allocation work since the network was built. The
+// invariant behind SkippedPasses: a request is only absorbed when no flow
+// was added, removed, or re-demanded and every capacity change since the
+// last full pass either touched a link no flow crosses or increased the
+// capacity of a non-bottleneck link — cases where the full water-filling
+// pass would provably reproduce the cached rates bit-for-bit.
+type AllocStats struct {
+	// FullPasses counts complete water-filling recomputations.
+	FullPasses uint64
+	// SkippedPasses counts reallocation requests absorbed by the
+	// incremental path without recomputing any rate.
+	SkippedPasses uint64
 }
 
 // Network is the flow-level simulator. All methods must be called from the
-// simulation goroutine (inside event callbacks or before Run).
+// simulation goroutine (inside event callbacks or before Run). Distinct
+// Networks (each with its own Engine) are fully independent and may run on
+// concurrent goroutines.
 type Network struct {
 	eng  *sim.Engine
 	topo *mesh.Topology
 
 	nextID      FlowID
 	flows       map[FlowID]*flow
+	flowOrder   []*flow // ascending FlowID; the deterministic iteration order
 	links       map[dhop]*linkState
+	linkOrder   []*linkState // sorted by (from, to); deterministic iteration order
 	lastAdvance time.Duration
 	lastTick    time.Duration
 	tickStop    func()
 	maxQueueSec float64
 
 	bytesByTag map[string]float64 // cumulative bits carried per tag
+
+	// Incremental-allocation state.
+	flowsDirty bool // flow set or a demand changed since the last full pass
+	dirtyCount int  // links with dirty capacity since the last full pass
+	fullOnly   bool // disable incremental absorption (always run the full pass)
+	alloc      AllocStats
+
+	// Scratch buffers reused across full passes.
+	activeScratch   []*flow
+	transferScratch []*flow
 }
 
 // New builds a network over the topology. Call Start to begin trace-driven
@@ -136,9 +192,18 @@ func New(eng *sim.Engine, topo *mesh.Topology) *Network {
 			if err != nil {
 				continue // unreachable: both directions exist by construction
 			}
-			n.links[h] = &linkState{hop: h, capacityBps: tr.AtBps(0)}
+			ls := &linkState{hop: h, capacityBps: tr.AtBps(0)}
+			n.links[h] = ls
+			n.linkOrder = append(n.linkOrder, ls)
 		}
 	}
+	sort.Slice(n.linkOrder, func(i, j int) bool {
+		a, b := n.linkOrder[i].hop, n.linkOrder[j].hop
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		return a.to < b.to
+	})
 	return n
 }
 
@@ -163,13 +228,22 @@ func (n *Network) SetMaxQueueSeconds(sec float64) {
 	}
 }
 
+// SetFullRecompute forces every reallocation request through the full
+// water-filling pass (the pre-incremental behaviour). Benchmarks use it to
+// compare the two paths; production code should leave it off.
+func (n *Network) SetFullRecompute(v bool) { n.fullOnly = v }
+
+// AllocStats reports how many reallocation requests ran the full
+// water-filling pass versus how many the incremental path absorbed.
+func (n *Network) AllocStats() AllocStats { return n.alloc }
+
 func (n *Network) tick() {
 	now := n.eng.Now()
 	dt := (now - n.lastTick).Seconds()
 	n.lastTick = now
 	// Fluid backlog: grow when offered stream demand exceeds capacity,
 	// drain otherwise, bounded by the link's buffer budget.
-	for _, ls := range n.links {
+	for _, ls := range n.linkOrder {
 		if dt > 0 {
 			excess := ls.demandBps - ls.capacityBps
 			if excess > 0 {
@@ -185,16 +259,30 @@ func (n *Network) tick() {
 			}
 		}
 	}
-	// Sample new capacities from the traces, per direction.
+	// Sample new capacities from the traces, per direction, flagging links
+	// whose capacity actually moved.
 	for _, l := range n.topo.Links() {
 		for _, h := range []dhop{{from: l.ID.A, to: l.ID.B}, {from: l.ID.B, to: l.ID.A}} {
 			tr, err := l.CapacityToward(h.from, h.to)
 			if err != nil {
 				continue
 			}
-			if ls, ok := n.links[h]; ok {
-				ls.capacityBps = tr.AtBps(now)
+			ls, ok := n.links[h]
+			if !ok {
+				continue
 			}
+			newCap := tr.AtBps(now)
+			if newCap == ls.capacityBps {
+				continue
+			}
+			if !ls.dirty {
+				ls.dirty = true
+				n.dirtyCount++
+			}
+			if newCap < ls.capacityBps {
+				ls.shrunk = true
+			}
+			ls.capacityBps = newCap
 		}
 	}
 	n.reallocate()
@@ -217,6 +305,36 @@ func (n *Network) route(src, dst string) ([]dhop, error) {
 	return hops, nil
 }
 
+// addFlow registers a fully-built flow: id ordering, link crossing counts,
+// and the dirty flag that forces the next allocation through the full pass.
+func (n *Network) addFlow(f *flow) {
+	f.linkPath = f.linkPath[:0]
+	for _, h := range f.path {
+		if ls, ok := n.links[h]; ok {
+			f.linkPath = append(f.linkPath, ls)
+		}
+	}
+	n.flows[f.id] = f
+	n.flowOrder = append(n.flowOrder, f) // ids are assigned in increasing order
+	for _, ls := range f.linkPath {
+		ls.flowCount++
+	}
+	n.flowsDirty = true
+}
+
+// removeFlow is addFlow's inverse.
+func (n *Network) removeFlow(f *flow) {
+	delete(n.flows, f.id)
+	i := sort.Search(len(n.flowOrder), func(i int) bool { return n.flowOrder[i].id >= f.id })
+	if i < len(n.flowOrder) && n.flowOrder[i] == f {
+		n.flowOrder = append(n.flowOrder[:i], n.flowOrder[i+1:]...)
+	}
+	for _, ls := range f.linkPath {
+		ls.flowCount--
+	}
+	n.flowsDirty = true
+}
+
 // AddStream registers a persistent flow offering demandMbps from src to dst.
 // The tag groups accounting (convention: "app/from->to").
 func (n *Network) AddStream(tag, src, dst string, demandMbps float64) (FlowID, error) {
@@ -235,18 +353,23 @@ func (n *Network) AddStream(tag, src, dst string, demandMbps float64) (FlowID, e
 		demandBps: demandMbps * 1e6,
 		started:   n.eng.Now(),
 	}
-	n.flows[f.id] = f
+	n.addFlow(f)
 	n.reallocate()
 	return f.id, nil
 }
 
-// SetStreamDemand updates a stream's offered rate.
+// SetStreamDemand updates a stream's offered rate. Setting the demand a
+// stream already offers is a no-op (no reallocation).
 func (n *Network) SetStreamDemand(id FlowID, demandMbps float64) error {
 	f, ok := n.flows[id]
 	if !ok || f.kind != KindStream {
 		return fmt.Errorf("%w: stream %d", ErrUnknownFlow, id)
 	}
+	if f.demandBps == demandMbps*1e6 {
+		return nil
+	}
 	f.demandBps = demandMbps * 1e6
+	n.flowsDirty = true
 	n.reallocate()
 	return nil
 }
@@ -258,7 +381,7 @@ func (n *Network) RemoveStream(id FlowID) error {
 		return fmt.Errorf("%w: stream %d", ErrUnknownFlow, id)
 	}
 	n.advanceProgress()
-	delete(n.flows, id)
+	n.removeFlow(f)
 	n.reallocate()
 	return nil
 }
@@ -315,7 +438,7 @@ func (n *Network) AddTransfer(tag, src, dst string, bytes float64, capMbps float
 		started:       n.eng.Now(),
 		onComplete:    onComplete,
 	}
-	n.flows[f.id] = f
+	n.addFlow(f)
 	n.reallocate()
 	return f.id, nil
 }
@@ -330,7 +453,7 @@ func (n *Network) CancelTransfer(id FlowID) error {
 	if f.hasEvent {
 		n.eng.Cancel(f.completionEv)
 	}
-	delete(n.flows, id)
+	n.removeFlow(f)
 	n.reallocate()
 	return nil
 }
@@ -344,7 +467,7 @@ func (n *Network) advanceProgress() {
 	if dt <= 0 {
 		return
 	}
-	for _, f := range n.flows {
+	for _, f := range n.flowOrder {
 		carried := f.rateBps * dt
 		if f.kind == KindTransfer {
 			if carried > f.remainingBits {
@@ -354,37 +477,86 @@ func (n *Network) advanceProgress() {
 		}
 		f.accruedBits += carried
 		n.bytesByTag[f.tag] += carried
-		for _, h := range f.path {
-			if ls, ok := n.links[h]; ok {
-				ls.carriedBits += carried
-			}
+		for _, ls := range f.linkPath {
+			ls.carriedBits += carried
 		}
 	}
 }
 
-// reallocate recomputes max-min fair rates with demand caps (progressive
-// water-filling) and reschedules transfer completion events.
+// reallocate recomputes max-min fair rates and reschedules transfer
+// completion events — unless the incremental path can prove the cached
+// allocation is still exact and absorb the request outright.
+//
+// The absorption rule: with an unchanged flow set and demands, a capacity
+// change cannot move any rate when the link either carries no flows, or its
+// capacity only grew and it was never an arg-min ("bottleneck") link in the
+// last full pass. In the latter case the link's fair share only increases,
+// so every iteration of a hypothetical re-run would select the same
+// bottlenecks, freeze the same flows at the same values, and terminate with
+// bit-identical rates.
 func (n *Network) reallocate() {
 	n.advanceProgress()
+	if !n.fullOnly && !n.flowsDirty && n.canAbsorbCapacityChanges() {
+		n.alloc.SkippedPasses++
+		return
+	}
+	n.fullReallocate()
+}
 
-	// Reset link stream-demand accounting.
-	residual := make(map[dhop]float64, len(n.links))
-	count := make(map[dhop]int, len(n.links))
-	for h, ls := range n.links {
-		residual[h] = ls.capacityBps
+// canAbsorbCapacityChanges reports whether every dirty link's change is
+// provably rate-preserving, clearing the dirty flags when so.
+func (n *Network) canAbsorbCapacityChanges() bool {
+	if n.dirtyCount == 0 {
+		return true
+	}
+	for _, ls := range n.linkOrder {
+		if !ls.dirty {
+			continue
+		}
+		if ls.flowCount == 0 {
+			continue // unused link: any change is invisible
+		}
+		if ls.shrunk || ls.bottleneck {
+			return false // may bind (or bound) some flow: full pass required
+		}
+	}
+	for _, ls := range n.linkOrder {
+		ls.dirty = false
+		ls.shrunk = false
+	}
+	n.dirtyCount = 0
+	return true
+}
+
+// fullReallocate runs progressive water-filling with demand caps over every
+// flow, records the bottleneck set for the incremental path, and reschedules
+// transfer completion events at the new rates.
+func (n *Network) fullReallocate() {
+	n.advanceProgress()
+	n.alloc.FullPasses++
+	// advanceProgress is idempotent at a fixed virtual time, so the extra
+	// call when arriving via reallocate is free; direct callers still need it.
+	n.flowsDirty = false
+	n.dirtyCount = 0
+
+	// Reset per-link accounting and scratch state.
+	for _, ls := range n.linkOrder {
+		ls.residual = ls.capacityBps
+		ls.iterCount = 0
 		ls.demandBps = 0
+		ls.bottleneck = false
+		ls.dirty = false
+		ls.shrunk = false
 	}
 
-	unfrozen := make(map[FlowID]*flow, len(n.flows))
-	for id, f := range n.flows {
+	active := n.activeScratch[:0]
+	for _, f := range n.flowOrder {
 		if f.kind == KindStream {
-			for _, h := range f.path {
-				if ls, ok := n.links[h]; ok {
-					ls.demandBps += f.demandBps
-				}
+			for _, ls := range f.linkPath {
+				ls.demandBps += f.demandBps
 			}
 		}
-		if len(f.path) == 0 {
+		if len(f.linkPath) == 0 {
 			// Co-located: node-local bus. Streams stay capped at their
 			// offered rate; transfers deliver at bus speed (rate caps model
 			// network pacing, which does not apply in-process).
@@ -395,82 +567,102 @@ func (n *Network) reallocate() {
 			}
 			continue
 		}
-		unfrozen[id] = f
-		for _, h := range f.path {
-			count[h]++
+		f.frozen = false
+		f.frozenBy = nil
+		f.demandLimited = false
+		active = append(active, f)
+		for _, ls := range f.linkPath {
+			ls.iterCount++
 		}
 	}
+	n.activeScratch = active
 
-	freeze := func(f *flow, rate float64) {
+	remaining := len(active)
+	freeze := func(f *flow, rate float64, by *linkState) {
 		if rate < 0 {
 			rate = 0
 		}
 		f.rateBps = rate
-		for _, h := range f.path {
-			residual[h] -= rate
-			if residual[h] < 0 {
-				residual[h] = 0
+		f.frozen = true
+		f.frozenBy = by
+		f.demandLimited = by == nil
+		for _, ls := range f.linkPath {
+			ls.residual -= rate
+			if ls.residual < 0 {
+				ls.residual = 0
 			}
-			count[h]--
+			ls.iterCount--
 		}
-		delete(unfrozen, f.id)
+		remaining--
 	}
 
-	for len(unfrozen) > 0 {
-		// Min fair share over constrained links.
+	for remaining > 0 {
+		// Min fair share over constrained links, first-in-linkOrder tie-break.
 		minShare := math.Inf(1)
-		var bottleneck dhop
-		haveBottleneck := false
-		for h, c := range count {
-			if c <= 0 {
+		var bottleneck *linkState
+		for _, ls := range n.linkOrder {
+			if ls.iterCount <= 0 {
 				continue
 			}
-			share := residual[h] / float64(c)
-			if share < minShare {
+			if share := ls.residual / float64(ls.iterCount); share < minShare {
 				minShare = share
-				bottleneck = h
-				haveBottleneck = true
+				bottleneck = ls
 			}
+		}
+		// Record every arg-min link, applied or not: its share bounded this
+		// iteration's demand comparisons, so the incremental path must treat
+		// it as binding.
+		if bottleneck != nil {
+			bottleneck.bottleneck = true
 		}
 		// Freeze demand-limited flows first.
 		frozeAny := false
-		for _, f := range n.flows {
-			if _, ok := unfrozen[f.id]; !ok {
-				continue
-			}
-			if f.demandBps <= minShare {
-				freeze(f, f.demandBps)
+		for _, f := range active {
+			if !f.frozen && f.demandBps <= minShare {
+				freeze(f, f.demandBps, nil)
 				frozeAny = true
 			}
 		}
 		if frozeAny {
 			continue
 		}
-		if !haveBottleneck {
+		if bottleneck == nil {
 			// No constrained links remain; all remaining flows get demand.
-			for id := range unfrozen {
-				f := n.flows[id]
-				freeze(f, f.demandBps)
+			for _, f := range active {
+				if !f.frozen {
+					freeze(f, f.demandBps, nil)
+				}
 			}
 			break
 		}
 		// Freeze every unfrozen flow crossing the bottleneck at the share.
-		for id := range unfrozen {
-			f := n.flows[id]
-			for _, h := range f.path {
-				if h == bottleneck {
-					freeze(f, minShare)
+		for _, f := range active {
+			if f.frozen {
+				continue
+			}
+			for _, ls := range f.linkPath {
+				if ls == bottleneck {
+					freeze(f, minShare, bottleneck)
 					break
 				}
 			}
 		}
 	}
 
-	// Reschedule transfer completions at the new rates.
+	// Reschedule transfer completions at the new rates. Completion callbacks
+	// may add or remove flows (recursing into reallocate), so iterate a
+	// snapshot and skip flows that vanished underneath us.
 	now := n.eng.Now()
-	for _, f := range n.flows {
-		if f.kind != KindTransfer {
-			continue
+	transfers := n.transferScratch[:0]
+	for _, f := range n.flowOrder {
+		if f.kind == KindTransfer {
+			transfers = append(transfers, f)
+		}
+	}
+	n.transferScratch = transfers
+	for _, f := range transfers {
+		if n.flows[f.id] != f {
+			continue // removed by a reentrant completion callback
 		}
 		if f.hasEvent {
 			n.eng.Cancel(f.completionEv)
@@ -501,8 +693,12 @@ func (n *Network) completeTransfer(id FlowID) {
 	n.advanceProgress()
 	f.hasEvent = false
 	if f.remainingBits > 1e-9 {
-		// Conditions changed since the event was scheduled; reallocate will
-		// reschedule.
+		// Conditions changed since the event was scheduled (or the event
+		// fired a nanosecond early from ETA truncation). The flow's
+		// completion event is gone, so force a full pass to reschedule it —
+		// the incremental path would otherwise absorb the request and stall
+		// the transfer.
+		n.flowsDirty = true
 		n.reallocate()
 		return
 	}
@@ -511,7 +707,7 @@ func (n *Network) completeTransfer(id FlowID) {
 }
 
 func (n *Network) finishTransfer(f *flow) {
-	delete(n.flows, f.id)
+	n.removeFlow(f)
 	if f.onComplete != nil {
 		f.onComplete(TransferResult{
 			ID:       f.id,

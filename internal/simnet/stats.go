@@ -2,7 +2,6 @@ package simnet
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"bass/internal/mesh"
@@ -41,9 +40,9 @@ func (n *Network) LinkStats(from, to string) (LinkStats, error) {
 
 func (n *Network) statsOf(ls *linkState) LinkStats {
 	var alloc float64
-	for _, f := range n.flows {
-		for _, h := range f.path {
-			if h == ls.hop {
+	for _, f := range n.flowOrder {
+		for _, l := range f.linkPath {
+			if l == ls {
 				alloc += f.rateBps
 				break
 			}
@@ -62,16 +61,10 @@ func (n *Network) statsOf(ls *linkState) LinkStats {
 
 // AllLinkStats returns stats for every link direction, sorted.
 func (n *Network) AllLinkStats() []LinkStats {
-	out := make([]LinkStats, 0, len(n.links))
-	for _, ls := range n.links {
+	out := make([]LinkStats, 0, len(n.linkOrder))
+	for _, ls := range n.linkOrder {
 		out = append(out, n.statsOf(ls))
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].From != out[j].From {
-			return out[i].From < out[j].From
-		}
-		return out[i].To < out[j].To
-	})
 	return out
 }
 
@@ -187,7 +180,7 @@ func (n *Network) TagRate(tag string) float64 {
 
 // ActiveFlows reports the number of active streams and transfers.
 func (n *Network) ActiveFlows() (streams, transfers int) {
-	for _, f := range n.flows {
+	for _, f := range n.flowOrder {
 		if f.kind == KindStream {
 			streams++
 		} else {
@@ -200,7 +193,7 @@ func (n *Network) ActiveFlows() (streams, transfers int) {
 // FlowRateByTag sums current allocations (Mbps) across flows with the tag.
 func (n *Network) FlowRateByTag(tag string) float64 {
 	var bps float64
-	for _, f := range n.flows {
+	for _, f := range n.flowOrder {
 		if f.tag == tag {
 			bps += f.rateBps
 		}
@@ -211,7 +204,7 @@ func (n *Network) FlowRateByTag(tag string) float64 {
 // FlowDemandByTag sums current demands (Mbps) across flows with the tag.
 func (n *Network) FlowDemandByTag(tag string) float64 {
 	var bps float64
-	for _, f := range n.flows {
+	for _, f := range n.flowOrder {
 		if f.tag == tag {
 			if f.demandBps >= unboundedBps {
 				continue

@@ -83,6 +83,9 @@ func (c GenConfig) Validate() error {
 }
 
 // Generate produces a synthetic trace named name from the configuration.
+// Every random draw comes from a source local to the call, seeded by
+// cfg.Seed — there is no package-global generator — so concurrent Generate
+// calls are safe and each is deterministic in its config alone.
 func Generate(name string, cfg GenConfig) (*Trace, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err

@@ -24,8 +24,15 @@
 //	  "horizonSec": 600, "seed": 42,
 //	  "migration": true, "monitorIntervalSec": 30,
 //	  "rps": 50, "clientNode": "node1",
-//	  "participantsPerNode": 3, "publishMbps": 0.5
+//	  "participantsPerNode": 3, "publishMbps": 0.5,
+//	  "faults": [{"atSec": 120, "type": "node-crash", "node": "node2"}],
+//	  "chaos": {"nodeCrashesPerHour": 6, "meanNodeDowntimeSec": 120,
+//	            "linkFlapsPerHour": 6, "meanLinkDowntimeSec": 30}
 //	}
+//
+// "faults" lists explicit fault events; "chaos" arms the seeded generator
+// (rates per hour, durations in seconds) over the run horizon. Either — or
+// both — add a recovery report (detections, failovers, MTTR) to the output.
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -44,6 +52,7 @@ import (
 	"bass/internal/apps/videoconf"
 	"bass/internal/cluster"
 	"bass/internal/core"
+	"bass/internal/faults"
 	"bass/internal/mesh"
 	"bass/internal/scheduler"
 	"bass/internal/workload"
@@ -71,6 +80,49 @@ type scenario struct {
 	// Video conferencing.
 	ParticipantsPerNode int     `json:"participantsPerNode,omitempty"`
 	PublishMbps         float64 `json:"publishMbps,omitempty"`
+
+	// Fault injection: an explicit event schedule, a seeded chaos generator,
+	// or both (events merge, sorted by time).
+	Faults []faults.Event `json:"faults,omitempty"`
+	Chaos  *chaosConfig   `json:"chaos,omitempty"`
+}
+
+// chaosConfig parameterises the seeded fault generator (rates are per hour,
+// durations in seconds). The scenario seed drives the generator, so replicas
+// under -seeds each get their own storm and equal seeds reproduce exactly.
+type chaosConfig struct {
+	NodeCrashesPerHour      float64  `json:"nodeCrashesPerHour,omitempty"`
+	MeanNodeDowntimeSec     float64  `json:"meanNodeDowntimeSec,omitempty"`
+	LinkFlapsPerHour        float64  `json:"linkFlapsPerHour,omitempty"`
+	MeanLinkDowntimeSec     float64  `json:"meanLinkDowntimeSec,omitempty"`
+	ProbeLossWindowsPerHour float64  `json:"probeLossWindowsPerHour,omitempty"`
+	MeanProbeLossWindowSec  float64  `json:"meanProbeLossWindowSec,omitempty"`
+	Protected               []string `json:"protected,omitempty"`
+}
+
+// buildSchedule assembles the scenario's fault schedule, nil when the
+// scenario declares no faults.
+func buildSchedule(sc scenario, topo *mesh.Topology, horizon time.Duration) *faults.Schedule {
+	if len(sc.Faults) == 0 && sc.Chaos == nil {
+		return nil
+	}
+	sched := &faults.Schedule{Events: append([]faults.Event(nil), sc.Faults...)}
+	if c := sc.Chaos; c != nil {
+		gen := faults.Generate(topo, faults.GeneratorConfig{
+			Seed:                    sc.Seed,
+			Horizon:                 horizon,
+			NodeCrashesPerHour:      c.NodeCrashesPerHour,
+			MeanNodeDowntime:        time.Duration(c.MeanNodeDowntimeSec * float64(time.Second)),
+			LinkFlapsPerHour:        c.LinkFlapsPerHour,
+			MeanLinkDowntime:        time.Duration(c.MeanLinkDowntimeSec * float64(time.Second)),
+			ProbeLossWindowsPerHour: c.ProbeLossWindowsPerHour,
+			MeanProbeLossWindow:     time.Duration(c.MeanProbeLossWindowSec * float64(time.Second)),
+			Protected:               c.Protected,
+		})
+		sched.Events = append(sched.Events, gen.Events...)
+	}
+	sched.Sort()
+	return sched
 }
 
 func exampleScenario() scenario {
@@ -223,6 +275,13 @@ func execute(sc scenario, out io.Writer) error {
 	}
 	defer sim.Close()
 
+	sched := buildSchedule(sc, topo, horizon)
+	if sched != nil {
+		if _, err := sim.InjectFaults(sched); err != nil {
+			return err
+		}
+	}
+
 	report, err := deployApp(sc, sim, out)
 	if err != nil {
 		return err
@@ -240,7 +299,37 @@ func execute(sc scenario, out io.Writer) error {
 	stats := sim.Orch.Monitor().Stats()
 	fmt.Fprintf(out, "probing: %d full, %d headroom, %.1f Mbit injected\n",
 		stats.FullProbes, stats.HeadroomProbes, stats.OverheadMbits)
+	if sched != nil {
+		reportRecovery(sim, sched, out)
+	}
 	return nil
+}
+
+// reportRecovery prints the failure-handling summary for runs with faults.
+// Runs without a fault schedule never reach here, so fault-free scenario
+// output is byte-identical to earlier releases.
+func reportRecovery(sim *core.Simulation, sched *faults.Schedule, out io.Writer) {
+	var parts []string
+	for _, c := range sched.Counts() {
+		parts = append(parts, fmt.Sprintf("%s=%d", c.Type, c.Count))
+	}
+	fmt.Fprintf(out, "faults: %s\n", strings.Join(parts, " "))
+	rep := sim.Orch.RecoveryReport()
+	fmt.Fprintf(out, "recovery: detections=%d failovers=%d queued=%d mttrMean=%.1fs mttrMax=%.1fs transfersFailed=%d\n",
+		len(rep.Detections), len(rep.Failovers), rep.QueuedNow,
+		rep.MTTRMean.Seconds(), rep.MTTRMax.Seconds(), sim.Net.FailedTransfers())
+	for _, d := range rep.Detections {
+		fmt.Fprintf(out, "  t=%.0fs node-down %s (%d components stranded)\n",
+			d.DetectedAt.Seconds(), d.Node, d.Components)
+	}
+	for _, fo := range rep.Failovers {
+		src := ""
+		if fo.FromQueue {
+			src = " (from queue)"
+		}
+		fmt.Fprintf(out, "  t=%.0fs failover %s/%s: %s -> %s attempts=%d%s\n",
+			fo.At.Seconds(), fo.App, fo.Component, fo.From, fo.To, fo.Attempts, src)
+	}
 }
 
 func buildTopology(sc scenario, horizon time.Duration) (*mesh.Topology, []cluster.Node, error) {

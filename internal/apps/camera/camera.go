@@ -234,8 +234,12 @@ func (a *App) publishFrame() {
 	_, err := a.env.Net().AddTransfer(
 		a.env.Tag(CompCamera, CompSampler), src, dst,
 		a.cfg.FrameKB*1e3, a.cfg.PaceMbps,
-		func(_ simnet.TransferResult) {
+		func(r simnet.TransferResult) {
 			a.inflightIngest--
+			if r.Failed {
+				a.framesDropped++
+				return
+			}
 			a.onFrameAtSampler(birth)
 		},
 	)
@@ -262,8 +266,12 @@ func (a *App) onFrameAtSampler(birth time.Duration) {
 		_, err := a.env.Net().AddTransfer(
 			a.env.Tag(CompSampler, CompDetector), src, dst,
 			a.cfg.FrameKB*1e3, a.cfg.PaceMbps,
-			func(_ simnet.TransferResult) {
+			func(r simnet.TransferResult) {
 				a.inflightDetect--
+				if r.Failed {
+					a.framesDropped++
+					return
+				}
 				a.onFrameAtDetector(birth)
 			},
 		)
@@ -304,8 +312,12 @@ func (a *App) onDetectionDone(birth time.Duration) {
 	_, err := a.env.Net().AddTransfer(
 		a.env.Tag(CompDetector, CompImgListener), src, dst,
 		a.cfg.AnnotatedKB*1e3, a.cfg.PaceMbps,
-		func(_ simnet.TransferResult) {
+		func(r simnet.TransferResult) {
 			a.inflightOut--
+			if r.Failed {
+				a.framesDropped++
+				return
+			}
 			a.framesAnnotated++
 			a.latency.Observe(a.env.Now(), a.env.Now()-birth)
 		},

@@ -18,6 +18,7 @@ var (
 	ErrAlreadyPlaced     = errors.New("cluster: component already placed")
 	ErrNotPlaced         = errors.New("cluster: component not placed")
 	ErrNodeUnschedulable = errors.New("cluster: node unschedulable")
+	ErrNodeCordoned      = errors.New("cluster: node cordoned")
 )
 
 // Node describes one compute node.
@@ -51,6 +52,12 @@ type Cluster struct {
 	usedCPU    map[string]float64
 	usedMem    map[string]float64
 	placements map[string]Placement // key: app/component
+
+	// cordoned marks nodes temporarily closed to new placements (crashed or
+	// suspected down). Unlike Node.Unschedulable — a static property of
+	// control-plane hosts — cordons come and go at runtime and block even
+	// zero-resource placements: nothing can land on a dead machine.
+	cordoned map[string]bool
 }
 
 // New returns a cluster with the given nodes.
@@ -60,6 +67,7 @@ func New(nodes ...Node) (*Cluster, error) {
 		usedCPU:    make(map[string]float64, len(nodes)),
 		usedMem:    make(map[string]float64, len(nodes)),
 		placements: make(map[string]Placement),
+		cordoned:   make(map[string]bool),
 	}
 	for _, n := range nodes {
 		if err := c.AddNode(n); err != nil {
@@ -110,16 +118,40 @@ func (c *Cluster) Nodes() []string {
 	return out
 }
 
-// SchedulableNodes returns names of nodes that may run components.
+// SchedulableNodes returns names of nodes that may run components, excluding
+// cordoned ones.
 func (c *Cluster) SchedulableNodes() []string {
 	var out []string
 	for _, name := range c.order {
-		if !c.nodes[name].Unschedulable {
+		if !c.nodes[name].Unschedulable && !c.cordoned[name] {
 			out = append(out, name)
 		}
 	}
 	return out
 }
+
+// Cordon closes a node to new placements. Existing placements stay recorded
+// (the orchestrator decides what to evacuate); cordoning an already-cordoned
+// node is a no-op.
+func (c *Cluster) Cordon(name string) error {
+	if _, ok := c.nodes[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, name)
+	}
+	c.cordoned[name] = true
+	return nil
+}
+
+// Uncordon reopens a node to placements.
+func (c *Cluster) Uncordon(name string) error {
+	if _, ok := c.nodes[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, name)
+	}
+	delete(c.cordoned, name)
+	return nil
+}
+
+// Cordoned reports whether a node is currently cordoned.
+func (c *Cluster) Cordoned(name string) bool { return c.cordoned[name] }
 
 // FreeCPU reports unallocated cores on a node (0 for unknown nodes).
 func (c *Cluster) FreeCPU(node string) float64 {
@@ -146,6 +178,9 @@ func (c *Cluster) Fits(node string, cpu, memMB float64) bool {
 	if !ok {
 		return false
 	}
+	if c.cordoned[node] {
+		return false
+	}
 	if n.Unschedulable {
 		return cpu == 0 && memMB == 0
 	}
@@ -158,6 +193,9 @@ func (c *Cluster) Place(p Placement) error {
 	n, ok := c.nodes[p.Node]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownNode, p.Node)
+	}
+	if c.cordoned[p.Node] {
+		return fmt.Errorf("%w: %q", ErrNodeCordoned, p.Node)
 	}
 	if n.Unschedulable && (p.CPU > 0 || p.MemoryMB > 0) {
 		// Zero-resource placements model external endpoints (load
@@ -294,6 +332,10 @@ func (c *Cluster) Clone() *Cluster {
 		usedCPU:    make(map[string]float64, len(c.usedCPU)),
 		usedMem:    make(map[string]float64, len(c.usedMem)),
 		placements: make(map[string]Placement, len(c.placements)),
+		cordoned:   make(map[string]bool, len(c.cordoned)),
+	}
+	for k, v := range c.cordoned {
+		out.cordoned[k] = v
 	}
 	for k, v := range c.nodes {
 		out.nodes[k] = v

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -215,5 +216,117 @@ func TestAllocationNeverNegative(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestCordon(t *testing.T) {
+	c := threeNodes(t)
+	if err := c.Cordon("ghost"); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("cordon unknown node: %v", err)
+	}
+	if err := c.Cordon("n2"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Cordoned("n2") {
+		t.Error("n2 not reported cordoned")
+	}
+	// Cordon blocks even zero-resource placements — unlike capacity checks.
+	if err := c.Place(Placement{App: "a", Component: "x", Node: "n2"}); !errors.Is(err, ErrNodeCordoned) {
+		t.Errorf("place on cordoned node: %v", err)
+	}
+	if c.Fits("n2", 0, 0) {
+		t.Error("Fits(0,0) true on cordoned node")
+	}
+	if got := c.SchedulableNodes(); len(got) != 1 || got[0] != "n1" {
+		t.Errorf("SchedulableNodes = %v, want [n1]", got)
+	}
+	if err := c.Uncordon("n2"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Cordoned("n2") {
+		t.Error("n2 still cordoned after Uncordon")
+	}
+	if err := c.Place(Placement{App: "a", Component: "x", Node: "n2", CPU: 1}); err != nil {
+		t.Errorf("place after uncordon: %v", err)
+	}
+}
+
+func TestCloneCopiesCordonSet(t *testing.T) {
+	c := threeNodes(t)
+	if err := c.Cordon("n1"); err != nil {
+		t.Fatal(err)
+	}
+	clone := c.Clone()
+	if !clone.Cordoned("n1") {
+		t.Error("clone lost cordon state")
+	}
+	if err := clone.Uncordon("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Cordoned("n1") {
+		t.Error("uncordon on clone leaked into original")
+	}
+}
+
+// TestMoveToCordonedNodeRestores checks a move into a cordoned node rolls
+// back cleanly: same node, same accounting.
+func TestMoveToCordonedNodeRestores(t *testing.T) {
+	c := threeNodes(t)
+	if err := c.Place(Placement{App: "a", Component: "x", Node: "n1", CPU: 2, MemoryMB: 512}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cordon("n2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Move("a", "x", "n2"); !errors.Is(err, ErrNodeCordoned) {
+		t.Fatalf("move to cordoned node: %v", err)
+	}
+	if got := c.NodeOf("a", "x"); got != "n1" {
+		t.Errorf("x on %q after rolled-back move, want n1", got)
+	}
+	if got := c.FreeCPU("n1"); got != 6 {
+		t.Errorf("n1 free CPU = %v after rollback, want 6", got)
+	}
+	if got := c.FreeCPU("n2"); got != 4 {
+		t.Errorf("n2 free CPU = %v, want untouched 4", got)
+	}
+}
+
+// TestMoveRestoreFailure drives the restore-after-failed-move branch: the
+// origin is cordoned under the in-flight move, so the rollback Place fails
+// too and Move must report both errors and leave the component unplaced —
+// the caller's signal that manual re-placement is required.
+func TestMoveRestoreFailure(t *testing.T) {
+	c := threeNodes(t)
+	if err := c.Place(Placement{App: "a", Component: "x", Node: "n1", CPU: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cordon("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cordon("n2"); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Move("a", "x", "n2")
+	if err == nil {
+		t.Fatal("move between cordoned nodes succeeded")
+	}
+	// The wrapped chain carries the original placement error; the message
+	// names the restore failure.
+	if !errors.Is(err, ErrNodeCordoned) {
+		t.Errorf("err = %v, want ErrNodeCordoned in chain", err)
+	}
+	if want := "restore after failed move"; !strings.Contains(err.Error(), want) {
+		t.Errorf("err %q does not mention %q", err, want)
+	}
+	if got := c.NodeOf("a", "x"); got != "" {
+		t.Errorf("x still placed on %q after double failure", got)
+	}
+	// The failed restore must not leak the allocation either way.
+	if got := c.FreeCPU("n1"); got != 8 {
+		t.Errorf("n1 free CPU = %v, want 8 (x evicted)", got)
+	}
+	if got := c.FreeCPU("n2"); got != 4 {
+		t.Errorf("n2 free CPU = %v, want 4", got)
 	}
 }

@@ -6,7 +6,7 @@
 package controller
 
 import (
-	"fmt"
+	"errors"
 	"time"
 
 	"bass/internal/dag"
@@ -26,6 +26,11 @@ type Config struct {
 	// ReMigrationInterval is the minimum spacing between migrations of the
 	// same component, preventing thrash.
 	ReMigrationInterval time.Duration
+	// FailureThreshold is the number of consecutive failed probe sweeps on
+	// EVERY link of a node before the controller declares it down (default 3).
+	// Lower detects faster; higher tolerates longer probe-loss windows
+	// without false positives.
+	FailureThreshold int
 }
 
 // DefaultConfig returns the paper's defaults: 50% thresholds, one probing
@@ -35,6 +40,7 @@ func DefaultConfig() Config {
 		Migration:           scheduler.DefaultMigrationConfig(),
 		Cooldown:            30 * time.Second,
 		ReMigrationInterval: 2 * time.Minute,
+		FailureThreshold:    3,
 	}
 }
 
@@ -50,6 +56,17 @@ type Decision struct {
 	Report scheduler.MigrationReport
 	// HeadroomEvents are the probe observations that fed the decision.
 	HeadroomEvents []netmon.HeadroomEvent
+	// ProbeErrors are the links that could not be probed this cycle (link
+	// down, endpoint crashed, or measurement loss), including failures of the
+	// full probes triggered by FullProbeLinks.
+	ProbeErrors []netmon.ProbeError
+	// NodesDown lists nodes newly declared dead this cycle: every one of
+	// their links has failed FailureThreshold consecutive sweeps. Only
+	// transitions are reported — a node stays in the controller's dead set,
+	// not in every Decision.
+	NodesDown []string
+	// NodesRecovered lists previously-dead nodes that answered a probe again.
+	NodesRecovered []string
 }
 
 // Controller tracks violation persistence across evaluation cycles. Drive it
@@ -63,6 +80,10 @@ type Controller struct {
 	firstViolation map[string]time.Duration
 	lastMigration  map[string]time.Duration
 	migrations     int
+
+	// deadNodes holds the controller's current node-down verdicts, so
+	// Decisions report transitions rather than repeating standing state.
+	deadNodes map[string]bool
 }
 
 // New builds a controller over the monitor. now supplies (virtual) time.
@@ -70,12 +91,16 @@ func New(monitor *netmon.Monitor, cfg Config, now func() time.Duration) *Control
 	if cfg.Migration.UtilizationThreshold == 0 && cfg.Migration.GoodputFloor == 0 {
 		cfg.Migration = scheduler.DefaultMigrationConfig()
 	}
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 3
+	}
 	return &Controller{
 		cfg:            cfg,
 		monitor:        monitor,
 		now:            now,
 		firstViolation: make(map[string]time.Duration),
 		lastMigration:  make(map[string]time.Duration),
+		deadNodes:      make(map[string]bool),
 	}
 }
 
@@ -93,10 +118,7 @@ func (c *Controller) Migrations() int { return c.migrations }
 // by a monitoring interval; fullProbe (optional) refreshes one link's cached
 // capacity.
 func (c *Controller) Evaluate(g *dag.Graph, usagesFn func() []scheduler.DependencyUsage, fullProbe func(mesh.LinkID) error) (Decision, error) {
-	events, err := c.monitor.HeadroomProbeAll()
-	if err != nil {
-		return Decision{}, fmt.Errorf("controller: headroom probing: %w", err)
-	}
+	events, probeErrs := c.monitor.HeadroomProbeAll()
 	var probeLinks []mesh.LinkID
 	for _, ev := range events {
 		if ev.Changed || ev.Violated {
@@ -105,10 +127,36 @@ func (c *Controller) Evaluate(g *dag.Graph, usagesFn func() []scheduler.Dependen
 	}
 	if fullProbe != nil {
 		for _, link := range probeLinks {
-			// A stale capacity estimate would mis-rank migration targets.
-			_ = fullProbe(link)
+			// A stale capacity estimate would mis-rank migration targets. A
+			// failed refresh is not fatal to the cycle — migration decisions
+			// proceed on the cached estimate — but it is evidence (the link
+			// may have just died), so it joins the decision's probe errors.
+			if err := fullProbe(link); err != nil {
+				var pe netmon.ProbeError
+				if !errors.As(err, &pe) {
+					pe = netmon.ProbeError{Link: link, Op: "full", Err: err}
+				}
+				probeErrs = append(probeErrs, pe)
+			}
 		}
 	}
+
+	// Failure detection: a node whose every link has failed FailureThreshold
+	// consecutive sweeps is declared down; one answered probe brings it back.
+	// Only transitions are reported.
+	var nodesDown, nodesRecovered []string
+	for _, node := range c.monitor.Nodes() {
+		floor := c.monitor.NodeFailureFloor(node)
+		switch {
+		case floor >= c.cfg.FailureThreshold && !c.deadNodes[node]:
+			c.deadNodes[node] = true
+			nodesDown = append(nodesDown, node)
+		case floor == 0 && c.deadNodes[node]:
+			delete(c.deadNodes, node)
+			nodesRecovered = append(nodesRecovered, node)
+		}
+	}
+
 	usages := usagesFn()
 
 	// Components inside their re-migration guard cannot be candidates; their
@@ -149,8 +197,14 @@ func (c *Controller) Evaluate(g *dag.Graph, usagesFn func() []scheduler.Dependen
 		Migrate:        migrate,
 		Report:         report,
 		HeadroomEvents: events,
+		ProbeErrors:    probeErrs,
+		NodesDown:      nodesDown,
+		NodesRecovered: nodesRecovered,
 	}, nil
 }
+
+// NodeDown reports whether the controller currently considers a node dead.
+func (c *Controller) NodeDown(node string) bool { return c.deadNodes[node] }
 
 // RecordMigration notes that a component was actually migrated, starting its
 // re-migration guard and clearing its violation clock.

@@ -214,6 +214,144 @@ func TestEvaluateRequestsFullProbesOnHeadroomChange(t *testing.T) {
 	}
 }
 
+// failureFixture builds an a-b-c line where node c can crash while a-b stays
+// probeable, plus an empty usage function.
+func failureFixture(t testing.TB, threshold int) (*fixture, *mesh.Topology) {
+	t.Helper()
+	topo := mesh.Line([]string{"a", "b", "c"}, 25, time.Millisecond, time.Hour)
+	eng := sim.NewEngine(1)
+	net := simnet.New(eng, topo)
+	net.Start()
+	mon := netmon.New(topo, net.Prober(), netmon.DefaultConfig(), eng.Now)
+	if err := mon.FullProbeAll(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.FailureThreshold = threshold
+	g := dag.NewGraph("app")
+	g.MustAddComponent(dag.Component{Name: "x", CPU: 1})
+	return &fixture{eng: eng, net: net, mon: mon, ctrl: New(mon, cfg, eng.Now), g: g}, topo
+}
+
+func noUsage() []scheduler.DependencyUsage { return nil }
+
+func TestNodeDownVerdictAfterKFailures(t *testing.T) {
+	f, topo := failureFixture(t, 3)
+	if err := topo.SetNodeUp("c", false); err != nil {
+		t.Fatal(err)
+	}
+	f.net.ApplyTopologyState()
+
+	for cycle := 1; cycle <= 2; cycle++ {
+		d, err := f.ctrl.Evaluate(f.g, noUsage, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d.NodesDown) != 0 {
+			t.Fatalf("cycle %d: premature verdict %v", cycle, d.NodesDown)
+		}
+		if len(d.ProbeErrors) != 1 || d.ProbeErrors[0].Link != mesh.MakeLinkID("b", "c") {
+			t.Fatalf("cycle %d: probe errors = %v", cycle, d.ProbeErrors)
+		}
+	}
+	d, err := f.ctrl.Evaluate(f.g, noUsage, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.NodesDown) != 1 || d.NodesDown[0] != "c" {
+		t.Fatalf("third cycle verdict = %v, want [c]", d.NodesDown)
+	}
+	if !f.ctrl.NodeDown("c") {
+		t.Error("NodeDown(c) = false after verdict")
+	}
+	// Standing state is not re-reported.
+	d, err = f.ctrl.Evaluate(f.g, noUsage, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.NodesDown) != 0 {
+		t.Errorf("verdict repeated: %v", d.NodesDown)
+	}
+
+	// Recovery transitions back exactly once.
+	if err := topo.SetNodeUp("c", true); err != nil {
+		t.Fatal(err)
+	}
+	f.net.ApplyTopologyState()
+	d, err = f.ctrl.Evaluate(f.g, noUsage, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.NodesRecovered) != 1 || d.NodesRecovered[0] != "c" {
+		t.Errorf("recovery = %v, want [c]", d.NodesRecovered)
+	}
+	if f.ctrl.NodeDown("c") {
+		t.Error("NodeDown(c) still true after recovery")
+	}
+}
+
+func TestProbeLossAloneNeverKillsAConnectedNode(t *testing.T) {
+	f, _ := failureFixture(t, 2)
+	// b-c probes are lossy, but b's other link (a-b) keeps answering: b must
+	// never be declared down, and c (whose only link is lossy) must be —
+	// indistinguishable from a crash, which is the detector's stated limit.
+	f.net.SetProbeLoss(mesh.MakeLinkID("b", "c"), true)
+	var cDown bool
+	for i := 0; i < 5; i++ {
+		d, err := f.ctrl.Evaluate(f.g, noUsage, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range d.NodesDown {
+			if n == "b" {
+				t.Fatalf("cycle %d: declared b down with a healthy link", i)
+			}
+			if n == "c" {
+				cDown = true
+			}
+		}
+	}
+	if !cDown {
+		t.Error("c (all links lossy) never declared down")
+	}
+}
+
+func TestEvaluateSurfacesFullProbeErrors(t *testing.T) {
+	f, topo := failureFixture(t, 3)
+	// Prime spare-capacity history so the next sweep reports changes.
+	if _, err := f.ctrl.Evaluate(f.g, noUsage, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Load a link so its headroom changes, then kill it between the headroom
+	// sweep's observation and nothing else: the full probe must fail and the
+	// failure must surface on the decision instead of being swallowed.
+	if _, err := f.net.AddStream("load", "a", "b", 20); err != nil {
+		t.Fatal(err)
+	}
+	ab := mesh.MakeLinkID("a", "b")
+	fullProbe := func(id mesh.LinkID) error {
+		if id == ab {
+			if err := topo.SetLinkUp("a", "b", false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f.mon.FullProbe(id)
+	}
+	d, err := f.ctrl.Evaluate(f.g, noUsage, fullProbe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var surfaced bool
+	for _, pe := range d.ProbeErrors {
+		if pe.Link == ab && pe.Op == "full" {
+			surfaced = true
+		}
+	}
+	if !surfaced {
+		t.Errorf("full-probe failure not surfaced; probe errors = %v", d.ProbeErrors)
+	}
+}
+
 func TestDefaultConfigFilled(t *testing.T) {
 	c := New(nil, Config{}, func() time.Duration { return 0 })
 	if c.Config().Migration.UtilizationThreshold == 0 {

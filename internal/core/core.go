@@ -100,6 +100,14 @@ type Config struct {
 	// ProfilingPeakFactor is the burst headroom applied to observed peaks
 	// (default 1.6, the same factor the social-network profile uses).
 	ProfilingPeakFactor float64
+	// FailoverMaxRetries bounds placement attempts for a component stranded
+	// by a node failure before it parks in the recovery queue (default 5).
+	FailoverMaxRetries int
+	// FailoverBackoffBase is the first retry delay after a failed failover
+	// placement; each subsequent retry doubles it (default 5 s).
+	FailoverBackoffBase time.Duration
+	// FailoverBackoffMax caps the retry delay (default 2 min).
+	FailoverBackoffMax time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +125,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProfilingPeakFactor == 0 {
 		c.ProfilingPeakFactor = 1.6
+	}
+	if c.FailoverMaxRetries == 0 {
+		c.FailoverMaxRetries = 5
+	}
+	if c.FailoverBackoffBase == 0 {
+		c.FailoverBackoffBase = 5 * time.Second
+	}
+	if c.FailoverBackoffMax == 0 {
+		c.FailoverBackoffMax = 2 * time.Minute
 	}
 	return c
 }
@@ -162,6 +179,12 @@ type Orchestrator struct {
 	schedLatNS  []float64          // per-component scheduling latencies (Table 3)
 	dagProcNS   []float64          // DAG processing times (Table 4)
 	edgePeaks   map[string]float64 // tag → peak observed Mbps (online profiling)
+
+	// Failure-handling state (see failover.go).
+	detections    []DetectionRecord
+	failovers     []FailoverEvent
+	mttrs         []time.Duration
+	failoverQueue []*pendingFailover
 }
 
 // New wires an orchestrator over an engine, topology, network, and cluster.
@@ -396,7 +419,10 @@ func (o *Orchestrator) EdgePeakMbps(appName, from, to string) float64 {
 	return o.edgePeaks[app.env.Tag(from, to)]
 }
 
-// controlCycle runs one controller evaluation across all apps.
+// controlCycle runs one controller evaluation across all apps. Node
+// liveness transitions (verdicts and recoveries) surface on whichever app's
+// evaluation first observes them and are handled globally — failover
+// evacuates the dead node's components for every app, not just the observer.
 func (o *Orchestrator) controlCycle() {
 	for _, name := range o.appOrder {
 		app := o.apps[name]
@@ -405,7 +431,13 @@ func (o *Orchestrator) controlCycle() {
 			func() []scheduler.DependencyUsage { return o.usages(app) },
 			o.monitor.FullProbe)
 		if err != nil {
-			continue // probing failure: retry next cycle
+			continue // evaluation failure: retry next cycle
+		}
+		for _, node := range decision.NodesDown {
+			o.handleNodeDown(node)
+		}
+		for _, node := range decision.NodesRecovered {
+			o.handleNodeRecovered(node)
 		}
 		migrated := 0
 		for _, comp := range decision.Migrate {
@@ -420,6 +452,9 @@ func (o *Orchestrator) controlCycle() {
 			Migrated:   migrated,
 		})
 	}
+	// Capacity can return without a node-recovery transition (e.g. another
+	// app released resources): give queued components a chance every cycle.
+	o.drainFailoverQueue()
 }
 
 // migrate moves one component to the best target node, reporting success.

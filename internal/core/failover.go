@@ -1,0 +1,246 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"bass/internal/cluster"
+	"bass/internal/scheduler"
+	"bass/internal/simnet"
+)
+
+// DetectionRecord logs one node-down verdict from the controller.
+type DetectionRecord struct {
+	Node       string
+	DetectedAt time.Duration
+	// Components is how many placed components were stranded on the node.
+	Components int
+}
+
+// FailoverEvent records one component successfully re-placed after its host
+// was declared down.
+type FailoverEvent struct {
+	At        time.Duration
+	App       string
+	Component string
+	From, To  string
+	// Attempts is how many placement attempts it took (1 = first try).
+	Attempts int
+	// FromQueue marks components that exhausted their retries and waited in
+	// the recovery queue until capacity returned.
+	FromQueue bool
+}
+
+// RecoveryReport summarises failure handling over a run.
+type RecoveryReport struct {
+	Detections []DetectionRecord
+	Failovers  []FailoverEvent
+	// QueuedNow counts components still waiting for capacity at report time.
+	QueuedNow int
+	// MTTRMean and MTTRMax measure detection→service-restored per failover:
+	// the time from the node-down verdict until the component finished
+	// restarting on its new host (re-placement plus restart downtime). Time
+	// between the actual crash and its detection is not included — the
+	// control plane cannot observe it; add the detector's worst case
+	// (FailureThreshold × MonitorInterval) for crash-to-recovery bounds.
+	MTTRMean time.Duration
+	MTTRMax  time.Duration
+}
+
+// pendingFailover is one stranded component working through placement
+// retries.
+type pendingFailover struct {
+	app        string
+	component  string
+	fromNode   string
+	detectedAt time.Duration
+	attempts   int
+}
+
+// handleNodeDown reacts to a controller node-down verdict: cordon the node so
+// nothing new lands there, evacuate every placement it held (across all
+// apps, in deterministic order), and start re-placing each component.
+// Components that cannot be placed anywhere are queued until capacity
+// returns. Untouched components keep serving throughout — only flows that
+// crossed the dead node were disturbed, and the network already handled
+// those.
+func (o *Orchestrator) handleNodeDown(node string) {
+	now := o.eng.Now()
+	if err := o.clus.Cordon(node); err != nil {
+		return // unknown to the cluster: nothing placed there
+	}
+	var stranded []pendingFailover
+	for _, appName := range o.appOrder {
+		for _, comp := range o.clus.ComponentsOn(appName, node) { // sorted
+			if err := o.clus.Remove(appName, comp); err != nil {
+				continue
+			}
+			stranded = append(stranded, pendingFailover{
+				app:        appName,
+				component:  comp,
+				fromNode:   node,
+				detectedAt: now,
+			})
+		}
+	}
+	o.detections = append(o.detections, DetectionRecord{
+		Node: node, DetectedAt: now, Components: len(stranded),
+	})
+	for i := range stranded {
+		p := stranded[i]
+		o.tryFailover(&p)
+	}
+}
+
+// handleNodeRecovered reopens a node the controller saw answering probes
+// again and immediately retries the recovery queue: the returning capacity is
+// exactly what queued components were waiting for.
+func (o *Orchestrator) handleNodeRecovered(node string) {
+	if err := o.clus.Uncordon(node); err != nil {
+		return
+	}
+	o.drainFailoverQueue()
+}
+
+// tryFailover attempts to re-place one stranded component. Placement failures
+// retry with exponential backoff (base × 2^attempt, capped) up to the
+// configured attempt budget, then park in the recovery queue.
+func (o *Orchestrator) tryFailover(p *pendingFailover) {
+	app, ok := o.apps[p.app]
+	if !ok {
+		return
+	}
+	p.attempts++
+	if o.placeFailover(app, p) {
+		return
+	}
+	if p.attempts >= o.cfg.FailoverMaxRetries {
+		o.failoverQueue = append(o.failoverQueue, p)
+		return
+	}
+	delay := o.cfg.FailoverBackoffBase << (p.attempts - 1)
+	if delay > o.cfg.FailoverBackoffMax {
+		delay = o.cfg.FailoverBackoffMax
+	}
+	o.eng.At(o.eng.Now()+delay, func() { o.tryFailover(p) })
+}
+
+// placeFailover runs the failover target choice and commits the placement,
+// reporting success.
+func (o *Orchestrator) placeFailover(app *deployedApp, p *pendingFailover) bool {
+	comp, err := app.graph.Component(p.component)
+	if err != nil {
+		return true // component no longer in the graph: drop silently
+	}
+	assignment := make(scheduler.Assignment)
+	for _, c := range app.graph.Components() {
+		if node := o.clus.NodeOf(app.name, c); node != "" {
+			assignment[c] = node
+		}
+	}
+	target, err := scheduler.ChooseFailoverTarget(
+		app.graph, p.component, assignment, o.nodeInfos(),
+		func(a, b string) float64 {
+			spare, networked, perr := o.monitor.PathSpareMbps(a, b)
+			if perr != nil {
+				return 0
+			}
+			if !networked {
+				return simnet.LocalMbps
+			}
+			return spare
+		},
+		o.ctrl.Config().Migration,
+	)
+	if err != nil {
+		return false
+	}
+	if err := o.clus.Place(cluster.Placement{
+		App:       app.name,
+		Component: p.component,
+		Node:      target,
+		CPU:       comp.CPU,
+		MemoryMB:  comp.MemoryMB,
+	}); err != nil {
+		return false
+	}
+	o.failovers = append(o.failovers, FailoverEvent{
+		At:        o.eng.Now(),
+		App:       app.name,
+		Component: p.component,
+		From:      p.fromNode,
+		To:        target,
+		Attempts:  p.attempts,
+		FromQueue: p.attempts > o.cfg.FailoverMaxRetries,
+	})
+	o.mttrs = append(o.mttrs, o.eng.Now()+o.cfg.MigrationDowntime-p.detectedAt)
+	// The component restarts cold on the new node; state on the dead host is
+	// unreachable, so only the restart cost applies — never a state transfer.
+	app.workload.OnMigration(app.env, p.component, p.fromNode, target, o.cfg.MigrationDowntime)
+	return true
+}
+
+// drainFailoverQueue retries every queued component once, keeping those that
+// still do not fit. Queue order is arrival order, so draining is
+// deterministic.
+func (o *Orchestrator) drainFailoverQueue() {
+	if len(o.failoverQueue) == 0 {
+		return
+	}
+	queue := o.failoverQueue
+	o.failoverQueue = o.failoverQueue[:0]
+	for _, p := range queue {
+		app, ok := o.apps[p.app]
+		if !ok {
+			continue
+		}
+		p.attempts++
+		if !o.placeFailover(app, p) {
+			o.failoverQueue = append(o.failoverQueue, p)
+		}
+	}
+}
+
+// RecoveryReport summarises detections, failovers, and the current queue.
+func (o *Orchestrator) RecoveryReport() RecoveryReport {
+	r := RecoveryReport{
+		Detections: append([]DetectionRecord(nil), o.detections...),
+		Failovers:  append([]FailoverEvent(nil), o.failovers...),
+		QueuedNow:  len(o.failoverQueue),
+	}
+	if len(o.mttrs) > 0 {
+		var sum time.Duration
+		for _, d := range o.mttrs {
+			sum += d
+			if d > r.MTTRMax {
+				r.MTTRMax = d
+			}
+		}
+		r.MTTRMean = sum / time.Duration(len(o.mttrs))
+	}
+	return r
+}
+
+// Failovers returns the failover log.
+func (o *Orchestrator) Failovers() []FailoverEvent {
+	out := make([]FailoverEvent, len(o.failovers))
+	copy(out, o.failovers)
+	return out
+}
+
+// Detections returns the node-down detection log.
+func (o *Orchestrator) Detections() []DetectionRecord {
+	out := make([]DetectionRecord, len(o.detections))
+	copy(out, o.detections)
+	return out
+}
+
+// QueuedFailovers lists components currently waiting for capacity, sorted.
+func (o *Orchestrator) QueuedFailovers() []string {
+	out := make([]string, 0, len(o.failoverQueue))
+	for _, p := range o.failoverQueue {
+		out = append(out, p.app+"/"+p.component)
+	}
+	sort.Strings(out)
+	return out
+}

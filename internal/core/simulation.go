@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"bass/internal/cluster"
+	"bass/internal/faults"
 	"bass/internal/mesh"
 	"bass/internal/sim"
 	"bass/internal/simnet"
@@ -56,6 +57,59 @@ func NewSimulation(topo *mesh.Topology, nodes []cluster.Node, seed int64, cfg Co
 // Run advances virtual time to the horizon.
 func (s *Simulation) Run(until time.Duration) error {
 	return s.Eng.Run(until)
+}
+
+// InjectFaults validates a fault schedule against the topology and arms its
+// events on the engine, with the simulation itself as the fault target.
+func (s *Simulation) InjectFaults(sched *faults.Schedule) (*faults.Injector, error) {
+	if err := sched.Validate(s.Topo); err != nil {
+		return nil, err
+	}
+	return faults.Inject(s.Eng, sched, s), nil
+}
+
+// The Simulation is the faults.Target: events flip availability in the
+// topology, then ApplyTopologyState propagates the change to the data plane
+// (zeroed capacities, rerouted flows, parked streams, failed transfers).
+// Detection and failover happen through the regular monitoring path — the
+// orchestrator learns of a crash the way a real control plane does, from
+// probes failing, never from the injector telling it.
+
+// NodeDown implements faults.Target.
+func (s *Simulation) NodeDown(name string) {
+	if err := s.Topo.SetNodeUp(name, false); err != nil {
+		return
+	}
+	s.Net.ApplyTopologyState()
+}
+
+// NodeUp implements faults.Target.
+func (s *Simulation) NodeUp(name string) {
+	if err := s.Topo.SetNodeUp(name, true); err != nil {
+		return
+	}
+	s.Net.ApplyTopologyState()
+}
+
+// LinkDown implements faults.Target.
+func (s *Simulation) LinkDown(id mesh.LinkID) {
+	if err := s.Topo.SetLinkUp(id.A, id.B, false); err != nil {
+		return
+	}
+	s.Net.ApplyTopologyState()
+}
+
+// LinkUp implements faults.Target.
+func (s *Simulation) LinkUp(id mesh.LinkID) {
+	if err := s.Topo.SetLinkUp(id.A, id.B, true); err != nil {
+		return
+	}
+	s.Net.ApplyTopologyState()
+}
+
+// SetProbeLoss implements faults.Target.
+func (s *Simulation) SetProbeLoss(id mesh.LinkID, lossy bool) {
+	s.Net.SetProbeLoss(id, lossy)
 }
 
 // Close stops periodic activity (network ticks, controller loop).

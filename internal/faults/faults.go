@@ -1,0 +1,157 @@
+// Package faults models the failures a volunteer-run community mesh actually
+// suffers — node crashes, link outages and flaps, probe-loss windows — as a
+// deterministic, seedable schedule of discrete events injected into the
+// simulation. The paper's premise is that community Wi-Fi nodes are flaky;
+// this package turns that flakiness into reproducible scenarios: the same
+// schedule and seed always produce byte-identical runs, preserving the
+// repository's determinism contract.
+package faults
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"bass/internal/mesh"
+)
+
+// EventType enumerates fault event kinds.
+type EventType string
+
+// Fault event kinds. Crash/recover and down/up events come in pairs; probe
+// loss windows make probes on a link fail without touching its capacity,
+// modelling measurement-plane packet loss (the false-positive case a failure
+// detector must tolerate).
+const (
+	NodeCrash      EventType = "node-crash"
+	NodeRecover    EventType = "node-recover"
+	LinkDown       EventType = "link-down"
+	LinkUp         EventType = "link-up"
+	ProbeLossStart EventType = "probe-loss-start"
+	ProbeLossEnd   EventType = "probe-loss-end"
+)
+
+// ErrInvalidSchedule wraps schedule validation failures.
+var ErrInvalidSchedule = errors.New("faults: invalid schedule")
+
+// Event is one scheduled fault. Node events set Node; link and probe-loss
+// events set LinkA/LinkB (order-insensitive).
+type Event struct {
+	// AtSec is the virtual time offset of the event in seconds.
+	AtSec float64   `json:"atSec"`
+	Type  EventType `json:"type"`
+	Node  string    `json:"node,omitempty"`
+	LinkA string    `json:"linkA,omitempty"`
+	LinkB string    `json:"linkB,omitempty"`
+}
+
+// At returns the event's virtual-time offset.
+func (e Event) At() time.Duration {
+	return time.Duration(e.AtSec * float64(time.Second))
+}
+
+// Link returns the normalised link the event targets.
+func (e Event) Link() mesh.LinkID { return mesh.MakeLinkID(e.LinkA, e.LinkB) }
+
+// isNodeEvent reports whether the event targets a node.
+func (e Event) isNodeEvent() bool {
+	return e.Type == NodeCrash || e.Type == NodeRecover
+}
+
+// String renders the event compactly for logs and reports.
+func (e Event) String() string {
+	if e.isNodeEvent() {
+		return fmt.Sprintf("t=%gs %s %s", e.AtSec, e.Type, e.Node)
+	}
+	return fmt.Sprintf("t=%gs %s %s", e.AtSec, e.Type, e.Link())
+}
+
+// Schedule is an ordered list of fault events.
+type Schedule struct {
+	Events []Event `json:"events"`
+}
+
+// ParseSchedule decodes a JSON schedule — either a bare event array or an
+// object with an "events" field — and sorts it.
+func ParseSchedule(data []byte) (*Schedule, error) {
+	var events []Event
+	if err := json.Unmarshal(data, &events); err != nil {
+		var s Schedule
+		if oerr := json.Unmarshal(data, &s); oerr != nil {
+			return nil, fmt.Errorf("faults: parse schedule: %w", err)
+		}
+		events = s.Events
+	}
+	s := &Schedule{Events: events}
+	s.Sort()
+	return s, nil
+}
+
+// Sort orders events by time, breaking ties by (type, node, link) so equal
+// schedules are identical byte-for-byte however they were produced.
+func (s *Schedule) Sort() {
+	sort.SliceStable(s.Events, func(i, j int) bool {
+		a, b := s.Events[i], s.Events[j]
+		if a.AtSec != b.AtSec {
+			return a.AtSec < b.AtSec
+		}
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Link().String() < b.Link().String()
+	})
+}
+
+// Validate checks every event against the topology: known event types, known
+// nodes and links, non-negative times.
+func (s *Schedule) Validate(topo *mesh.Topology) error {
+	for i, e := range s.Events {
+		if e.AtSec < 0 {
+			return fmt.Errorf("%w: event %d at negative time %g", ErrInvalidSchedule, i, e.AtSec)
+		}
+		switch e.Type {
+		case NodeCrash, NodeRecover:
+			if !topo.HasNode(e.Node) {
+				return fmt.Errorf("%w: event %d targets unknown node %q", ErrInvalidSchedule, i, e.Node)
+			}
+		case LinkDown, LinkUp, ProbeLossStart, ProbeLossEnd:
+			if _, ok := topo.Link(e.LinkA, e.LinkB); !ok {
+				return fmt.Errorf("%w: event %d targets unknown link %s", ErrInvalidSchedule, i, e.Link())
+			}
+		default:
+			return fmt.Errorf("%w: event %d has unknown type %q", ErrInvalidSchedule, i, e.Type)
+		}
+	}
+	return nil
+}
+
+// Counts tallies events by type, sorted by type name — a compact schedule
+// summary for reports.
+func (s *Schedule) Counts() []struct {
+	Type  EventType
+	Count int
+} {
+	m := make(map[EventType]int)
+	for _, e := range s.Events {
+		m[e.Type]++
+	}
+	types := make([]EventType, 0, len(m))
+	for t := range m {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	out := make([]struct {
+		Type  EventType
+		Count int
+	}, len(types))
+	for i, t := range types {
+		out[i].Type = t
+		out[i].Count = m[t]
+	}
+	return out
+}

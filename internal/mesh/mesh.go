@@ -20,6 +20,8 @@ var (
 	ErrDuplicateLink = errors.New("mesh: duplicate link")
 	ErrNoPath        = errors.New("mesh: no path")
 	ErrSelfLink      = errors.New("mesh: self link")
+	ErrNodeDown      = errors.New("mesh: node down")
+	ErrUnknownLink   = errors.New("mesh: unknown link")
 )
 
 // LinkID identifies an undirected link by its two endpoints in lexicographic
@@ -94,20 +96,27 @@ func (l *Link) MinCapacityAt(at time.Duration) float64 {
 func (l *Link) CapacityFwd() *trace.Trace { return l.capFwd }
 
 // Topology is the mesh graph. Construct once, then query from any number of
-// goroutines; mutation after construction is not synchronised.
+// goroutines; mutation after construction is not synchronised. Fault
+// injection flips node/link availability at run time (single-goroutine, like
+// all mutation): a down node or link stays in the graph but is invisible to
+// routing, modelling a crashed router or a radio outage.
 type Topology struct {
 	nodes     map[string]bool
 	nodeOrder []string
 	links     map[LinkID]*Link
 	adj       map[string][]string
+	downNodes map[string]bool
+	downLinks map[LinkID]bool
 }
 
 // NewTopology returns an empty topology.
 func NewTopology() *Topology {
 	return &Topology{
-		nodes: make(map[string]bool),
-		links: make(map[LinkID]*Link),
-		adj:   make(map[string][]string),
+		nodes:     make(map[string]bool),
+		links:     make(map[LinkID]*Link),
+		adj:       make(map[string][]string),
+		downNodes: make(map[string]bool),
+		downLinks: make(map[LinkID]bool),
 	}
 }
 
@@ -196,6 +205,68 @@ func (t *Topology) ThrottleEgress(node string, capacity *trace.Trace) error {
 	return nil
 }
 
+// SetNodeUp marks a node as up (true) or crashed (false). A down node keeps
+// its links and placements in the data structures, but routing treats it —
+// and every link incident to it — as absent.
+func (t *Topology) SetNodeUp(name string, up bool) error {
+	if !t.nodes[name] {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, name)
+	}
+	if up {
+		delete(t.downNodes, name)
+	} else {
+		t.downNodes[name] = true
+	}
+	return nil
+}
+
+// NodeUp reports whether a node is currently up (unknown nodes are down).
+func (t *Topology) NodeUp(name string) bool {
+	return t.nodes[name] && !t.downNodes[name]
+}
+
+// SetLinkUp marks a link as up (true) or down (false). A down link stays in
+// the topology but routing skips it and its effective capacity is zero.
+func (t *Topology) SetLinkUp(a, b string, up bool) error {
+	id := MakeLinkID(a, b)
+	if _, ok := t.links[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownLink, id)
+	}
+	if up {
+		delete(t.downLinks, id)
+	} else {
+		t.downLinks[id] = true
+	}
+	return nil
+}
+
+// LinkUp reports whether the link itself is administratively up (it may still
+// be unusable because an endpoint node is down; see LinkAvailable).
+func (t *Topology) LinkUp(a, b string) bool {
+	id := MakeLinkID(a, b)
+	_, ok := t.links[id]
+	return ok && !t.downLinks[id]
+}
+
+// LinkAvailable reports whether traffic can cross the link right now: the
+// link is up and both endpoint nodes are up.
+func (t *Topology) LinkAvailable(id LinkID) bool {
+	if _, ok := t.links[id]; !ok {
+		return false
+	}
+	return !t.downLinks[id] && !t.downNodes[id.A] && !t.downNodes[id.B]
+}
+
+// DownNodes returns the currently-down node names, sorted.
+func (t *Topology) DownNodes() []string {
+	out := make([]string, 0, len(t.downNodes))
+	for n := range t.downNodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Link returns the link between two nodes, if present.
 func (t *Topology) Link(a, b string) (*Link, bool) {
 	l, ok := t.links[MakeLinkID(a, b)]
@@ -225,10 +296,14 @@ func (t *Topology) Neighbors(name string) []string {
 }
 
 // CapacityAt returns the capacity of the a→b direction in Mbps at offset at.
+// An unavailable link (down, or with a down endpoint) has zero capacity.
 func (t *Topology) CapacityAt(a, b string, at time.Duration) (float64, error) {
 	l, ok := t.links[MakeLinkID(a, b)]
 	if !ok {
 		return 0, fmt.Errorf("mesh: no link %s", MakeLinkID(a, b))
+	}
+	if !t.LinkAvailable(l.ID) {
+		return 0, nil
 	}
 	tr, err := l.CapacityToward(a, b)
 	if err != nil {
@@ -240,13 +315,21 @@ func (t *Topology) CapacityAt(a, b string, at time.Duration) (float64, error) {
 // Route returns the minimum-hop path from src to dst (inclusive), breaking
 // ties lexicographically — a deterministic stand-in for the mesh's own
 // decentralised routing, which BASS treats as a black box it can only
-// observe. A node routes to itself via the single-element path.
+// observe. A node routes to itself via the single-element path. Down nodes
+// and down links are invisible, exactly as a converged mesh routing protocol
+// would see them: routing to or through a dead element fails or detours.
 func (t *Topology) Route(src, dst string) ([]string, error) {
 	if !t.nodes[src] {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, src)
 	}
 	if !t.nodes[dst] {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, dst)
+	}
+	if t.downNodes[src] {
+		return nil, fmt.Errorf("%w: %q", ErrNodeDown, src)
+	}
+	if t.downNodes[dst] {
+		return nil, fmt.Errorf("%w: %q", ErrNodeDown, dst)
 	}
 	if src == dst {
 		return []string{src}, nil
@@ -260,6 +343,9 @@ func (t *Topology) Route(src, dst string) ([]string, error) {
 			break
 		}
 		for _, nb := range t.adj[cur] {
+			if t.downNodes[nb] || t.downLinks[MakeLinkID(cur, nb)] {
+				continue
+			}
 			if _, seen := prev[nb]; !seen {
 				prev[nb] = cur
 				queue = append(queue, nb)

@@ -229,3 +229,98 @@ func TestLineAndFullMesh(t *testing.T) {
 		t.Errorf("full mesh route = %v, want direct", path)
 	}
 }
+
+func TestAvailabilityState(t *testing.T) {
+	topo := square(t)
+	id := MakeLinkID("a", "b")
+
+	if !topo.NodeUp("a") || !topo.LinkUp("a", "b") || !topo.LinkAvailable(id) {
+		t.Fatal("fresh topology should be fully up")
+	}
+	if err := topo.SetNodeUp("ghost", false); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("SetNodeUp unknown: %v", err)
+	}
+	if err := topo.SetLinkUp("a", "ghost", false); !errors.Is(err, ErrUnknownLink) {
+		t.Errorf("SetLinkUp unknown: %v", err)
+	}
+
+	// A down link is administratively down but its endpoints stay up.
+	if err := topo.SetLinkUp("a", "b", false); err != nil {
+		t.Fatal(err)
+	}
+	if topo.LinkUp("a", "b") || topo.LinkAvailable(id) {
+		t.Error("downed link still reported up/available")
+	}
+	if mbps, err := topo.CapacityAt("a", "b", 0); err != nil || mbps != 0 {
+		t.Errorf("CapacityAt over down link = %v, %v; want 0, nil", mbps, err)
+	}
+	if err := topo.SetLinkUp("a", "b", true); err != nil {
+		t.Fatal(err)
+	}
+	if !topo.LinkAvailable(id) {
+		t.Error("link not available after SetLinkUp(true)")
+	}
+
+	// A down node takes every incident link with it, though the links
+	// themselves stay administratively up.
+	if err := topo.SetNodeUp("a", false); err != nil {
+		t.Fatal(err)
+	}
+	if topo.NodeUp("a") {
+		t.Error("a still up")
+	}
+	if !topo.LinkUp("a", "b") {
+		t.Error("a-b should stay administratively up under a node crash")
+	}
+	if topo.LinkAvailable(id) || topo.LinkAvailable(MakeLinkID("a", "d")) {
+		t.Error("links incident to a dead node must be unavailable")
+	}
+	if got := topo.DownNodes(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("DownNodes = %v", got)
+	}
+	if err := topo.SetNodeUp("a", true); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.DownNodes()) != 0 || !topo.LinkAvailable(id) {
+		t.Error("recovery did not restore availability")
+	}
+}
+
+func TestRouteAvoidsDownElements(t *testing.T) {
+	topo := square(t)
+
+	// Routing to or from a dead node fails typed.
+	if err := topo.SetNodeUp("b", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.Route("b", "c"); !errors.Is(err, ErrNodeDown) {
+		t.Errorf("route from dead node: %v", err)
+	}
+	if _, err := topo.Route("a", "b"); !errors.Is(err, ErrNodeDown) {
+		t.Errorf("route to dead node: %v", err)
+	}
+	// Routing through it detours: a->c still works via the shortcut.
+	path, err := topo.Route("a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hop := range path {
+		if hop == "b" {
+			t.Errorf("route %v crosses dead node b", path)
+		}
+	}
+
+	// Down links force detours too; cutting the last remaining path
+	// partitions the pair.
+	if err := topo.SetNodeUp("b", true); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range [][2]string{{"a", "b"}, {"a", "c"}, {"a", "d"}} {
+		if err := topo.SetLinkUp(cut[0], cut[1], false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := topo.Route("a", "c"); !errors.Is(err, ErrNoPath) {
+		t.Errorf("route from isolated node: %v", err)
+	}
+}

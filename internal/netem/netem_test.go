@@ -2,7 +2,10 @@ package netem
 
 import (
 	"encoding/json"
+	"net"
 	"net/http/httptest"
+	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -203,5 +206,105 @@ func TestServerSetRateWithoutShaper(t *testing.T) {
 	srv := startServer(t, nil)
 	if err := srv.SetRate(5); err == nil {
 		t.Error("SetRate without shaper: want error")
+	}
+}
+
+// deadAddr returns an address with nothing listening: bind, note the port,
+// close.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestProbeRetriesDeadListenerWithBackoff dials a dead listener and checks
+// the bounded retry loop: MaxAttempts dials, jittered-exponential delays
+// between them, and the attempt count surfaced in the error.
+func TestProbeRetriesDeadListenerWithBackoff(t *testing.T) {
+	var delays []time.Duration
+	opts := ProbeOptions{
+		DialTimeout: 500 * time.Millisecond,
+		MaxAttempts: 4,
+		BackoffBase: 100 * time.Millisecond,
+		BackoffMax:  time.Second,
+		Jitter:      func() float64 { return 0.5 },
+		Sleep:       func(d time.Duration) { delays = append(delays, d) },
+	}
+	res, err := ProbeWithOptions(deadAddr(t), "flood", 50*time.Millisecond, 0, opts)
+	if err == nil {
+		t.Fatal("probe of dead listener succeeded")
+	}
+	if res.Attempts != 4 {
+		t.Errorf("attempts = %d, want 4", res.Attempts)
+	}
+	if !strings.Contains(err.Error(), "4 attempts") {
+		t.Errorf("error does not report attempts: %v", err)
+	}
+	// Three sleeps between four attempts; doubling base with jitter=0.5
+	// yields 0.75× the pre-jitter delay: 75ms, 150ms, 300ms.
+	want := []time.Duration{75 * time.Millisecond, 150 * time.Millisecond, 300 * time.Millisecond}
+	if !reflect.DeepEqual(delays, want) {
+		t.Errorf("backoff delays = %v, want %v", delays, want)
+	}
+}
+
+// TestProbeBackoffJitterAndCap pins the jittered-backoff envelope: delays
+// stay in [d/2, d) and respect BackoffMax.
+func TestProbeBackoffJitterAndCap(t *testing.T) {
+	opts := ProbeOptions{BackoffBase: 100 * time.Millisecond, BackoffMax: 300 * time.Millisecond}.withDefaults()
+	for n, preJitter := range map[int]time.Duration{
+		1: 100 * time.Millisecond,
+		2: 200 * time.Millisecond,
+		3: 300 * time.Millisecond, // capped
+		9: 300 * time.Millisecond,
+	} {
+		opts.Jitter = func() float64 { return 0 }
+		if got := opts.backoff(n); got != preJitter/2 {
+			t.Errorf("backoff(%d) floor = %v, want %v", n, got, preJitter/2)
+		}
+		opts.Jitter = func() float64 { return 0.999 }
+		if got := opts.backoff(n); got < preJitter/2 || got >= preJitter {
+			t.Errorf("backoff(%d) = %v outside [%v, %v)", n, got, preJitter/2, preJitter)
+		}
+	}
+}
+
+// TestProbeSingleAttemptNoSleep checks MaxAttempts=1 never sleeps — the
+// pre-retry behaviour stays reachable.
+func TestProbeSingleAttemptNoSleep(t *testing.T) {
+	slept := false
+	opts := ProbeOptions{
+		DialTimeout: 200 * time.Millisecond,
+		MaxAttempts: 1,
+		Sleep:       func(time.Duration) { slept = true },
+	}
+	if _, err := ProbeWithOptions(deadAddr(t), "flood", 10*time.Millisecond, 0, opts); err == nil {
+		t.Fatal("want dial error")
+	}
+	if slept {
+		t.Error("MaxAttempts=1 slept between attempts")
+	}
+}
+
+// TestProbeAttemptsReportedOnSuccess checks a live server records one
+// attempt.
+func TestProbeAttemptsReportedOnSuccess(t *testing.T) {
+	srv, err := NewProbeServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+	res, err := ProbeWithOptions(srv.Addr(), "flood", 50*time.Millisecond, 0, ProbeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1", res.Attempts)
 	}
 }

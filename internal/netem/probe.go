@@ -29,6 +29,9 @@ type ProbeResult struct {
 	Kind string `json:"kind"`
 	// At is the wall-clock completion time.
 	At time.Time `json:"at"`
+	// Attempts is how many dials the client needed (1 = first try). Zero in
+	// server-side history records, which never dial.
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // ProbeServer accepts iperf3-like measurement connections: the client
@@ -161,13 +164,95 @@ func (s *ProbeServer) handle(conn net.Conn) {
 	_ = enc.Encode(res)
 }
 
-// Probe measures throughput to a probe server. kind "flood" sends as fast as
-// possible for the duration (max-capacity probing); kind "rate" paces at
-// rateMbps (headroom probing — success means the link has that much spare).
+// ProbeOptions tunes the client side of a probe. The zero value gets
+// sensible defaults; every knob exists because community-mesh links lose the
+// control plane often enough that a single hardcoded dial is wrong.
+type ProbeOptions struct {
+	// DialTimeout bounds each connection attempt (default 5 s).
+	DialTimeout time.Duration
+	// MaxAttempts bounds dial attempts, including the first (default 3).
+	MaxAttempts int
+	// BackoffBase is the delay before the second attempt; it doubles per
+	// retry (default 200 ms).
+	BackoffBase time.Duration
+	// BackoffMax caps the (pre-jitter) backoff delay (default 5 s).
+	BackoffMax time.Duration
+	// Jitter returns a value in [0,1) scaling each delay into
+	// [delay/2, delay) so synchronised probers desynchronise. Nil uses the
+	// attempt-indexed default; probes with equal options stay deterministic.
+	Jitter func() float64
+	// Sleep blocks between attempts; nil uses time.Sleep. Injectable so
+	// tests assert the backoff sequence without waiting it out.
+	Sleep func(time.Duration)
+}
+
+func (o ProbeOptions) withDefaults() ProbeOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 200 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 5 * time.Second
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	return o
+}
+
+// backoff returns the jittered delay before attempt n+1 (n = attempts made
+// so far, n >= 1): min(base·2^(n-1), max) scaled into [d/2, d).
+func (o ProbeOptions) backoff(n int) time.Duration {
+	d := o.BackoffBase
+	for i := 1; i < n && d < o.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > o.BackoffMax {
+		d = o.BackoffMax
+	}
+	frac := 0.5
+	if o.Jitter != nil {
+		frac = o.Jitter()
+	}
+	return d/2 + time.Duration(frac*float64(d/2))
+}
+
+// dialRetry dials with per-attempt timeout and jittered exponential backoff,
+// reporting how many attempts were spent.
+func dialRetry(addr string, opts ProbeOptions) (net.Conn, int, error) {
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+		if err == nil {
+			return conn, attempt, nil
+		}
+		lastErr = err
+		if attempt >= opts.MaxAttempts {
+			return nil, attempt, fmt.Errorf("netem: dial %s (%d attempts): %w", addr, attempt, lastErr)
+		}
+		opts.Sleep(opts.backoff(attempt))
+	}
+}
+
+// Probe measures throughput to a probe server with default ProbeOptions.
+// kind "flood" sends as fast as possible for the duration (max-capacity
+// probing); kind "rate" paces at rateMbps (headroom probing — success means
+// the link has that much spare).
 func Probe(addr string, kind string, duration time.Duration, rateMbps float64) (ProbeResult, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	return ProbeWithOptions(addr, kind, duration, rateMbps, ProbeOptions{})
+}
+
+// ProbeWithOptions is Probe with explicit client options.
+func ProbeWithOptions(addr string, kind string, duration time.Duration, rateMbps float64, opts ProbeOptions) (ProbeResult, error) {
+	opts = opts.withDefaults()
+	conn, attempts, err := dialRetry(addr, opts)
 	if err != nil {
-		return ProbeResult{}, fmt.Errorf("netem: dial %s: %w", addr, err)
+		return ProbeResult{Attempts: attempts}, err
 	}
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(duration + 20*time.Second))
@@ -204,6 +289,7 @@ func Probe(addr string, kind string, duration time.Duration, rateMbps float64) (
 	if err := dec.Decode(&res); err != nil {
 		return ProbeResult{}, fmt.Errorf("netem: read result: %w", err)
 	}
+	res.Attempts = attempts
 	return res, nil
 }
 

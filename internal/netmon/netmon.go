@@ -21,6 +21,23 @@ import (
 // ErrUnknownLink is returned for probes of links not in the topology.
 var ErrUnknownLink = errors.New("netmon: unknown link")
 
+// ProbeError reports one link's probe failure during a sweep. It wraps the
+// prober's underlying error, so errors.Is sees through it (e.g. to
+// simnet.ErrLinkUnreachable).
+type ProbeError struct {
+	Link mesh.LinkID
+	// Op is "full" or "headroom".
+	Op  string
+	Err error
+}
+
+func (e ProbeError) Error() string {
+	return fmt.Sprintf("netmon: %s probe %s: %v", e.Op, e.Link, e.Err)
+}
+
+// Unwrap exposes the prober's error.
+func (e ProbeError) Unwrap() error { return e.Err }
+
 // Prober is the measurable network underneath the monitor.
 type Prober interface {
 	// ProbeCapacity floods the link to measure its full capacity in Mbps
@@ -95,6 +112,11 @@ type LinkView struct {
 	// LastFullProbe and LastHeadroomProbe are virtual-time stamps.
 	LastFullProbe     time.Duration
 	LastHeadroomProbe time.Duration
+	// ConsecutiveFailures counts back-to-back failed probes of this link; any
+	// successful probe resets it. The failure detector reads it through
+	// NodeFailureFloor: one lost probe is noise, K in a row on every link of a
+	// node is a crash.
+	ConsecutiveFailures int
 }
 
 // HeadroomEvent reports a headroom probe whose result changed materially
@@ -178,8 +200,10 @@ func (m *Monitor) FullProbe(id mesh.LinkID) error {
 	}
 	cap, err := m.prober.ProbeCapacity(id)
 	if err != nil {
-		return fmt.Errorf("netmon: full probe %s: %w", id, err)
+		v.ConsecutiveFailures++
+		return ProbeError{Link: id, Op: "full", Err: err}
 	}
+	v.ConsecutiveFailures = 0
 	v.CapacityMbps = cap
 	v.HeadroomMbps = m.cfg.HeadroomFrac * cap
 	v.LastFullProbe = m.now()
@@ -189,20 +213,30 @@ func (m *Monitor) FullProbe(id mesh.LinkID) error {
 	return nil
 }
 
-// HeadroomProbeAll probes every link's spare capacity and returns events for
-// links whose headroom is violated or materially changed.
-func (m *Monitor) HeadroomProbeAll() ([]HeadroomEvent, error) {
+// HeadroomProbeAll probes every link's spare capacity. It returns events for
+// links whose headroom is violated or materially changed, plus a probe error
+// per link that could not be measured this sweep. A failed probe does not
+// abort the sweep — in a mesh where links flap, stopping at the first dead
+// link would blind the monitor to every link after it.
+func (m *Monitor) HeadroomProbeAll() ([]HeadroomEvent, []ProbeError) {
 	var events []HeadroomEvent
+	var failures []ProbeError
 	for _, l := range m.topo.Links() {
 		ev, err := m.HeadroomProbe(l.ID)
 		if err != nil {
-			return events, err
+			var pe ProbeError
+			if errors.As(err, &pe) {
+				failures = append(failures, pe)
+			} else {
+				failures = append(failures, ProbeError{Link: l.ID, Op: "headroom", Err: err})
+			}
+			continue
 		}
 		if ev.Violated || ev.Changed {
 			events = append(events, ev)
 		}
 	}
-	return events, nil
+	return events, failures
 }
 
 // HeadroomProbe probes one link's spare capacity.
@@ -213,8 +247,10 @@ func (m *Monitor) HeadroomProbe(id mesh.LinkID) (HeadroomEvent, error) {
 	}
 	spare, err := m.prober.ProbeSpare(id)
 	if err != nil {
-		return HeadroomEvent{}, fmt.Errorf("netmon: headroom probe %s: %w", id, err)
+		v.ConsecutiveFailures++
+		return HeadroomEvent{}, ProbeError{Link: id, Op: "headroom", Err: err}
 	}
+	v.ConsecutiveFailures = 0
 	prev := v.SpareMbps
 	v.SpareMbps = spare
 	v.LastHeadroomProbe = m.now()
@@ -267,6 +303,40 @@ func (m *Monitor) Views() []LinkView {
 
 // Stats returns probe overhead accounting.
 func (m *Monitor) Stats() ProbeStats { return m.stats }
+
+// ConsecutiveFailures reports a link's current failed-probe streak.
+func (m *Monitor) ConsecutiveFailures(id mesh.LinkID) int {
+	if v, ok := m.views[id]; ok {
+		return v.ConsecutiveFailures
+	}
+	return 0
+}
+
+// NodeFailureFloor is the minimum failed-probe streak across a node's links.
+// A positive floor means no probe involving the node has succeeded for that
+// many sweeps — the node-down signal. The minimum (not maximum) makes single
+// link outages and lossy probe windows insufficient evidence: one healthy
+// link clears the node. Nodes with no links report zero (never declarable
+// down by probing).
+func (m *Monitor) NodeFailureFloor(node string) int {
+	floor := -1
+	for _, nb := range m.topo.Neighbors(node) {
+		v, ok := m.views[mesh.MakeLinkID(node, nb)]
+		if !ok {
+			continue
+		}
+		if floor < 0 || v.ConsecutiveFailures < floor {
+			floor = v.ConsecutiveFailures
+		}
+	}
+	if floor < 0 {
+		return 0
+	}
+	return floor
+}
+
+// Nodes lists the monitored topology's nodes, for failure-detection sweeps.
+func (m *Monitor) Nodes() []string { return m.topo.Nodes() }
 
 // PathCapacityMbps estimates node-pair capacity as the bottleneck cached
 // capacity along the routed path (the paper's traceroute + per-link

@@ -73,17 +73,17 @@ func TestHeadroomProbeAllReportsOnlyInterestingLinks(t *testing.T) {
 		t.Fatal(err)
 	}
 	// First round: all links report Changed (first observation).
-	evs, err := m.HeadroomProbeAll()
-	if err != nil {
-		t.Fatal(err)
+	evs, perrs := m.HeadroomProbeAll()
+	if len(perrs) != 0 {
+		t.Fatalf("probe errors: %v", perrs)
 	}
 	if len(evs) != 2 {
 		t.Fatalf("first probe events = %d, want 2 (initial observations)", len(evs))
 	}
 	// Second round with nothing changed: quiet.
-	evs, err = m.HeadroomProbeAll()
-	if err != nil {
-		t.Fatal(err)
+	evs, perrs = m.HeadroomProbeAll()
+	if len(perrs) != 0 {
+		t.Fatalf("probe errors: %v", perrs)
 	}
 	if len(evs) != 0 {
 		t.Errorf("steady-state events = %v", evs)
@@ -92,9 +92,9 @@ func TestHeadroomProbeAllReportsOnlyInterestingLinks(t *testing.T) {
 	if _, err := net.AddStream("load", "b", "c", 15); err != nil {
 		t.Fatal(err)
 	}
-	evs, err = m.HeadroomProbeAll()
-	if err != nil {
-		t.Fatal(err)
+	evs, perrs = m.HeadroomProbeAll()
+	if len(perrs) != 0 {
+		t.Fatalf("probe errors: %v", perrs)
 	}
 	if len(evs) != 1 || evs[0].Link != mesh.MakeLinkID("b", "c") {
 		t.Errorf("events = %+v, want one for b-c", evs)
@@ -109,8 +109,8 @@ func TestPathEstimates(t *testing.T) {
 	if _, err := net.AddStream("load", "a", "b", 10); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.HeadroomProbeAll(); err != nil {
-		t.Fatal(err)
+	if _, perrs := m.HeadroomProbeAll(); len(perrs) != 0 {
+		t.Fatal(perrs)
 	}
 	capMbps, networked, err := m.PathCapacityMbps("a", "c")
 	if err != nil {
@@ -172,8 +172,8 @@ func TestProbeOverheadMatchesPaperBudget(t *testing.T) {
 	start := m.Stats().OverheadMbits
 	horizon := 20 * time.Minute
 	stop := eng.Every(30*time.Second, func() {
-		if _, err := m.HeadroomProbeAll(); err != nil {
-			t.Errorf("probe: %v", err)
+		if _, perrs := m.HeadroomProbeAll(); len(perrs) != 0 {
+			t.Errorf("probe: %v", perrs)
 		}
 	})
 	defer stop()
@@ -195,6 +195,73 @@ func TestViewsSorted(t *testing.T) {
 	}
 	if views[0].ID.String() > views[1].ID.String() {
 		t.Error("views not sorted")
+	}
+}
+
+func TestConsecutiveFailuresAndNodeFloor(t *testing.T) {
+	_, _, m, topo := harness(t, 25)
+	if err := m.FullProbeAll(); err != nil {
+		t.Fatal(err)
+	}
+	ab, bc := mesh.MakeLinkID("a", "b"), mesh.MakeLinkID("b", "c")
+
+	// Crash c: its only link b-c fails probes; a-b keeps succeeding.
+	if err := topo.SetNodeUp("c", false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		evs, perrs := m.HeadroomProbeAll()
+		if len(perrs) != 1 || perrs[0].Link != bc {
+			t.Fatalf("sweep %d: probe errors = %v, want one for b-c", i, perrs)
+		}
+		if !errors.Is(perrs[0], simnet.ErrLinkUnreachable) {
+			t.Errorf("sweep %d: error %v not ErrLinkUnreachable", i, perrs[0])
+		}
+		_ = evs
+		if got := m.ConsecutiveFailures(bc); got != i {
+			t.Errorf("sweep %d: b-c failures = %d", i, got)
+		}
+		if got := m.ConsecutiveFailures(ab); got != 0 {
+			t.Errorf("sweep %d: a-b failures = %d, want 0", i, got)
+		}
+	}
+	// b has a healthy link (a-b), so its floor stays 0; c's floor tracks the
+	// streak on its only link.
+	if got := m.NodeFailureFloor("b"); got != 0 {
+		t.Errorf("floor(b) = %d, want 0", got)
+	}
+	if got := m.NodeFailureFloor("c"); got != 3 {
+		t.Errorf("floor(c) = %d, want 3", got)
+	}
+
+	// Recovery: one successful sweep clears every streak.
+	if err := topo.SetNodeUp("c", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, perrs := m.HeadroomProbeAll(); len(perrs) != 0 {
+		t.Fatalf("post-recovery probe errors: %v", perrs)
+	}
+	if got := m.NodeFailureFloor("c"); got != 0 {
+		t.Errorf("floor(c) after recovery = %d", got)
+	}
+}
+
+func TestHeadroomProbeAllContinuesPastDeadLink(t *testing.T) {
+	_, _, m, topo := harness(t, 25)
+	if err := m.FullProbeAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Down the FIRST link in iteration order; the second must still be probed.
+	if err := topo.SetLinkUp("a", "b", false); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Stats().HeadroomProbes
+	_, perrs := m.HeadroomProbeAll()
+	if len(perrs) != 1 {
+		t.Fatalf("probe errors = %v", perrs)
+	}
+	if got := m.Stats().HeadroomProbes - before; got != 1 {
+		t.Errorf("successful probes after dead link = %d, want 1 (b-c)", got)
 	}
 }
 

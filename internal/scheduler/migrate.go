@@ -12,6 +12,10 @@ import (
 // on the component's current placement.
 var ErrNoBetterNode = errors.New("scheduler: no better node for component")
 
+// ErrNoFailoverNode is returned by ChooseFailoverTarget when no surviving
+// node can host the component at all.
+var ErrNoFailoverNode = errors.New("scheduler: no surviving node can host component")
+
 // DependencyUsage is the controller's observation of one deployed component
 // pair (an edge of the application DAG whose endpoints sit on different
 // nodes). It merges the net-monitor's passive measurement (achieved
@@ -332,4 +336,105 @@ func ChooseMigrationTarget(
 		return best.node.Name, nil
 	}
 	return "", fmt.Errorf("%w: %q stays on %q", ErrNoBetterNode, component, current)
+}
+
+// ChooseFailoverTarget picks a node for a component whose host died. It is
+// ChooseMigrationTarget without a current placement: there is no "stay put"
+// option and no hysteresis — the component is down, so ANY node that fits its
+// CPU and memory beats leaving it dead. Bandwidth-feasible candidates (every
+// placed remote dependency fits in path headroom) rank first by dependency
+// count then satisfiable bandwidth, exactly like migration; when none is
+// feasible the best partially-feasible node wins outright. nodes must already
+// exclude dead or cordoned hosts; assignment must not contain components
+// stranded on dead nodes (their paths would be meaningless). Only when no
+// node has the CPU and memory does it return ErrNoFailoverNode — the caller
+// queues the component until capacity returns.
+func ChooseFailoverTarget(
+	g *dag.Graph,
+	component string,
+	assignment Assignment,
+	nodes []NodeInfo,
+	pathAvail PathQuery,
+	cfg MigrationConfig,
+) (string, error) {
+	comp, err := g.Component(component)
+	if err != nil {
+		return "", err
+	}
+	if comp.Pinned() {
+		// A pinned component can only ever run on its pinned node; if that
+		// node is not among the survivors, the component waits for it.
+		for _, n := range nodes {
+			if n.Name == comp.PinnedTo() && fits(n, comp) {
+				return n.Name, nil
+			}
+		}
+		return "", fmt.Errorf("%w: %q pinned to %q", ErrNoFailoverNode, component, comp.PinnedTo())
+	}
+	neighbors := g.Neighbors(component)
+
+	type candidate struct {
+		node     NodeInfo
+		depCount int
+		score    float64
+		feasible bool
+	}
+	var cands []candidate
+	for _, n := range nodes {
+		if !fits(n, comp) {
+			continue
+		}
+		c := candidate{node: n, feasible: true}
+		for dep, mbps := range neighbors {
+			depNode, placed := assignment[dep]
+			if !placed {
+				continue
+			}
+			weight := 1.0
+			if d, derr := g.Component(dep); derr == nil && d.Pinned() {
+				weight = 2
+			}
+			if depNode == n.Name {
+				c.depCount++
+				c.score += weight * mbps
+				continue
+			}
+			avail := mbps
+			if pathAvail != nil {
+				avail = pathAvail(n.Name, depNode)
+			}
+			if avail < mbps+cfg.HeadroomMbps {
+				c.feasible = false
+			}
+			if avail < mbps {
+				c.score += weight * avail
+			} else {
+				c.score += weight * mbps
+			}
+		}
+		cands = append(cands, c)
+	}
+	if len(cands) == 0 {
+		return "", fmt.Errorf("%w: %q", ErrNoFailoverNode, component)
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].feasible != cands[j].feasible {
+			return cands[i].feasible
+		}
+		if cands[i].feasible {
+			if cands[i].depCount != cands[j].depCount {
+				return cands[i].depCount > cands[j].depCount
+			}
+			if cands[i].score != cands[j].score {
+				return cands[i].score > cands[j].score
+			}
+		} else if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		if cands[i].node.FreeCPU != cands[j].node.FreeCPU {
+			return cands[i].node.FreeCPU > cands[j].node.FreeCPU
+		}
+		return cands[i].node.Name < cands[j].node.Name
+	})
+	return cands[0].node.Name, nil
 }

@@ -1,9 +1,23 @@
 package simnet
 
 import (
+	"errors"
 	"fmt"
 
 	"bass/internal/mesh"
+)
+
+// Typed probe failures. Probes of an unavailable link (down, or with a down
+// endpoint) fail as a real prober's TCP connection would; probes of a lossy
+// link time out while the data plane keeps working. Monitors distinguish the
+// two only by persistence — which is exactly why the failure detector demands
+// K consecutive failures before declaring anything dead.
+var (
+	// ErrLinkUnreachable reports a probe across a link that is down or has a
+	// crashed endpoint.
+	ErrLinkUnreachable = errors.New("simnet: link unreachable")
+	// ErrProbeTimeout reports a probe lost to measurement-plane packet loss.
+	ErrProbeTimeout = errors.New("simnet: probe timeout")
 )
 
 // Prober adapts the simulated network to the netmon.Prober interface
@@ -25,6 +39,12 @@ func (p *Prober) directions(id mesh.LinkID) (*linkState, *linkState, error) {
 	rev, ok2 := p.n.links[dhop{from: id.B, to: id.A}]
 	if !ok1 || !ok2 {
 		return nil, nil, fmt.Errorf("simnet: probe unknown link %s", id)
+	}
+	if !p.n.topo.LinkAvailable(id) {
+		return nil, nil, fmt.Errorf("probe %s: %w", id, ErrLinkUnreachable)
+	}
+	if p.n.probeLoss[id] {
+		return nil, nil, fmt.Errorf("probe %s: %w", id, ErrProbeTimeout)
 	}
 	return fwd, rev, nil
 }

@@ -94,6 +94,11 @@ type flow struct {
 
 	accruedBits float64 // cumulative bits actually carried
 
+	// parked marks a flow whose endpoints are currently unreachable (node
+	// crash or partition): it holds no links, carries nothing, and resumes
+	// when a route reappears.
+	parked bool
+
 	// Water-filling scratch state, valid during and after a full pass.
 	frozen        bool
 	frozenBy      *linkState // bottleneck link that froze the flow (nil if demand-limited)
@@ -107,6 +112,11 @@ type TransferResult struct {
 	Bits     float64
 	Started  time.Duration
 	Finished time.Duration
+	// Failed is true when the transfer was aborted because a fault left its
+	// endpoints unreachable; Bits is then the transfer's total size, not the
+	// amount delivered. Callbacks should treat failed transfers as lost
+	// requests, not completions.
+	Failed bool
 }
 
 // Duration reports the transfer's total time.
@@ -164,6 +174,11 @@ type Network struct {
 
 	bytesByTag map[string]float64 // cumulative bits carried per tag
 
+	// Fault state.
+	probeLoss       map[mesh.LinkID]bool // links whose probes fail (control plane only)
+	failedTransfers int                  // transfers aborted by faults
+	parkedResumes   int                  // parked streams that found a route again
+
 	// Incremental-allocation state.
 	flowsDirty bool // flow set or a demand changed since the last full pass
 	dirtyCount int  // links with dirty capacity since the last full pass
@@ -184,6 +199,7 @@ func New(eng *sim.Engine, topo *mesh.Topology) *Network {
 		flows:       make(map[FlowID]*flow),
 		links:       make(map[dhop]*linkState),
 		bytesByTag:  make(map[string]float64),
+		probeLoss:   make(map[mesh.LinkID]bool),
 		maxQueueSec: DefaultMaxQueueSeconds,
 	}
 	for _, l := range topo.Links() {
@@ -260,8 +276,10 @@ func (n *Network) tick() {
 		}
 	}
 	// Sample new capacities from the traces, per direction, flagging links
-	// whose capacity actually moved.
+	// whose capacity actually moved. Unavailable links (down, or with a down
+	// endpoint) stay at zero whatever their trace says.
 	for _, l := range n.topo.Links() {
+		avail := n.topo.LinkAvailable(l.ID)
 		for _, h := range []dhop{{from: l.ID.A, to: l.ID.B}, {from: l.ID.B, to: l.ID.A}} {
 			tr, err := l.CapacityToward(h.from, h.to)
 			if err != nil {
@@ -271,7 +289,10 @@ func (n *Network) tick() {
 			if !ok {
 				continue
 			}
-			newCap := tr.AtBps(now)
+			newCap := 0.0
+			if avail {
+				newCap = tr.AtBps(now)
+			}
 			if newCap == ls.capacityBps {
 				continue
 			}
@@ -333,6 +354,151 @@ func (n *Network) removeFlow(f *flow) {
 		ls.flowCount--
 	}
 	n.flowsDirty = true
+}
+
+// ApplyTopologyState reconciles the network with the topology's current
+// availability state after a fault event: unavailable links drop to zero
+// capacity (their backlog is lost with the router), available ones resume
+// their trace-driven capacity, every flow is re-routed as the mesh routing
+// protocol would after reconvergence, and rates are recomputed from scratch.
+// Streams with no remaining route are parked at zero rate until connectivity
+// returns; transfers with no route fail immediately (their callbacks see
+// TransferResult.Failed), modelling the connection errors an application
+// observes through a partition.
+func (n *Network) ApplyTopologyState() {
+	n.advanceProgress()
+	now := n.eng.Now()
+	for _, l := range n.topo.Links() {
+		avail := n.topo.LinkAvailable(l.ID)
+		for _, h := range []dhop{{from: l.ID.A, to: l.ID.B}, {from: l.ID.B, to: l.ID.A}} {
+			ls, ok := n.links[h]
+			if !ok {
+				continue
+			}
+			newCap := 0.0
+			if avail {
+				tr, err := l.CapacityToward(h.from, h.to)
+				if err == nil {
+					newCap = tr.AtBps(now)
+				}
+			} else {
+				ls.backlogBits = 0
+			}
+			ls.capacityBps = newCap
+		}
+	}
+	n.rerouteFlows()
+	n.flowsDirty = true // routes and capacities moved: force the full pass
+	n.reallocate()
+}
+
+// rerouteFlows recomputes every networked flow's route against the current
+// topology, in deterministic FlowID order. Failure callbacks may mutate the
+// flow set, so iteration walks a snapshot.
+func (n *Network) rerouteFlows() {
+	snapshot := make([]*flow, len(n.flowOrder))
+	copy(snapshot, n.flowOrder)
+	for _, f := range snapshot {
+		if n.flows[f.id] != f {
+			continue // removed by an earlier failure callback
+		}
+		if f.src == f.dst {
+			continue // co-located: no network involved
+		}
+		hops, err := n.route(f.src, f.dst)
+		if err != nil {
+			if f.kind == KindTransfer {
+				n.failTransfer(f)
+			} else {
+				n.parkFlow(f)
+			}
+			continue
+		}
+		if f.parked {
+			n.parkedResumes++
+		}
+		n.setFlowPath(f, hops)
+	}
+}
+
+// parkFlow strands a flow whose endpoints are unreachable: it releases its
+// links and carries nothing until rerouteFlows finds it a path again.
+func (n *Network) parkFlow(f *flow) {
+	for _, ls := range f.linkPath {
+		ls.flowCount--
+	}
+	f.linkPath = f.linkPath[:0]
+	f.path = nil
+	f.rateBps = 0
+	f.parked = true
+	if f.kind == KindTransfer && f.hasEvent {
+		n.eng.Cancel(f.completionEv)
+		f.hasEvent = false
+	}
+}
+
+// setFlowPath rebinds a flow (possibly parked) onto a new hop path.
+func (n *Network) setFlowPath(f *flow, hops []dhop) {
+	for _, ls := range f.linkPath {
+		ls.flowCount--
+	}
+	f.path = hops
+	f.linkPath = f.linkPath[:0]
+	for _, h := range hops {
+		if ls, ok := n.links[h]; ok {
+			f.linkPath = append(f.linkPath, ls)
+		}
+	}
+	for _, ls := range f.linkPath {
+		ls.flowCount++
+	}
+	f.parked = false
+}
+
+// failTransfer aborts a transfer whose endpoints became unreachable and
+// reports the loss to its callback.
+func (n *Network) failTransfer(f *flow) {
+	if f.hasEvent {
+		n.eng.Cancel(f.completionEv)
+		f.hasEvent = false
+	}
+	n.removeFlow(f)
+	n.failedTransfers++
+	if f.onComplete != nil {
+		f.onComplete(TransferResult{
+			ID:       f.id,
+			Tag:      f.tag,
+			Bits:     f.totalBits,
+			Started:  f.started,
+			Finished: n.eng.Now(),
+			Failed:   true,
+		})
+	}
+}
+
+// SetProbeLoss makes probes of the link fail (lossy) or succeed again. Probe
+// loss is control-plane only: data flows are unaffected, so a failure
+// detector that reacts to a single lost probe is reacting to noise.
+func (n *Network) SetProbeLoss(id mesh.LinkID, lossy bool) {
+	if lossy {
+		n.probeLoss[id] = true
+	} else {
+		delete(n.probeLoss, id)
+	}
+}
+
+// FailedTransfers reports the number of transfers aborted by faults so far.
+func (n *Network) FailedTransfers() int { return n.failedTransfers }
+
+// ParkedFlows reports the number of currently parked (stranded) flows.
+func (n *Network) ParkedFlows() int {
+	var c int
+	for _, f := range n.flowOrder {
+		if f.parked {
+			c++
+		}
+	}
+	return c
 }
 
 // AddStream registers a persistent flow offering demandMbps from src to dst.
@@ -551,6 +717,12 @@ func (n *Network) fullReallocate() {
 
 	active := n.activeScratch[:0]
 	for _, f := range n.flowOrder {
+		if f.parked {
+			// Stranded by a fault: holds no links (linkPath is empty, which
+			// would otherwise read as co-location) and carries nothing.
+			f.rateBps = 0
+			continue
+		}
 		if f.kind == KindStream {
 			for _, ls := range f.linkPath {
 				ls.demandBps += f.demandBps

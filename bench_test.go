@@ -252,17 +252,35 @@ func benchMesh() *mesh.Topology {
 	return topo
 }
 
-// benchmarkReallocate drives 120 concurrent streams over benchMesh for five
+// benchQuietMesh builds the same 8-node ring with every link constant — the
+// long quiet stretches community mesh traces actually spend most of their
+// time in, where the event-driven driver schedules nothing at all.
+func benchQuietMesh() *mesh.Topology {
+	topo := mesh.NewTopology()
+	names := make([]string, 8)
+	for i := range names {
+		names[i] = fmt.Sprintf("n%d", i)
+		topo.AddNode(names[i])
+	}
+	for i, from := range names {
+		to := names[(i+1)%len(names)]
+		topo.MustAddLink(from, to, trace.Constant(from+"-"+to, time.Second, 200, 60), time.Millisecond)
+	}
+	return topo
+}
+
+// benchNetRun drives 120 concurrent streams over the given mesh for five
 // simulated minutes per iteration (traces wrap past their horizon), with the
-// incremental reallocation path either enabled or forced off.
-func benchmarkReallocate(b *testing.B, fullRecompute bool) {
+// given allocator and capacity-driver configuration. Only the Run is timed.
+func benchNetRun(b *testing.B, mkTopo func() *mesh.Topology, fullRecompute, polling bool) {
 	b.Helper()
 	var stats simnet.AllocStats
 	for i := 0; i < b.N; i++ {
 		b.StopTimer() // topology construction and stream arrival are not under test
 		eng := sim.NewEngine(1)
-		net := simnet.New(eng, benchMesh())
+		net := simnet.New(eng, mkTopo())
 		net.SetFullRecompute(fullRecompute)
+		net.SetPolling(polling)
 		net.Start()
 		for f := 0; f < 120; f++ {
 			src := fmt.Sprintf("n%d", f%8)
@@ -290,12 +308,29 @@ func benchmarkReallocate(b *testing.B, fullRecompute bool) {
 }
 
 // BenchmarkReallocate compares the incremental allocator against full
-// per-epoch water-filling on a 40-flow scenario:
+// per-epoch water-filling, both under the per-second polling driver so every
+// second issues a reallocation request:
 //
-//	go test -bench=Reallocate -benchtime=10x
+//	go test -bench=Reallocate -benchtime=10x -benchmem
 func BenchmarkReallocate(b *testing.B) {
-	b.Run("incremental", func(b *testing.B) { benchmarkReallocate(b, false) })
-	b.Run("full", func(b *testing.B) { benchmarkReallocate(b, true) })
+	b.Run("incremental", func(b *testing.B) { benchNetRun(b, benchMesh, false, true) })
+	b.Run("full", func(b *testing.B) { benchNetRun(b, benchMesh, true, true) })
+}
+
+// BenchmarkEventDriven compares the event-driven capacity scheduler against
+// the polling driver with the incremental allocator on in both: "quiet" runs
+// the all-constant ring (the driver schedules zero events), "steppy" the
+// ring with one stepping link (two observed capacity changes per simulated
+// minute). The drivers produce bit-identical simulation output (asserted by
+// the simnet and experiments differential tests); this measures the
+// wall-clock and allocation cost of getting there:
+//
+//	go test -bench=EventDriven -benchtime=10x -benchmem
+func BenchmarkEventDriven(b *testing.B) {
+	b.Run("quiet/event", func(b *testing.B) { benchNetRun(b, benchQuietMesh, false, false) })
+	b.Run("quiet/polling", func(b *testing.B) { benchNetRun(b, benchQuietMesh, false, true) })
+	b.Run("steppy/event", func(b *testing.B) { benchNetRun(b, benchMesh, false, false) })
+	b.Run("steppy/polling", func(b *testing.B) { benchNetRun(b, benchMesh, false, true) })
 }
 
 func nonZero(v float64) float64 {

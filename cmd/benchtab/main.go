@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	benchtab [-seed N] [-quick] [-workers N] [-replicas N] <experiment>...
+//	benchtab [-seed N] [-quick] [-workers N] [-replicas N]
+//	         [-cpuprofile FILE] [-memprofile FILE] <experiment>...
 //	benchtab all
 //
 // Experiments: fig2 fig4 fig5 fig6 fig8 fig10 fig11 fig12 fig13 table1
@@ -22,6 +23,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -41,8 +43,34 @@ func run(args []string, stdout io.Writer) error {
 	quick := fs.Bool("quick", false, "shorter horizons and smaller sweeps")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel experiment jobs (1 = sequential)")
 	replicas := fs.Int("replicas", 1, "per-seed replicas of each experiment (seed, seed+1, ...)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // settle allocations so the profile reflects live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 	names := fs.Args()
 	if len(names) == 0 {

@@ -108,6 +108,12 @@ type Config struct {
 	FailoverBackoffBase time.Duration
 	// FailoverBackoffMax caps the retry delay (default 2 min).
 	FailoverBackoffMax time.Duration
+	// PollingNet drives the simulated network with the legacy once-per-second
+	// capacity polling loop instead of event-driven change-point scheduling.
+	// Both drivers produce bit-identical experiment output (the equivalence
+	// the simnet and experiments differential tests assert); polling exists
+	// as an escape hatch and as the reference side of those tests.
+	PollingNet bool
 }
 
 func (c Config) withDefaults() Config {

@@ -39,6 +39,9 @@ func NewSimulation(topo *mesh.Topology, nodes []cluster.Node, seed int64, cfg Co
 	}
 	eng := sim.NewEngine(seed)
 	net := simnet.New(eng, topo)
+	if cfg.PollingNet {
+		net.SetPolling(true)
+	}
 	orch := New(eng, topo, net, clus, cfg)
 	s := &Simulation{
 		Eng:     eng,

@@ -45,6 +45,12 @@ type ChaosResult struct {
 // with bounded-retry backoff are armed; the result reports MTTR,
 // availability, and requests lost. Equal seeds yield identical results.
 func RunChaos(seed int64, horizon time.Duration) (ChaosResult, error) {
+	return runChaos(seed, horizon, false)
+}
+
+// runChaos selects the network driver so the differential tests can compare
+// event-driven and polling runs byte for byte.
+func runChaos(seed int64, horizon time.Duration, polling bool) (ChaosResult, error) {
 	if horizon == 0 {
 		horizon = 20 * time.Minute
 	}
@@ -59,6 +65,7 @@ func RunChaos(seed int64, horizon time.Duration) (ChaosResult, error) {
 		EnableMigration:   true,
 		MonitorInterval:   30 * time.Second,
 		MigrationDowntime: 5 * time.Second,
+		PollingNet:        polling,
 	})
 	if err != nil {
 		return ChaosResult{}, err

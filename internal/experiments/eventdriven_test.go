@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// These differential tests are the PR's equivalence gate at the experiment
+// level: the rendered output of each headline experiment must be byte-
+// identical whether the simulated network runs the event-driven capacity
+// scheduler or the legacy once-per-second polling loop. Seeds are fixed;
+// horizons are shortened where the full paper horizon would dominate test
+// time without adding coverage (the drivers diverge, if at all, at capacity
+// events and faults, all of which occur early).
+
+func TestFig8OutputIdenticalAcrossDrivers(t *testing.T) {
+	ev, err := runFig8(42, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po, err := runFig8(42, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evOut, poOut := ev.Table().String(), po.Table().String()
+	if evOut != poOut {
+		t.Errorf("fig8 output differs across drivers:\n--- event-driven ---\n%s\n--- polling ---\n%s", evOut, poOut)
+	}
+	if len(ev.Migrations) == 0 {
+		t.Error("fig8 produced no migrations; equivalence check is vacuous")
+	}
+}
+
+func TestTable2OutputIdenticalAcrossDrivers(t *testing.T) {
+	const horizon = 5 * time.Minute
+	ev, err := runTable2(42, horizon, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po, err := runTable2(42, horizon, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evOut, poOut := ev.Table().String(), po.Table().String()
+	if evOut != poOut {
+		t.Errorf("table2 output differs across drivers:\n--- event-driven ---\n%s\n--- polling ---\n%s", evOut, poOut)
+	}
+}
+
+func TestChaosOutputIdenticalAcrossDrivers(t *testing.T) {
+	const horizon = 8 * time.Minute
+	ev, err := runChaos(42, horizon, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po, err := runChaos(42, horizon, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evOut, poOut := ev.Table().String(), po.Table().String()
+	if evOut != poOut {
+		t.Errorf("chaos output differs across drivers:\n--- event-driven ---\n%s\n--- polling ---\n%s", evOut, poOut)
+	}
+}

@@ -32,6 +32,12 @@ type Fig8Result struct {
 // node1-node3 link degrades and node3-node4 recovers, forcing a migration
 // back.
 func RunFig8(seed int64) (Fig8Result, error) {
+	return runFig8(seed, false)
+}
+
+// runFig8 selects the network driver so the differential tests can compare
+// event-driven and polling runs byte for byte.
+func runFig8(seed int64, polling bool) (Fig8Result, error) {
 	const (
 		firstDrop  = 540 * time.Second
 		secondFlip = 1119 * time.Second
@@ -76,6 +82,7 @@ func RunFig8(seed int64) (Fig8Result, error) {
 		EnableMigration:   true,
 		MonitorInterval:   30 * time.Second,
 		MigrationDowntime: 10 * time.Second,
+		PollingNet:        polling,
 	})
 	if err != nil {
 		return Fig8Result{}, err

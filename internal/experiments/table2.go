@@ -30,6 +30,12 @@ type Table2Result struct {
 // The paper's medians (ms): BFS 540/538, longest-path 551/552, k3s 577/692 —
 // BASS placements are insensitive to the variation while k3s inflates ~20%.
 func RunTable2(seed int64, horizon time.Duration) (Table2Result, error) {
+	return runTable2(seed, horizon, false)
+}
+
+// runTable2 selects the network driver so the differential tests can compare
+// event-driven and polling runs byte for byte.
+func runTable2(seed int64, horizon time.Duration, polling bool) (Table2Result, error) {
 	if horizon == 0 {
 		horizon = 20 * time.Minute
 	}
@@ -54,6 +60,7 @@ func RunTable2(seed int64, horizon time.Duration) (Table2Result, error) {
 			sim, err := core.NewSimulation(topo, CityLabWorkers(), seed, core.Config{
 				Policy:      policy,
 				ReservedCPU: 1,
+				PollingNet:  polling,
 			})
 			if err != nil {
 				return out, err

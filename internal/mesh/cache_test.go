@@ -1,0 +1,135 @@
+package mesh
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"bass/internal/trace"
+)
+
+func lineABC(t *testing.T) *Topology {
+	t.Helper()
+	topo := NewTopology()
+	for _, n := range []string{"a", "b", "c"} {
+		topo.AddNode(n)
+	}
+	tr := trace.Constant("l", time.Second, 10, 60)
+	topo.MustAddLink("a", "b", tr, time.Millisecond)
+	topo.MustAddLink("b", "c", tr, time.Millisecond)
+	return topo
+}
+
+func TestRouteCacheInvalidatedByAvailability(t *testing.T) {
+	topo := lineABC(t)
+	path, err := topo.Route("a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(path, []string{"a", "b", "c"}) {
+		t.Fatalf("path = %v", path)
+	}
+	epoch := topo.AvailabilityEpoch()
+	// Cached query must not bump the epoch.
+	if _, err := topo.Route("a", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if topo.AvailabilityEpoch() != epoch {
+		t.Error("read-only Route advanced the epoch")
+	}
+	if err := topo.SetNodeUp("b", false); err != nil {
+		t.Fatal(err)
+	}
+	if topo.AvailabilityEpoch() == epoch {
+		t.Error("node-down did not advance the epoch")
+	}
+	if _, err := topo.Route("a", "c"); err == nil {
+		t.Fatal("route through down node served from stale cache")
+	}
+	if err := topo.SetNodeUp("b", true); err != nil {
+		t.Fatal(err)
+	}
+	path, err = topo.Route("a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(path, []string{"a", "b", "c"}) {
+		t.Fatalf("path after recovery = %v", path)
+	}
+}
+
+func TestRouteCacheInvalidatedByAddLink(t *testing.T) {
+	topo := lineABC(t)
+	if _, err := topo.Route("a", "c"); err != nil {
+		t.Fatal(err)
+	}
+	before := len(topo.Links())
+	topo.MustAddLink("a", "c", trace.Constant("ac", time.Second, 10, 60), time.Millisecond)
+	if got := len(topo.Links()); got != before+1 {
+		t.Fatalf("Links() cache stale after AddLink: %d links, want %d", got, before+1)
+	}
+	path, err := topo.Route("a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 {
+		t.Fatalf("path after shortcut link = %v, want direct", path)
+	}
+}
+
+func TestNoTransitionKeepsEpoch(t *testing.T) {
+	topo := lineABC(t)
+	epoch := topo.AvailabilityEpoch()
+	if err := topo.SetNodeUp("a", true); err != nil { // already up
+		t.Fatal(err)
+	}
+	if err := topo.SetLinkUp("a", "b", true); err != nil { // already up
+		t.Fatal(err)
+	}
+	if topo.AvailabilityEpoch() != epoch {
+		t.Error("no-op availability writes advanced the epoch")
+	}
+}
+
+func TestOnCapacityChangeNotifies(t *testing.T) {
+	topo := lineABC(t)
+	var got []LinkID
+	topo.OnCapacityChange(func(id LinkID) { got = append(got, id) })
+	if err := topo.SetCapacity("a", "b", trace.Constant("x", time.Second, 5, 60)); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.SetDirectedCapacity("b", "c", trace.Constant("y", time.Second, 5, 60)); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.ThrottleEgress("b", trace.Constant("z", time.Second, 2, 60)); err != nil {
+		t.Fatal(err)
+	}
+	want := []LinkID{MakeLinkID("a", "b"), MakeLinkID("b", "c"),
+		MakeLinkID("a", "b"), MakeLinkID("b", "c")}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("notifications = %v, want %v", got, want)
+	}
+	// Failed swaps must not notify.
+	before := len(got)
+	if err := topo.SetDirectedCapacity("a", "ghost", nil); err == nil {
+		t.Fatal("want error")
+	}
+	if len(got) != before {
+		t.Error("failed swap notified listeners")
+	}
+}
+
+func TestRouteScratchReuseKeepsPathsIndependent(t *testing.T) {
+	topo := lineABC(t)
+	p1, err := topo.Route("a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := topo.Route("c", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, []string{"a", "b", "c"}) || !reflect.DeepEqual(p2, []string{"c", "b", "a"}) {
+		t.Fatalf("paths = %v, %v", p1, p2)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"bass/internal/trace"
@@ -95,6 +96,16 @@ func (l *Link) MinCapacityAt(at time.Duration) float64 {
 // directions are identical until SetCapacityToward splits them).
 func (l *Link) CapacityFwd() *trace.Trace { return l.capFwd }
 
+// CapacityDir returns the capacity trace of the forward (A→B) or reverse
+// (B→A) direction. Reading through the link (rather than caching the trace
+// pointer) keeps hot-path consumers current across mid-run trace swaps.
+func (l *Link) CapacityDir(fwd bool) *trace.Trace {
+	if fwd {
+		return l.capFwd
+	}
+	return l.capRev
+}
+
 // Topology is the mesh graph. Construct once, then query from any number of
 // goroutines; mutation after construction is not synchronised. Fault
 // injection flips node/link availability at run time (single-goroutine, like
@@ -107,16 +118,38 @@ type Topology struct {
 	adj       map[string][]string
 	downNodes map[string]bool
 	downLinks map[LinkID]bool
+
+	// availEpoch counts graph-shape changes: availability flips and link/node
+	// additions. Routes computed under one epoch stay valid for its duration,
+	// which is what makes the route cache sound.
+	availEpoch uint64
+
+	// capListeners are invoked when a link's capacity trace is swapped via
+	// SetCapacity/SetDirectedCapacity (which ThrottleEgress routes through).
+	// Registration and invocation are mutation, i.e. single-goroutine.
+	capListeners []func(LinkID)
+
+	// mu guards the route cache and its BFS scratch. Queries are documented
+	// as safe from any number of goroutines, and with memoisation a query is
+	// no longer read-only under the hood.
+	mu          sync.Mutex
+	routeCache  map[routeKey][]string
+	bfsPrev     map[string]string
+	bfsQueue    []string
+	sortedLinks []*Link
 }
+
+type routeKey struct{ src, dst string }
 
 // NewTopology returns an empty topology.
 func NewTopology() *Topology {
 	return &Topology{
-		nodes:     make(map[string]bool),
-		links:     make(map[LinkID]*Link),
-		adj:       make(map[string][]string),
-		downNodes: make(map[string]bool),
-		downLinks: make(map[LinkID]bool),
+		nodes:      make(map[string]bool),
+		links:      make(map[LinkID]*Link),
+		adj:        make(map[string][]string),
+		downNodes:  make(map[string]bool),
+		downLinks:  make(map[LinkID]bool),
+		routeCache: make(map[routeKey][]string),
 	}
 }
 
@@ -158,7 +191,38 @@ func (t *Topology) AddLink(a, b string, capacity *trace.Trace, latency time.Dura
 	t.adj[b] = append(t.adj[b], a)
 	sort.Strings(t.adj[a])
 	sort.Strings(t.adj[b])
+	t.bumpEpoch()
+	t.mu.Lock()
+	t.sortedLinks = nil
+	t.mu.Unlock()
 	return nil
+}
+
+// bumpEpoch advances the availability epoch and drops every cached route.
+func (t *Topology) bumpEpoch() {
+	t.availEpoch++
+	t.mu.Lock()
+	clear(t.routeCache)
+	t.mu.Unlock()
+}
+
+// AvailabilityEpoch reports the current epoch: it advances whenever the
+// routable graph changes (node/link availability flips, link additions), so
+// consumers can cache route-derived state and invalidate it cheaply.
+func (t *Topology) AvailabilityEpoch() uint64 { return t.availEpoch }
+
+// OnCapacityChange registers a callback invoked whenever a link's capacity
+// trace is replaced mid-run (SetCapacity, SetDirectedCapacity, and
+// ThrottleEgress). The network simulator uses it to reschedule trace-driven
+// capacity events. Like all mutation, registration is single-goroutine.
+func (t *Topology) OnCapacityChange(fn func(LinkID)) {
+	t.capListeners = append(t.capListeners, fn)
+}
+
+func (t *Topology) notifyCapacityChange(id LinkID) {
+	for _, fn := range t.capListeners {
+		fn(id)
+	}
 }
 
 // MustAddLink is AddLink for statically known topologies; it panics on error.
@@ -177,6 +241,7 @@ func (t *Topology) SetCapacity(a, b string, capacity *trace.Trace) error {
 	}
 	l.capFwd = capacity
 	l.capRev = capacity
+	t.notifyCapacityChange(l.ID)
 	return nil
 }
 
@@ -188,7 +253,11 @@ func (t *Topology) SetDirectedCapacity(from, to string, capacity *trace.Trace) e
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoPath, MakeLinkID(from, to))
 	}
-	return l.SetCapacityToward(from, to, capacity)
+	if err := l.SetCapacityToward(from, to, capacity); err != nil {
+		return err
+	}
+	t.notifyCapacityChange(l.ID)
+	return nil
 }
 
 // ThrottleEgress applies the capacity trace to the outgoing direction of
@@ -212,11 +281,15 @@ func (t *Topology) SetNodeUp(name string, up bool) error {
 	if !t.nodes[name] {
 		return fmt.Errorf("%w: %q", ErrUnknownNode, name)
 	}
+	if up == !t.downNodes[name] {
+		return nil // no transition: routes stay valid
+	}
 	if up {
 		delete(t.downNodes, name)
 	} else {
 		t.downNodes[name] = true
 	}
+	t.bumpEpoch()
 	return nil
 }
 
@@ -232,11 +305,15 @@ func (t *Topology) SetLinkUp(a, b string, up bool) error {
 	if _, ok := t.links[id]; !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownLink, id)
 	}
+	if up == !t.downLinks[id] {
+		return nil // no transition
+	}
 	if up {
 		delete(t.downLinks, id)
 	} else {
 		t.downLinks[id] = true
 	}
+	t.bumpEpoch()
 	return nil
 }
 
@@ -273,8 +350,15 @@ func (t *Topology) Link(a, b string) (*Link, bool) {
 	return l, ok
 }
 
-// Links returns all links sorted by ID.
+// Links returns all links sorted by ID. The slice is cached and shared
+// between calls (invalidated by AddLink): callers must treat it as
+// read-only.
 func (t *Topology) Links() []*Link {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sortedLinks != nil {
+		return t.sortedLinks
+	}
 	out := make([]*Link, 0, len(t.links))
 	for _, l := range t.links {
 		out = append(out, l)
@@ -285,6 +369,7 @@ func (t *Topology) Links() []*Link {
 		}
 		return out[i].ID.B < out[j].ID.B
 	})
+	t.sortedLinks = out
 	return out
 }
 
@@ -318,6 +403,11 @@ func (t *Topology) CapacityAt(a, b string, at time.Duration) (float64, error) {
 // observe. A node routes to itself via the single-element path. Down nodes
 // and down links are invisible, exactly as a converged mesh routing protocol
 // would see them: routing to or through a dead element fails or detours.
+//
+// Routes are memoised per (src, dst) and invalidated whenever the
+// availability epoch advances, so steady-state queries cost two map lookups
+// and no allocation. The returned slice is shared with the cache: callers
+// must treat it as read-only.
 func (t *Topology) Route(src, dst string) ([]string, error) {
 	if !t.nodes[src] {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, src)
@@ -334,11 +424,38 @@ func (t *Topology) Route(src, dst string) ([]string, error) {
 	if src == dst {
 		return []string{src}, nil
 	}
-	prev := map[string]string{src: src}
-	queue := []string{src}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := routeKey{src: src, dst: dst}
+	if path, ok := t.routeCache[key]; ok {
+		if path == nil {
+			return nil, fmt.Errorf("%w: %s -> %s", ErrNoPath, src, dst)
+		}
+		return path, nil
+	}
+	path := t.bfs(src, dst)
+	t.routeCache[key] = path // negative results cache as nil
+	if path == nil {
+		return nil, fmt.Errorf("%w: %s -> %s", ErrNoPath, src, dst)
+	}
+	return path, nil
+}
+
+// bfs runs the minimum-hop search with reused scratch (prev map, queue).
+// Callers hold t.mu. The returned path slice is freshly allocated (it is
+// retained by the cache and handed to callers, who must not modify it).
+func (t *Topology) bfs(src, dst string) []string {
+	if t.bfsPrev == nil {
+		t.bfsPrev = make(map[string]string, len(t.nodes))
+	} else {
+		clear(t.bfsPrev)
+	}
+	prev := t.bfsPrev
+	queue := t.bfsQueue[:0]
+	prev[src] = src
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
 		if cur == dst {
 			break
 		}
@@ -352,19 +469,19 @@ func (t *Topology) Route(src, dst string) ([]string, error) {
 			}
 		}
 	}
+	t.bfsQueue = queue
 	if _, ok := prev[dst]; !ok {
-		return nil, fmt.Errorf("%w: %s -> %s", ErrNoPath, src, dst)
+		return nil
 	}
-	var rev []string
+	n := 1
 	for cur := dst; cur != src; cur = prev[cur] {
-		rev = append(rev, cur)
+		n++
 	}
-	rev = append(rev, src)
-	path := make([]string, len(rev))
-	for i, n := range rev {
-		path[len(rev)-1-i] = n
+	path := make([]string, n)
+	for cur, i := dst, n-1; i >= 0; cur, i = prev[cur], i-1 {
+		path[i] = cur
 	}
-	return path, nil
+	return path
 }
 
 // PathLinks returns the links along a path.

@@ -17,10 +17,11 @@ var ErrStopped = errors.New("sim: stopped")
 
 // Event is a scheduled callback.
 type event struct {
-	at  time.Duration
-	seq uint64 // tie-break so same-time events run in schedule order
-	fn  func()
-	id  uint64
+	at        time.Duration
+	seq       uint64 // tie-break so same-time events run in schedule order
+	fn        func()
+	id        uint64
+	cancelled bool
 }
 
 type eventHeap []*event
@@ -43,6 +44,11 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// compactThreshold is the minimum number of cancelled-but-queued events
+// before Cancel considers rebuilding the heap; below it, lazy reaping on pop
+// is cheaper than a rebuild.
+const compactThreshold = 64
+
 // Engine is a single-threaded discrete-event simulator. All callbacks run on
 // the goroutine that calls Run; scheduling from within callbacks is the
 // normal mode of operation.
@@ -52,23 +58,28 @@ func (h *eventHeap) Pop() any {
 // the isolation the parallel experiment harness relies on. A single Engine
 // is not safe for concurrent use.
 type Engine struct {
-	now       time.Duration
-	queue     eventHeap
-	seq       uint64
-	nextID    uint64
-	cancelled map[uint64]bool
-	stopped   bool
-	seed      int64
-	rng       *rand.Rand
-	executed  uint64
+	now    time.Duration
+	queue  eventHeap
+	seq    uint64
+	nextID uint64
+	// pending maps the id of every live (queued, un-cancelled) event to its
+	// struct, so Cancel of an already-executed event is a true no-op instead
+	// of a permanently leaked tombstone.
+	pending    map[uint64]*event
+	ncancelled int // cancelled events still sitting in the heap
+	freeList   []*event
+	stopped    bool
+	seed       int64
+	rng        *rand.Rand
+	executed   uint64
 }
 
 // NewEngine returns an engine with a deterministic random source.
 func NewEngine(seed int64) *Engine {
 	return &Engine{
-		cancelled: make(map[uint64]bool),
-		seed:      seed,
-		rng:       rand.New(rand.NewSource(seed)),
+		pending: make(map[uint64]*event),
+		seed:    seed,
+		rng:     rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -88,6 +99,26 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // EventID identifies a scheduled event for cancellation.
 type EventID uint64
 
+// alloc takes an event struct from the free list, or heap-allocates one.
+func (e *Engine) alloc() *event {
+	if n := len(e.freeList); n > 0 {
+		ev := e.freeList[n-1]
+		e.freeList[n-1] = nil
+		e.freeList = e.freeList[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// release returns an executed or reaped event to the free list. The struct
+// is unreferenced at this point: it left the heap and pending map, and
+// EventIDs are never dereferenced.
+func (e *Engine) release(ev *event) {
+	ev.fn = nil
+	ev.cancelled = false
+	e.freeList = append(e.freeList, ev)
+}
+
 // At schedules fn at absolute virtual time at. Scheduling in the past runs
 // the event at the current time (it cannot run before already-elapsed time).
 func (e *Engine) At(at time.Duration, fn func()) EventID {
@@ -96,8 +127,13 @@ func (e *Engine) At(at time.Duration, fn func()) EventID {
 	}
 	e.seq++
 	e.nextID++
-	ev := &event{at: at, seq: e.seq, fn: fn, id: e.nextID}
+	ev := e.alloc()
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.id = e.nextID
 	heap.Push(&e.queue, ev)
+	e.pending[ev.id] = ev
 	return EventID(e.nextID)
 }
 
@@ -107,9 +143,40 @@ func (e *Engine) After(d time.Duration, fn func()) EventID {
 }
 
 // Cancel prevents a scheduled event from running. Cancelling an event that
-// already ran is a no-op.
+// already ran (or was already cancelled) is a no-op: long runs that cancel
+// completed transfers leak no bookkeeping. The cancelled event stays in the
+// heap to be reaped lazily on pop; if cancelled events come to dominate the
+// queue, the heap is compacted in one pass.
 func (e *Engine) Cancel(id EventID) {
-	e.cancelled[uint64(id)] = true
+	ev, ok := e.pending[uint64(id)]
+	if !ok {
+		return
+	}
+	ev.cancelled = true
+	ev.fn = nil // release the closure now; chaos runs cancel by the thousand
+	delete(e.pending, uint64(id))
+	e.ncancelled++
+	if e.ncancelled >= compactThreshold && e.ncancelled*2 > len(e.queue) {
+		e.compact()
+	}
+}
+
+// compact rebuilds the heap without its cancelled entries.
+func (e *Engine) compact() {
+	live := e.queue[:0]
+	for _, ev := range e.queue {
+		if ev.cancelled {
+			e.release(ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = live
+	e.ncancelled = 0
+	heap.Init(&e.queue)
 }
 
 // Stop halts Run after the current event.
@@ -124,18 +191,23 @@ func (e *Engine) Run(until time.Duration) error {
 			return ErrStopped
 		}
 		next := e.queue[0]
+		if next.cancelled {
+			heap.Pop(&e.queue)
+			e.ncancelled--
+			e.release(next)
+			continue
+		}
 		if next.at > until {
 			e.now = until
 			return nil
 		}
 		heap.Pop(&e.queue)
-		if e.cancelled[next.id] {
-			delete(e.cancelled, next.id)
-			continue
-		}
+		delete(e.pending, next.id)
 		e.now = next.at
 		e.executed++
-		next.fn()
+		fn := next.fn
+		e.release(next)
+		fn()
 	}
 	if e.now < until {
 		e.now = until
@@ -147,20 +219,24 @@ func (e *Engine) Run(until time.Duration) error {
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		next := heap.Pop(&e.queue).(*event)
-		if e.cancelled[next.id] {
-			delete(e.cancelled, next.id)
+		if next.cancelled {
+			e.ncancelled--
+			e.release(next)
 			continue
 		}
+		delete(e.pending, next.id)
 		e.now = next.at
 		e.executed++
-		next.fn()
+		fn := next.fn
+		e.release(next)
+		fn()
 		return true
 	}
 	return false
 }
 
 // Pending reports the number of events still queued (including cancelled
-// events not yet reaped).
+// events not yet reaped or compacted away).
 func (e *Engine) Pending() int { return len(e.queue) }
 
 // Every schedules fn at now+period, then every period thereafter, until the

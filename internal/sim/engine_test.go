@@ -194,3 +194,82 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+func TestCancelAfterExecutionLeaksNothing(t *testing.T) {
+	e := NewEngine(1)
+	var ids []EventID
+	for i := 0; i < 100; i++ {
+		ids = append(ids, e.At(time.Duration(i)*time.Millisecond, func() {}))
+	}
+	if err := e.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Cancelling events that already ran must not accumulate state.
+	for _, id := range ids {
+		e.Cancel(id)
+	}
+	if len(e.pending) != 0 {
+		t.Errorf("pending map holds %d entries after all events ran", len(e.pending))
+	}
+	if e.ncancelled != 0 {
+		t.Errorf("ncancelled = %d after cancelling executed events", e.ncancelled)
+	}
+}
+
+func TestCancelledHeapCompaction(t *testing.T) {
+	e := NewEngine(1)
+	var ids []EventID
+	for i := 0; i < 2*compactThreshold; i++ {
+		ids = append(ids, e.At(time.Hour+time.Duration(i)*time.Second, func() {}))
+	}
+	keep := e.At(30*time.Minute, func() {})
+	for _, id := range ids {
+		e.Cancel(id)
+	}
+	// Compaction triggers once cancelled events dominate; the queue must not
+	// retain all 2*compactThreshold tombstones.
+	if e.Pending() > compactThreshold+2 {
+		t.Errorf("queue holds %d events after mass cancel; want ≤ %d", e.Pending(), compactThreshold+2)
+	}
+	ran := false
+	e.Cancel(keep) // and cancelling the survivor still works post-compaction
+	e.At(45*time.Minute, func() { ran = true })
+	if err := e.Run(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("event scheduled after compaction did not run")
+	}
+	if e.Executed() != 1 {
+		t.Errorf("Executed = %d, want 1", e.Executed())
+	}
+}
+
+func TestEventStructsAreReused(t *testing.T) {
+	e := NewEngine(1)
+	// Warm the pool, then measure steady-state allocations per event.
+	for i := 0; i < 64; i++ {
+		e.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if err := e.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fn := func() {}
+	allocs := testing.AllocsPerRun(100, func() {
+		e.After(time.Millisecond, fn)
+		e.Step()
+	})
+	// One event struct would cost ≥1 alloc/op; the free list should make the
+	// schedule-execute cycle allocation-free.
+	if allocs > 0 {
+		t.Errorf("schedule+run allocates %.1f objects/op with warm free list, want 0", allocs)
+	}
+}
+
+func TestCancelIsNoOpForUnknownID(t *testing.T) {
+	e := NewEngine(1)
+	e.Cancel(EventID(12345))
+	if len(e.pending) != 0 || e.ncancelled != 0 {
+		t.Error("cancel of unknown id mutated state")
+	}
+}

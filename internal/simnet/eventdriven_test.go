@@ -1,0 +1,234 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"bass/internal/mesh"
+	"bass/internal/sim"
+	"bass/internal/trace"
+)
+
+// TestEventDrivenMatchesPolling is the package-level equivalence gate: the
+// mixed stream/transfer scenario must produce bit-identical per-second rate
+// samples and transfer finish times whether capacity changes arrive from the
+// polling driver or from change-point events.
+func TestEventDrivenMatchesPolling(t *testing.T) {
+	evSamples, evFinishes, evStats := driveScenario(t, false, false)
+	poSamples, poFinishes, poStats := driveScenario(t, false, true)
+
+	if len(evSamples) != len(poSamples) {
+		t.Fatalf("sample counts differ: event %d vs polling %d", len(evSamples), len(poSamples))
+	}
+	for i := range evSamples {
+		if evSamples[i] != poSamples[i] {
+			t.Fatalf("sample %d: event %v != polling %v", i, evSamples[i], poSamples[i])
+		}
+	}
+	if len(evFinishes) != len(poFinishes) {
+		t.Fatalf("transfer completions differ: event %d vs polling %d", len(evFinishes), len(poFinishes))
+	}
+	for i := range evFinishes {
+		if evFinishes[i] != poFinishes[i] {
+			t.Fatalf("finish %d: event %v != polling %v", i, evFinishes[i], poFinishes[i])
+		}
+	}
+	// The event driver must do strictly less allocation work: same full
+	// passes, far fewer absorbed requests (polling asks every second).
+	if evStats.FullPasses != poStats.FullPasses {
+		t.Errorf("full passes differ: event %d vs polling %d", evStats.FullPasses, poStats.FullPasses)
+	}
+	if evStats.SkippedPasses >= poStats.SkippedPasses {
+		t.Errorf("event driver absorbed %d requests, polling %d; want fewer",
+			evStats.SkippedPasses, poStats.SkippedPasses)
+	}
+}
+
+// driveFaultScenario exercises capacity steps interleaved with availability
+// flips and trace swaps — every re-arming path of the event chain.
+func driveFaultScenario(t *testing.T, polling bool) (samples []float64, backlogs []float64, finishes []time.Duration) {
+	t.Helper()
+	const horizon = 2 * time.Minute
+	topo := steppyMesh(horizon)
+	eng := sim.NewEngine(11)
+	net := New(eng, topo)
+	net.SetPolling(polling)
+	net.Start()
+
+	s1, err := net.AddStream("s1", "a", "b", 35) // oversubscribes a-b after the 20s drop
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddStream("s2", "c", "d", 10); err != nil {
+		t.Fatal(err)
+	}
+	done := func(r TransferResult) { finishes = append(finishes, r.Finished) }
+	if _, err := net.AddTransfer("t1", "a", "d", 30e6, 0, done); err != nil {
+		t.Fatal(err)
+	}
+
+	// Node crash and recovery (parks s2's endpoints' routes through d).
+	eng.At(25*time.Second, func() {
+		if err := topo.SetNodeUp("d", false); err != nil {
+			t.Fatal(err)
+		}
+		net.ApplyTopologyState()
+	})
+	eng.At(40*time.Second, func() {
+		if err := topo.SetNodeUp("d", true); err != nil {
+			t.Fatal(err)
+		}
+		net.ApplyTopologyState()
+	})
+	// Mid-run trace swap: the event chain must re-arm for the new
+	// change-points via the capacity-change notification.
+	eng.At(55*time.Second, func() {
+		if err := topo.SetCapacity("a", "c", trace.StepTrace("swap", time.Second, horizon, []trace.Level{
+			{From: 0, Mbps: 12},
+			{From: 70 * time.Second, Mbps: 45},
+		})); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Link flap.
+	eng.At(80*time.Second, func() {
+		if err := topo.SetLinkUp("a", "b", false); err != nil {
+			t.Fatal(err)
+		}
+		net.ApplyTopologyState()
+	})
+	eng.At(95*time.Second, func() {
+		if err := topo.SetLinkUp("a", "b", true); err != nil {
+			t.Fatal(err)
+		}
+		net.ApplyTopologyState()
+	})
+
+	eng.Every(time.Second, func() {
+		r, err := net.StreamRate(s1)
+		if err != nil {
+			r = -1
+		}
+		samples = append(samples, r)
+		d, err := net.QueueDelay("a", "b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		backlogs = append(backlogs, d.Seconds())
+	})
+	if err := eng.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	return samples, backlogs, finishes
+}
+
+// TestEventDrivenMatchesPollingUnderFaults covers the re-arming paths:
+// ApplyTopologyState reconciliations and mid-run trace swaps must leave both
+// drivers bit-identical, including the closed-form backlog views.
+func TestEventDrivenMatchesPollingUnderFaults(t *testing.T) {
+	evS, evB, evF := driveFaultScenario(t, false)
+	poS, poB, poF := driveFaultScenario(t, true)
+
+	if len(evS) != len(poS) || len(evB) != len(poB) {
+		t.Fatalf("sample counts differ: %d/%d vs %d/%d", len(evS), len(evB), len(poS), len(poB))
+	}
+	for i := range evS {
+		if evS[i] != poS[i] {
+			t.Fatalf("rate sample %d: event %v != polling %v", i, evS[i], poS[i])
+		}
+		if evB[i] != poB[i] {
+			t.Fatalf("queue-delay sample %d: event %v != polling %v", i, evB[i], poB[i])
+		}
+	}
+	if len(evF) != len(poF) {
+		t.Fatalf("finish counts differ: %d vs %d", len(evF), len(poF))
+	}
+	for i := range evF {
+		if evF[i] != poF[i] {
+			t.Fatalf("finish %d: event %v != polling %v", i, evF[i], poF[i])
+		}
+	}
+	// The fault scenario must actually build a queue at some point, or the
+	// backlog comparison is vacuous.
+	peak := 0.0
+	for _, b := range evB {
+		if b > peak {
+			peak = b
+		}
+	}
+	if peak <= 0 {
+		t.Error("scenario never built a backlog; queue-delay equivalence untested")
+	}
+}
+
+// TestEventDrivenSkipsQuietSeconds pins the optimisation itself: over the
+// steppy mesh (three observed capacity changes in 90s) the event driver must
+// execute an order of magnitude fewer simulator events than polling.
+func TestEventDrivenSkipsQuietSeconds(t *testing.T) {
+	run := func(polling bool) uint64 {
+		const horizon = 90 * time.Second
+		eng := sim.NewEngine(3)
+		net := New(eng, steppyMesh(horizon))
+		net.SetPolling(polling)
+		net.Start()
+		if _, err := net.AddStream("s", "a", "b", 25); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Run(horizon); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Executed()
+	}
+	ev, po := run(false), run(true)
+	if ev*4 > po {
+		t.Errorf("event driver executed %d events vs polling %d; want ≤ 1/4", ev, po)
+	}
+}
+
+// TestSetPollingAfterStartPanics documents the driver-selection contract.
+func TestSetPollingAfterStartPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := New(eng, mesh.FullMesh([]string{"a", "b"}, 50, time.Millisecond, time.Minute))
+	net.Start()
+	defer func() {
+		if recover() == nil {
+			t.Error("SetPolling after Start did not panic")
+		}
+	}()
+	net.SetPolling(true)
+}
+
+// TestStopSilencesEventChain verifies the stop function cancels the armed
+// wake and that trace swaps cannot resurrect a stopped chain.
+func TestStopSilencesEventChain(t *testing.T) {
+	const horizon = time.Minute
+	topo := steppyMesh(horizon)
+	eng := sim.NewEngine(1)
+	net := New(eng, topo)
+	stop := net.Start()
+	if _, err := net.AddStream("s", "a", "b", 25); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	base := eng.Executed()
+	if err := eng.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Executed() - base; got != 0 {
+		t.Errorf("stopped chain executed %d events", got)
+	}
+	if err := topo.SetCapacity("a", "c", trace.Constant("x", time.Second, 5, 60)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(2 * horizon); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Executed() - base; got != 0 {
+		t.Errorf("trace swap resurrected a stopped chain (%d events)", got)
+	}
+	// Rate stays at the last allocation: the network is frozen, not broken.
+	if r, err := net.StreamRate(1); err != nil || math.IsNaN(r) {
+		t.Errorf("StreamRate after stop = %v, %v", r, err)
+	}
+}

@@ -42,12 +42,13 @@ func steppyMesh(horizon time.Duration) *mesh.Topology {
 
 // driveScenario runs a fixed mixed stream/transfer workload and samples every
 // stream's rate each second, returning the samples and transfer finish times.
-func driveScenario(t *testing.T, fullRecompute bool) (samples []float64, finishes []time.Duration, stats AllocStats) {
+func driveScenario(t *testing.T, fullRecompute, polling bool) (samples []float64, finishes []time.Duration, stats AllocStats) {
 	t.Helper()
 	const horizon = 90 * time.Second
 	eng := sim.NewEngine(7)
 	net := New(eng, steppyMesh(horizon))
 	net.SetFullRecompute(fullRecompute)
+	net.SetPolling(polling)
 	net.Start()
 
 	var streams []FlowID
@@ -99,8 +100,8 @@ func driveScenario(t *testing.T, fullRecompute bool) (samples []float64, finishe
 }
 
 func TestIncrementalMatchesFullRecompute(t *testing.T) {
-	incSamples, incFinishes, incStats := driveScenario(t, false)
-	fullSamples, fullFinishes, fullStats := driveScenario(t, true)
+	incSamples, incFinishes, incStats := driveScenario(t, false, true)
+	fullSamples, fullFinishes, fullStats := driveScenario(t, true, true)
 
 	if len(incSamples) != len(fullSamples) {
 		t.Fatalf("sample counts differ: %d vs %d", len(incSamples), len(fullSamples))
@@ -131,11 +132,12 @@ func TestIncrementalMatchesFullRecompute(t *testing.T) {
 }
 
 func TestQuietEpochsSkipWaterFilling(t *testing.T) {
-	// Constant capacity, steady streams: after the initial allocations, every
-	// tick's reallocation must be absorbed.
+	// Constant capacity, steady streams, polling driver: after the initial
+	// allocations, every tick's reallocation must be absorbed.
 	topo := mesh.FullMesh([]string{"a", "b", "c"}, 100, time.Millisecond, time.Minute)
 	eng := sim.NewEngine(1)
 	net := New(eng, topo)
+	net.SetPolling(true)
 	net.Start()
 	id, err := net.AddStream("s", "a", "b", 40)
 	if err != nil {
@@ -161,6 +163,44 @@ func TestQuietEpochsSkipWaterFilling(t *testing.T) {
 	// Accounting must stay live across skipped passes.
 	if mb := net.BytesByTag()["s"]; math.Abs(mb-40*300/8) > 40 {
 		t.Errorf("carried %v MB, want ≈%v", mb, 40.0*300/8)
+	}
+}
+
+func TestQuietTraceSchedulesNoEvents(t *testing.T) {
+	// Same quiet scenario under the event-driven driver: constant traces have
+	// no change-points, so the network must schedule nothing at all — and the
+	// read views must keep accounting live without a single settle.
+	topo := mesh.FullMesh([]string{"a", "b", "c"}, 100, time.Millisecond, time.Minute)
+	eng := sim.NewEngine(1)
+	net := New(eng, topo)
+	net.Start()
+	id, err := net.AddStream("s", "a", "b", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddStream("s2", "b", "c", 20); err != nil {
+		t.Fatal(err)
+	}
+	before := net.AllocStats()
+	executed := eng.Executed()
+	if err := eng.Run(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Executed() - executed; got != 0 {
+		t.Errorf("quiet trace executed %d events, want 0", got)
+	}
+	after := net.AllocStats()
+	if got := after.FullPasses - before.FullPasses; got != 0 {
+		t.Errorf("quiet run executed %d full passes, want 0", got)
+	}
+	if r, _ := net.StreamRate(id); math.Abs(r-40) > 1e-9 {
+		t.Errorf("rate drifted to %v", r)
+	}
+	if mb := net.BytesByTag()["s"]; math.Abs(mb-40*300/8) > 1e-6 {
+		t.Errorf("carried %v MB, want %v (closed-form view)", mb, 40.0*300/8)
+	}
+	if rate := net.TagRate("s"); math.Abs(rate-40) > 1e-9 {
+		t.Errorf("TagRate = %v, want 40", rate)
 	}
 }
 

@@ -1,11 +1,22 @@
 // Package simnet is a flow-level network simulator over a mesh topology.
 // Persistent streams (video feeds, RPC traffic aggregates) and bounded
 // transfers (frames, probes) share links under max-min fairness with demand
-// caps, recomputed on every flow arrival, completion, and once-per-second
-// link-capacity change driven by bandwidth traces. Per-link fluid backlogs
-// capture queueing delay when offered load exceeds capacity — the mechanism
-// behind the order-of-magnitude latency inflation the BASS paper shows in
-// Fig 5.
+// caps, recomputed on every flow arrival, completion, and link-capacity
+// change driven by bandwidth traces. Per-link fluid backlogs capture queueing
+// delay when offered load exceeds capacity — the mechanism behind the
+// order-of-magnitude latency inflation the BASS paper shows in Fig 5.
+//
+// Capacity scheduling is event-driven: each trace carries a change-point
+// index, and the network computes the exact next 1-second sampling tick at
+// which any link's observed capacity will move, then sleeps until it. Between
+// capacity events nothing is polled; flow progress and link backlogs are
+// anchored at the last settle point and integrated in closed form on demand
+// (read views) or at the next mutation (settles). SetPolling(true) restores
+// the legacy once-per-second polling driver; both drivers visit the same
+// 1-second sampling grid, settle state at the same virtual times with the
+// same arithmetic, and therefore produce bit-identical experiment output for
+// a given (topology, workload, seed) triple — the equivalence the package's
+// differential tests assert.
 //
 // Allocation is incremental: every link carries a dirty flag and the set of
 // links that acted as water-filling bottlenecks in the last full pass is
@@ -51,6 +62,22 @@ const unboundedBps = 1e15
 // cap instead of growing without bound.
 const DefaultMaxQueueSeconds = 30
 
+// gridStep is the capacity sampling period: trace values are observed at
+// whole multiples of it past the Start time, in both drivers. It matches the
+// paper's once-per-second bandwidth sampling.
+const gridStep = time.Second
+
+// changeScanLimit bounds the per-link walk over trace change-points when
+// predicting the next capacity event. Traces that oscillate below the
+// sampling grid can have many change-points per observed change; when the
+// walk exhausts the limit the network schedules a conservative wake at the
+// last examined tick (a no-op observation) and resumes the scan from there.
+const changeScanLimit = 64
+
+// compactDeadFlows is the minimum number of removed-but-retained flow slots
+// before removeFlow compacts the iteration order in one pass.
+const compactDeadFlows = 32
+
 // FlowID identifies a stream or transfer.
 type FlowID uint64
 
@@ -85,19 +112,24 @@ type flow struct {
 	demandBps float64 // rate cap; streams: offered rate, transfers: cap or unbounded
 	rateBps   float64 // current max-min allocation
 
-	remainingBits float64 // transfers only
+	remainingBits float64 // transfers only; settled as of Network.lastAdvance
 	totalBits     float64
 	started       time.Duration
 	onComplete    func(TransferResult)
 	completionEv  sim.EventID
 	hasEvent      bool
 
-	accruedBits float64 // cumulative bits actually carried
+	accruedBits float64 // cumulative bits actually carried, settled
 
 	// parked marks a flow whose endpoints are currently unreachable (node
 	// crash or partition): it holds no links, carries nothing, and resumes
 	// when a route reappears.
 	parked bool
+
+	// gone marks a removed flow still occupying a flowOrder slot; every
+	// iteration skips it and removeFlow compacts the slice once tombstones
+	// dominate, replacing the old O(n) splice per removal.
+	gone bool
 
 	// Water-filling scratch state, valid during and after a full pass.
 	frozen        bool
@@ -123,11 +155,23 @@ type TransferResult struct {
 func (r TransferResult) Duration() time.Duration { return r.Finished - r.Started }
 
 type linkState struct {
-	hop         dhop
+	hop  dhop
+	lid  mesh.LinkID
+	link *mesh.Link
+	fwd  bool // hop follows the link's A→B direction
+
 	capacityBps float64
-	backlogBits float64
-	carriedBits float64 // cumulative
-	demandBps   float64 // stream demand routed over the direction (last reallocate)
+	avail       bool // cached topo.LinkAvailable, refreshed on epoch change
+
+	// backlogBits is the fluid backlog as of backlogSince. Between settles
+	// the offered demand and capacity are constant, so the true backlog at
+	// any later time is the closed-form clamp backlogAt computes; settles
+	// re-anchor before anything the integral depends on changes.
+	backlogBits  float64
+	backlogSince time.Duration
+
+	carriedBits float64 // cumulative, settled as of Network.lastAdvance
+	demandBps   float64 // stream demand routed over the direction (last full pass)
 
 	// Incremental-allocation bookkeeping.
 	flowCount  int  // routed flows currently crossing this direction
@@ -150,7 +194,10 @@ type AllocStats struct {
 	// FullPasses counts complete water-filling recomputations.
 	FullPasses uint64
 	// SkippedPasses counts reallocation requests absorbed by the
-	// incremental path without recomputing any rate.
+	// incremental path without recomputing any rate. The polling driver
+	// issues a request every second, so quiet seconds show up here; the
+	// event-driven driver only issues requests at capacity events, so the
+	// counter stays near zero on quiet traces.
 	SkippedPasses uint64
 }
 
@@ -165,14 +212,25 @@ type Network struct {
 	nextID      FlowID
 	flows       map[FlowID]*flow
 	flowOrder   []*flow // ascending FlowID; the deterministic iteration order
+	deadFlows   int     // tombstoned entries in flowOrder
 	links       map[dhop]*linkState
 	linkOrder   []*linkState // sorted by (from, to); deterministic iteration order
 	lastAdvance time.Duration
-	lastTick    time.Duration
-	tickStop    func()
 	maxQueueSec float64
 
-	bytesByTag map[string]float64 // cumulative bits carried per tag
+	bytesByTag map[string]float64 // cumulative bits carried per tag, settled
+
+	// Driver state. The sampling grid is anchored at the Start time; both
+	// drivers observe capacities only at gridAnchor + k·gridStep.
+	polling        bool
+	started        bool
+	chainStopped   bool
+	gridAnchor     time.Duration
+	tickStop       func()
+	hasArmed       bool
+	armedAt        time.Duration
+	armedID        sim.EventID
+	lastAvailEpoch uint64
 
 	// Fault state.
 	probeLoss       map[mesh.LinkID]bool // links whose probes fail (control plane only)
@@ -194,21 +252,30 @@ type Network struct {
 // capacity updates.
 func New(eng *sim.Engine, topo *mesh.Topology) *Network {
 	n := &Network{
-		eng:         eng,
-		topo:        topo,
-		flows:       make(map[FlowID]*flow),
-		links:       make(map[dhop]*linkState),
-		bytesByTag:  make(map[string]float64),
-		probeLoss:   make(map[mesh.LinkID]bool),
-		maxQueueSec: DefaultMaxQueueSeconds,
+		eng:            eng,
+		topo:           topo,
+		flows:          make(map[FlowID]*flow),
+		links:          make(map[dhop]*linkState),
+		bytesByTag:     make(map[string]float64),
+		probeLoss:      make(map[mesh.LinkID]bool),
+		maxQueueSec:    DefaultMaxQueueSeconds,
+		lastAvailEpoch: topo.AvailabilityEpoch(),
 	}
 	for _, l := range topo.Links() {
-		for _, h := range []dhop{{from: l.ID.A, to: l.ID.B}, {from: l.ID.B, to: l.ID.A}} {
-			tr, err := l.CapacityToward(h.from, h.to)
-			if err != nil {
-				continue // unreachable: both directions exist by construction
+		avail := topo.LinkAvailable(l.ID)
+		for _, fwd := range []bool{true, false} {
+			h := dhop{from: l.ID.A, to: l.ID.B}
+			if !fwd {
+				h = dhop{from: l.ID.B, to: l.ID.A}
 			}
-			ls := &linkState{hop: h, capacityBps: tr.AtBps(0)}
+			ls := &linkState{
+				hop:         h,
+				lid:         l.ID,
+				link:        l,
+				fwd:         fwd,
+				capacityBps: l.CapacityDir(fwd).AtBps(0),
+				avail:       avail,
+			}
 			n.links[h] = ls
 			n.linkOrder = append(n.linkOrder, ls)
 		}
@@ -220,19 +287,54 @@ func New(eng *sim.Engine, topo *mesh.Topology) *Network {
 		}
 		return a.to < b.to
 	})
+	topo.OnCapacityChange(func(mesh.LinkID) {
+		// A trace swapped mid-run may introduce an earlier capacity event
+		// than the one armed; re-aim the chain (no-op for the polling
+		// driver, which samples every second anyway).
+		if n.started && !n.polling && !n.chainStopped {
+			n.armChain()
+		}
+	})
 	return n
 }
 
-// Start begins once-per-second capacity ticks that sample each link's trace,
-// update fluid backlogs, and reallocate bandwidth. It returns a stop
-// function.
+// SetPolling switches the network to the legacy once-per-second polling
+// driver instead of event-driven capacity scheduling. Must be called before
+// Start. Both drivers produce bit-identical experiment output; polling
+// exists as an escape hatch and as the reference the differential tests
+// compare against.
+func (n *Network) SetPolling(v bool) {
+	if n.started {
+		panic("simnet: SetPolling after Start")
+	}
+	n.polling = v
+}
+
+// Start begins trace-driven capacity updates and returns a stop function. In
+// the default event-driven mode it builds each trace's change-point index and
+// arms a wake-up at the next 1-second tick where any link's observed capacity
+// will move; in polling mode it samples every link once per second.
 func (n *Network) Start() (stop func()) {
-	n.lastTick = n.eng.Now()
-	n.tickStop = n.eng.Every(time.Second, n.tick)
+	n.started = true
+	n.gridAnchor = n.eng.Now()
+	if n.polling {
+		n.tickStop = n.eng.Every(gridStep, n.pollTick)
+		return func() {
+			if n.tickStop != nil {
+				n.tickStop()
+				n.tickStop = nil
+			}
+		}
+	}
+	for _, ls := range n.linkOrder {
+		ls.link.CapacityDir(ls.fwd).BuildChangeIndex()
+	}
+	n.armChain()
 	return func() {
-		if n.tickStop != nil {
-			n.tickStop()
-			n.tickStop = nil
+		n.chainStopped = true
+		if n.hasArmed {
+			n.eng.Cancel(n.armedID)
+			n.hasArmed = false
 		}
 	}
 }
@@ -253,60 +355,202 @@ func (n *Network) SetFullRecompute(v bool) { n.fullOnly = v }
 // water-filling pass versus how many the incremental path absorbed.
 func (n *Network) AllocStats() AllocStats { return n.alloc }
 
-func (n *Network) tick() {
-	now := n.eng.Now()
-	dt := (now - n.lastTick).Seconds()
-	n.lastTick = now
-	// Fluid backlog: grow when offered stream demand exceeds capacity,
-	// drain otherwise, bounded by the link's buffer budget.
-	for _, ls := range n.linkOrder {
-		if dt > 0 {
-			excess := ls.demandBps - ls.capacityBps
-			if excess > 0 {
-				ls.backlogBits += excess * dt
-				if maxBits := ls.capacityBps * n.maxQueueSec; ls.backlogBits > maxBits {
-					ls.backlogBits = maxBits
-				}
-			} else if ls.backlogBits > 0 {
-				ls.backlogBits += excess * dt // excess < 0: drain
-				if ls.backlogBits < 0 {
-					ls.backlogBits = 0
-				}
-			}
-		}
-	}
-	// Sample new capacities from the traces, per direction, flagging links
-	// whose capacity actually moved. Unavailable links (down, or with a down
-	// endpoint) stay at zero whatever their trace says.
-	for _, l := range n.topo.Links() {
-		avail := n.topo.LinkAvailable(l.ID)
-		for _, h := range []dhop{{from: l.ID.A, to: l.ID.B}, {from: l.ID.B, to: l.ID.A}} {
-			tr, err := l.CapacityToward(h.from, h.to)
-			if err != nil {
-				continue
-			}
-			ls, ok := n.links[h]
-			if !ok {
-				continue
-			}
-			newCap := 0.0
-			if avail {
-				newCap = tr.AtBps(now)
-			}
-			if newCap == ls.capacityBps {
-				continue
-			}
-			if !ls.dirty {
-				ls.dirty = true
-				n.dirtyCount++
-			}
-			if newCap < ls.capacityBps {
-				ls.shrunk = true
-			}
-			ls.capacityBps = newCap
-		}
-	}
+// pollTick is the legacy driver: observe every link, then request a
+// reallocation (usually absorbed on quiet seconds).
+func (n *Network) pollTick() {
+	n.observeCapacities(n.eng.Now())
 	n.reallocate()
+}
+
+// chainEvent is one step of the event-driven driver. Every step lands on a
+// grid tick: either the predicted capacity event, or the tick immediately
+// before it (the "hop" that exists so the wake-up's queue position matches
+// where the polling tick would sit — polling schedules tick T at T−1s, and
+// same-time events run in schedule order).
+func (n *Network) chainEvent() {
+	n.hasArmed = false
+	now := n.eng.Now()
+	n.observeCapacities(now)
+	n.reallocate()
+	n.armChain()
+}
+
+// armChain aims the event-driven driver at the next capacity event. If the
+// event is more than one grid step away it schedules the hop tick before it;
+// re-arming with an event already armed keeps whichever fires first.
+func (n *Network) armChain() {
+	if n.polling || n.chainStopped {
+		return
+	}
+	now := n.eng.Now()
+	next, ok := n.nextCapacityEventAfter(now)
+	if !ok {
+		return // fully quiet: re-armed on trace swap or ApplyTopologyState
+	}
+	at := next
+	if next > now+gridStep {
+		at = next - gridStep
+	}
+	if n.hasArmed {
+		if n.armedAt <= at {
+			return // the armed step fires first and will re-aim
+		}
+		n.eng.Cancel(n.armedID)
+	}
+	n.armedID = n.eng.At(at, n.chainEvent)
+	n.armedAt = at
+	n.hasArmed = true
+}
+
+// gridAfter returns the first sampling tick strictly after t.
+func (n *Network) gridAfter(t time.Duration) time.Duration {
+	if t < n.gridAnchor {
+		return n.gridAnchor + gridStep
+	}
+	k := (t - n.gridAnchor) / gridStep
+	return n.gridAnchor + (k+1)*gridStep
+}
+
+// gridAtOrAfter returns the first sampling tick at or after t.
+func (n *Network) gridAtOrAfter(t time.Duration) time.Duration {
+	if t <= n.gridAnchor {
+		return n.gridAnchor
+	}
+	k := (t - n.gridAnchor) / gridStep
+	g := n.gridAnchor + k*gridStep
+	if g < t {
+		g += gridStep
+	}
+	return g
+}
+
+// nextCapacityEventAfter returns the earliest grid tick strictly after now
+// at which any available link's sampled capacity differs from its current
+// value — the only future instant at which the polling driver would observe
+// a change.
+func (n *Network) nextCapacityEventAfter(now time.Duration) (time.Duration, bool) {
+	var best time.Duration
+	found := false
+	for _, ls := range n.linkOrder {
+		if !ls.avail {
+			continue // pinned at zero until ApplyTopologyState revives it
+		}
+		t, ok := n.linkNextEvent(ls, now)
+		if ok && (!found || t < best) {
+			best = t
+			found = true
+		}
+	}
+	return best, found
+}
+
+// linkNextEvent walks one direction's trace change-points to the first grid
+// tick after now where the sampled value departs from the current capacity.
+func (n *Network) linkNextEvent(ls *linkState, now time.Duration) (time.Duration, bool) {
+	tr := ls.link.CapacityDir(ls.fwd)
+	cur := ls.capacityBps
+	g := n.gridAfter(now)
+	// The current capacity may have been sampled off-grid (ApplyTopologyState
+	// reconciles at fault time), so check the very next tick explicitly
+	// before trusting the change-point walk.
+	if tr.AtBps(g) != cur {
+		return g, true
+	}
+	t := g
+	for i := 0; i < changeScanLimit; i++ {
+		c, ok := tr.NextChangeAfter(t)
+		if !ok {
+			return 0, false
+		}
+		g = n.gridAtOrAfter(c)
+		if tr.AtBps(g) != cur {
+			return g, true
+		}
+		t = g // sub-grid wiggle cancelled out by the sampling; keep walking
+	}
+	// Scan budget exhausted (pathological sub-second oscillation): wake
+	// conservatively at the last examined tick and resume the scan there.
+	// The wake observes no change and costs no float work.
+	return t, true
+}
+
+// observeCapacities samples every link's trace at a grid tick, settling the
+// backlog of each link whose observed capacity moves before overwriting it,
+// and marks moved links dirty for the allocator. Both drivers call it with
+// identical timing for changed links, which keeps the settle arithmetic —
+// and therefore all downstream float state — bit-identical across modes.
+func (n *Network) observeCapacities(now time.Duration) {
+	if ep := n.topo.AvailabilityEpoch(); ep != n.lastAvailEpoch {
+		n.lastAvailEpoch = ep
+		for _, ls := range n.linkOrder {
+			ls.avail = n.topo.LinkAvailable(ls.lid)
+		}
+	}
+	for _, ls := range n.linkOrder {
+		newCap := 0.0
+		if ls.avail {
+			newCap = ls.link.CapacityDir(ls.fwd).AtBps(now)
+		}
+		if newCap == ls.capacityBps {
+			continue
+		}
+		n.settleBacklog(ls, now)
+		if !ls.dirty {
+			ls.dirty = true
+			n.dirtyCount++
+		}
+		if newCap < ls.capacityBps {
+			ls.shrunk = true
+		}
+		ls.capacityBps = newCap
+	}
+}
+
+// settleBacklog integrates a link's fluid backlog from its anchor to now and
+// re-anchors it. Demand and capacity are constant between settles, so the
+// excess has constant sign and the clamped closed form equals step-wise
+// integration.
+func (n *Network) settleBacklog(ls *linkState, now time.Duration) {
+	dt := (now - ls.backlogSince).Seconds()
+	ls.backlogSince = now
+	if dt <= 0 {
+		return
+	}
+	excess := ls.demandBps - ls.capacityBps
+	if excess > 0 {
+		ls.backlogBits += excess * dt
+		if maxBits := ls.capacityBps * n.maxQueueSec; ls.backlogBits > maxBits {
+			ls.backlogBits = maxBits
+		}
+	} else if ls.backlogBits > 0 {
+		ls.backlogBits += excess * dt // excess < 0: drain
+		if ls.backlogBits < 0 {
+			ls.backlogBits = 0
+		}
+	}
+}
+
+// backlogAt reads a link's fluid backlog at now without re-anchoring — the
+// pure view stats use between settles.
+func (n *Network) backlogAt(ls *linkState, now time.Duration) float64 {
+	b := ls.backlogBits
+	dt := (now - ls.backlogSince).Seconds()
+	if dt <= 0 {
+		return b
+	}
+	excess := ls.demandBps - ls.capacityBps
+	if excess > 0 {
+		b += excess * dt
+		if maxBits := ls.capacityBps * n.maxQueueSec; b > maxBits {
+			b = maxBits
+		}
+	} else if b > 0 {
+		b += excess * dt
+		if b < 0 {
+			b = 0
+		}
+	}
+	return b
 }
 
 // route resolves the directed hop path between two nodes (empty for
@@ -343,17 +587,30 @@ func (n *Network) addFlow(f *flow) {
 	n.flowsDirty = true
 }
 
-// removeFlow is addFlow's inverse.
+// removeFlow is addFlow's inverse. The flowOrder slot is tombstoned rather
+// than spliced; once tombstones dominate, one compaction pass reclaims them,
+// making removal amortised O(1) instead of O(flows).
 func (n *Network) removeFlow(f *flow) {
 	delete(n.flows, f.id)
-	i := sort.Search(len(n.flowOrder), func(i int) bool { return n.flowOrder[i].id >= f.id })
-	if i < len(n.flowOrder) && n.flowOrder[i] == f {
-		n.flowOrder = append(n.flowOrder[:i], n.flowOrder[i+1:]...)
-	}
+	f.gone = true
+	n.deadFlows++
 	for _, ls := range f.linkPath {
 		ls.flowCount--
 	}
 	n.flowsDirty = true
+	if n.deadFlows >= compactDeadFlows && n.deadFlows*2 > len(n.flowOrder) {
+		live := n.flowOrder[:0]
+		for _, g := range n.flowOrder {
+			if !g.gone {
+				live = append(live, g)
+			}
+		}
+		for i := len(live); i < len(n.flowOrder); i++ {
+			n.flowOrder[i] = nil
+		}
+		n.flowOrder = live
+		n.deadFlows = 0
+	}
 }
 
 // ApplyTopologyState reconciles the network with the topology's current
@@ -368,28 +625,27 @@ func (n *Network) removeFlow(f *flow) {
 func (n *Network) ApplyTopologyState() {
 	n.advanceProgress()
 	now := n.eng.Now()
-	for _, l := range n.topo.Links() {
-		avail := n.topo.LinkAvailable(l.ID)
-		for _, h := range []dhop{{from: l.ID.A, to: l.ID.B}, {from: l.ID.B, to: l.ID.A}} {
-			ls, ok := n.links[h]
-			if !ok {
-				continue
-			}
-			newCap := 0.0
-			if avail {
-				tr, err := l.CapacityToward(h.from, h.to)
-				if err == nil {
-					newCap = tr.AtBps(now)
-				}
-			} else {
-				ls.backlogBits = 0
-			}
-			ls.capacityBps = newCap
+	if ep := n.topo.AvailabilityEpoch(); ep != n.lastAvailEpoch {
+		n.lastAvailEpoch = ep
+		for _, ls := range n.linkOrder {
+			ls.avail = n.topo.LinkAvailable(ls.lid)
+		}
+	}
+	for _, ls := range n.linkOrder {
+		n.settleBacklog(ls, now)
+		if ls.avail {
+			ls.capacityBps = ls.link.CapacityDir(ls.fwd).AtBps(now)
+		} else {
+			ls.backlogBits = 0
+			ls.capacityBps = 0
 		}
 	}
 	n.rerouteFlows()
 	n.flowsDirty = true // routes and capacities moved: force the full pass
 	n.reallocate()
+	if n.started {
+		n.armChain() // availability flips change which links can fire next
+	}
 }
 
 // rerouteFlows recomputes every networked flow's route against the current
@@ -399,7 +655,7 @@ func (n *Network) rerouteFlows() {
 	snapshot := make([]*flow, len(n.flowOrder))
 	copy(snapshot, n.flowOrder)
 	for _, f := range snapshot {
-		if n.flows[f.id] != f {
+		if f.gone || n.flows[f.id] != f {
 			continue // removed by an earlier failure callback
 		}
 		if f.src == f.dst {
@@ -494,7 +750,7 @@ func (n *Network) FailedTransfers() int { return n.failedTransfers }
 func (n *Network) ParkedFlows() int {
 	var c int
 	for _, f := range n.flowOrder {
-		if f.parked {
+		if !f.gone && f.parked {
 			c++
 		}
 	}
@@ -625,7 +881,10 @@ func (n *Network) CancelTransfer(id FlowID) error {
 }
 
 // advanceProgress credits every flow with the bits carried since the last
-// call, at the rates set by the previous allocation.
+// call, at the rates set by the previous allocation. Rates only change at
+// full passes and every full pass settles first, so deferring settles to
+// mutation points loses nothing; reads between settles go through the pure
+// views in stats.go.
 func (n *Network) advanceProgress() {
 	now := n.eng.Now()
 	dt := (now - n.lastAdvance).Seconds()
@@ -634,6 +893,9 @@ func (n *Network) advanceProgress() {
 		return
 	}
 	for _, f := range n.flowOrder {
+		if f.gone {
+			continue
+		}
 		carried := f.rateBps * dt
 		if f.kind == KindTransfer {
 			if carried > f.remainingBits {
@@ -651,7 +913,11 @@ func (n *Network) advanceProgress() {
 
 // reallocate recomputes max-min fair rates and reschedules transfer
 // completion events — unless the incremental path can prove the cached
-// allocation is still exact and absorb the request outright.
+// allocation is still exact and absorb the request outright. The absorb
+// path touches no float state at all (only dirty flags and the counter), so
+// drivers that issue different numbers of reallocation requests — polling
+// asks every second, event-driven only at capacity events — still evolve
+// bit-identical simulation state.
 //
 // The absorption rule: with an unchanged flow set and demands, a capacity
 // change cannot move any rate when the link either carries no flows, or its
@@ -661,7 +927,6 @@ func (n *Network) advanceProgress() {
 // bottlenecks, freeze the same flows at the same values, and terminate with
 // bit-identical rates.
 func (n *Network) reallocate() {
-	n.advanceProgress()
 	if !n.fullOnly && !n.flowsDirty && n.canAbsorbCapacityChanges() {
 		n.alloc.SkippedPasses++
 		return
@@ -694,19 +959,21 @@ func (n *Network) canAbsorbCapacityChanges() bool {
 	return true
 }
 
-// fullReallocate runs progressive water-filling with demand caps over every
-// flow, records the bottleneck set for the incremental path, and reschedules
-// transfer completion events at the new rates.
+// fullReallocate settles all anchored state, runs progressive water-filling
+// with demand caps over every flow, records the bottleneck set for the
+// incremental path, and reschedules transfer completion events at the new
+// rates.
 func (n *Network) fullReallocate() {
 	n.advanceProgress()
+	now := n.eng.Now()
 	n.alloc.FullPasses++
-	// advanceProgress is idempotent at a fixed virtual time, so the extra
-	// call when arriving via reallocate is free; direct callers still need it.
 	n.flowsDirty = false
 	n.dirtyCount = 0
 
-	// Reset per-link accounting and scratch state.
+	// Settle backlogs before the demands their integrals depend on change,
+	// then reset per-link accounting and scratch state.
 	for _, ls := range n.linkOrder {
+		n.settleBacklog(ls, now)
 		ls.residual = ls.capacityBps
 		ls.iterCount = 0
 		ls.demandBps = 0
@@ -717,6 +984,9 @@ func (n *Network) fullReallocate() {
 
 	active := n.activeScratch[:0]
 	for _, f := range n.flowOrder {
+		if f.gone {
+			continue
+		}
 		if f.parked {
 			// Stranded by a fault: holds no links (linkPath is empty, which
 			// would otherwise read as co-location) and carries nothing.
@@ -824,10 +1094,9 @@ func (n *Network) fullReallocate() {
 	// Reschedule transfer completions at the new rates. Completion callbacks
 	// may add or remove flows (recursing into reallocate), so iterate a
 	// snapshot and skip flows that vanished underneath us.
-	now := n.eng.Now()
 	transfers := n.transferScratch[:0]
 	for _, f := range n.flowOrder {
-		if f.kind == KindTransfer {
+		if !f.gone && f.kind == KindTransfer {
 			transfers = append(transfers, f)
 		}
 	}

@@ -38,12 +38,34 @@ func (n *Network) LinkStats(from, to string) (LinkStats, error) {
 	return n.statsOf(ls), nil
 }
 
+// inflightBits reports the bits a flow has carried since the last settle —
+// the component the anchored accounting has not yet credited to the
+// cumulative counters.
+func (n *Network) inflightBits(f *flow, dt float64) float64 {
+	carried := f.rateBps * dt
+	if f.kind == KindTransfer && carried > f.remainingBits {
+		carried = f.remainingBits
+	}
+	return carried
+}
+
+// statsOf builds a pure point-in-time view: carried bytes and backlog are
+// read from their anchors plus the closed-form in-flight component, without
+// settling anything.
 func (n *Network) statsOf(ls *linkState) LinkStats {
-	var alloc float64
+	now := n.eng.Now()
+	dt := (now - n.lastAdvance).Seconds()
+	var alloc, inflight float64
 	for _, f := range n.flowOrder {
+		if f.gone {
+			continue
+		}
 		for _, l := range f.linkPath {
 			if l == ls {
 				alloc += f.rateBps
+				if dt > 0 {
+					inflight += n.inflightBits(f, dt)
+				}
 				break
 			}
 		}
@@ -54,8 +76,8 @@ func (n *Network) statsOf(ls *linkState) LinkStats {
 		CapacityMbps:  ls.capacityBps / 1e6,
 		DemandMbps:    ls.demandBps / 1e6,
 		AllocatedMbps: alloc / 1e6,
-		BacklogKB:     ls.backlogBits / 8 / 1e3,
-		CarriedMB:     ls.carriedBits / 8 / 1e6,
+		BacklogKB:     n.backlogAt(ls, now) / 8 / 1e3,
+		CarriedMB:     (ls.carriedBits + inflight) / 8 / 1e6,
 	}
 }
 
@@ -100,10 +122,11 @@ func (n *Network) QueueDelay(from, to string) (time.Duration, error) {
 	if !ok {
 		return 0, fmt.Errorf("simnet: no link %s-%s", from, to)
 	}
-	if ls.backlogBits <= 0 || ls.capacityBps <= 0 {
+	backlog := n.backlogAt(ls, n.eng.Now())
+	if backlog <= 0 || ls.capacityBps <= 0 {
 		return 0, nil
 	}
-	return time.Duration(ls.backlogBits / ls.capacityBps * float64(time.Second)), nil
+	return time.Duration(backlog / ls.capacityBps * float64(time.Second)), nil
 }
 
 // PathQueueDelay sums queueing delays along the routed path src→dst.
@@ -112,14 +135,16 @@ func (n *Network) PathQueueDelay(src, dst string) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
+	now := n.eng.Now()
 	var total time.Duration
 	for _, h := range hops {
 		ls, ok := n.links[h]
 		if !ok {
 			continue
 		}
-		if ls.backlogBits > 0 && ls.capacityBps > 0 {
-			total += time.Duration(ls.backlogBits / ls.capacityBps * float64(time.Second))
+		backlog := n.backlogAt(ls, now)
+		if backlog > 0 && ls.capacityBps > 0 {
+			total += time.Duration(backlog / ls.capacityBps * float64(time.Second))
 		}
 	}
 	return total, nil
@@ -160,11 +185,21 @@ func (n *Network) PathLatencyOf(src, dst string) (time.Duration, error) {
 	return n.topo.PathLatency(src, dst)
 }
 
-// BytesByTag returns cumulative megabytes carried per accounting tag.
+// BytesByTag returns cumulative megabytes carried per accounting tag,
+// including progress accrued since the last settle.
 func (n *Network) BytesByTag() map[string]float64 {
+	dt := (n.eng.Now() - n.lastAdvance).Seconds()
 	out := make(map[string]float64, len(n.bytesByTag))
 	for tag, bits := range n.bytesByTag {
 		out[tag] = bits / 8 / 1e6
+	}
+	if dt > 0 {
+		for _, f := range n.flowOrder {
+			if f.gone {
+				continue
+			}
+			out[f.tag] += n.inflightBits(f, dt) / 8 / 1e6
+		}
 	}
 	return out
 }
@@ -175,12 +210,23 @@ func (n *Network) TagRate(tag string) float64 {
 	if elapsed <= 0 {
 		return 0
 	}
-	return n.bytesByTag[tag] / elapsed / 1e6 // bits per second → Mbps
+	bits := n.bytesByTag[tag]
+	if dt := (n.eng.Now() - n.lastAdvance).Seconds(); dt > 0 {
+		for _, f := range n.flowOrder {
+			if !f.gone && f.tag == tag {
+				bits += n.inflightBits(f, dt)
+			}
+		}
+	}
+	return bits / elapsed / 1e6 // bits per second → Mbps
 }
 
 // ActiveFlows reports the number of active streams and transfers.
 func (n *Network) ActiveFlows() (streams, transfers int) {
 	for _, f := range n.flowOrder {
+		if f.gone {
+			continue
+		}
 		if f.kind == KindStream {
 			streams++
 		} else {
@@ -194,7 +240,7 @@ func (n *Network) ActiveFlows() (streams, transfers int) {
 func (n *Network) FlowRateByTag(tag string) float64 {
 	var bps float64
 	for _, f := range n.flowOrder {
-		if f.tag == tag {
+		if !f.gone && f.tag == tag {
 			bps += f.rateBps
 		}
 	}
@@ -205,12 +251,13 @@ func (n *Network) FlowRateByTag(tag string) float64 {
 func (n *Network) FlowDemandByTag(tag string) float64 {
 	var bps float64
 	for _, f := range n.flowOrder {
-		if f.tag == tag {
-			if f.demandBps >= unboundedBps {
-				continue
-			}
-			bps += f.demandBps
+		if f.gone || f.tag != tag {
+			continue
 		}
+		if f.demandBps >= unboundedBps {
+			continue
+		}
+		bps += f.demandBps
 	}
 	return bps / 1e6
 }

@@ -27,6 +27,13 @@ type Trace struct {
 	Step time.Duration
 	// Mbps holds capacity samples in megabits per second.
 	Mbps []float64
+
+	// cp memoizes the change-point index (see changepoints.go). It is
+	// derived from Mbps and built lazily; mutating Mbps after the index is
+	// built is not supported (traces are treated as immutable once driving a
+	// simulation).
+	cp      []cpRun
+	cpBuilt bool
 }
 
 // New returns an empty trace with the given name and sampling step.

@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -54,6 +55,8 @@ import (
 	"bass/internal/core"
 	"bass/internal/faults"
 	"bass/internal/mesh"
+	"bass/internal/metricstore"
+	"bass/internal/obs"
 	"bass/internal/scheduler"
 	"bass/internal/workload"
 )
@@ -148,6 +151,21 @@ func main() {
 type runSpec struct {
 	label string
 	sc    scenario
+	// eventsPath/metricsPath, when non-empty, receive the run's decision
+	// journal (JSONL) and metric-store dump (JSON).
+	eventsPath  string
+	metricsPath string
+}
+
+// derivePath returns the per-run output path: the base itself for a single
+// run, or the base with a ".NNN" run index inserted before the extension so
+// parallel multi-run invocations never clobber each other's journals.
+func derivePath(base string, i, total int) string {
+	if base == "" || total == 1 {
+		return base
+	}
+	ext := filepath.Ext(base)
+	return fmt.Sprintf("%s.%03d%s", strings.TrimSuffix(base, ext), i, ext)
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -156,6 +174,8 @@ func run(args []string, stdout io.Writer) error {
 	example := fs.Bool("example", false, "print a starter scenario and exit")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel scenario runs (1 = sequential)")
 	seeds := fs.Int("seeds", 1, "per-scenario seed replicas (seed, seed+1, ...)")
+	eventsOut := fs.String("events-out", "", "write the decision journal as JSONL to this path (\".NNN\" run index inserted when running multiple scenarios)")
+	metricsOut := fs.String("metrics-out", "", "write the collected metric series as JSON to this path (\".NNN\" run index inserted when running multiple scenarios)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -195,6 +215,10 @@ func run(args []string, stdout io.Writer) error {
 			})
 		}
 	}
+	for i := range specs {
+		specs[i].eventsPath = derivePath(*eventsOut, i, len(specs))
+		specs[i].metricsPath = derivePath(*metricsOut, i, len(specs))
+	}
 	return executeAll(specs, *workers, stdout)
 }
 
@@ -216,7 +240,7 @@ func executeAll(specs []runSpec, workers int, stdout io.Writer) error {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				errs[i] = execute(specs[i].sc, &outputs[i])
+				errs[i] = executeObserved(specs[i].sc, &outputs[i], specs[i].eventsPath, specs[i].metricsPath)
 			}
 		}()
 	}
@@ -248,6 +272,14 @@ func executeAll(specs []runSpec, workers int, stdout io.Writer) error {
 }
 
 func execute(sc scenario, out io.Writer) error {
+	return executeObserved(sc, out, "", "")
+}
+
+// executeObserved runs one scenario; non-empty eventsPath/metricsPath attach
+// the observability plane and write the decision journal (JSONL) and metric
+// dump (JSON) after the run. Runs without either path attach nothing, so
+// their output bytes — and hot paths — are identical to earlier releases.
+func executeObserved(sc scenario, out io.Writer, eventsPath, metricsPath string) error {
 	if sc.HorizonSec <= 0 {
 		sc.HorizonSec = 600
 	}
@@ -274,6 +306,18 @@ func execute(sc scenario, out io.Writer) error {
 		return err
 	}
 	defer sim.Close()
+
+	var journal *obs.Journal
+	var store *metricstore.Store
+	if eventsPath != "" || metricsPath != "" {
+		if eventsPath != "" {
+			journal = obs.NewJournal(0)
+		}
+		if metricsPath != "" {
+			store = metricstore.New(0)
+		}
+		sim.AttachObservability(journal, store)
+	}
 
 	sched := buildSchedule(sc, topo, horizon)
 	if sched != nil {
@@ -302,7 +346,49 @@ func execute(sc scenario, out io.Writer) error {
 	if sched != nil {
 		reportRecovery(sim, sched, out)
 	}
+	if journal != nil {
+		if err := writeJournal(journal, eventsPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "journal: %d events (%d evicted) -> %s\n",
+			journal.Len(), journal.Dropped(), eventsPath)
+	}
+	if store != nil {
+		if err := writeMetrics(store, metricsPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "metrics: %d series -> %s\n", len(store.Snapshot()), metricsPath)
+	}
 	return nil
+}
+
+// writeJournal dumps the decision journal as JSONL — same seed, same bytes.
+func writeJournal(journal *obs.Journal, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := journal.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeMetrics dumps every collected series as indented JSON, sorted by
+// canonical series key.
+func writeMetrics(store *metricstore.Store, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(store.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // reportRecovery prints the failure-handling summary for runs with faults.

@@ -225,6 +225,95 @@ func TestExecuteWithFaults(t *testing.T) {
 	}
 }
 
+// TestEventsOutDeterministic runs the same faulted, seeded scenario twice
+// with -events-out/-metrics-out and demands byte-identical journal and metric
+// dumps — the observability plane's headline guarantee, end to end through
+// the CLI.
+func TestEventsOutDeterministic(t *testing.T) {
+	sc := scenario{
+		Topology:           "lan",
+		LANNodes:           4,
+		App:                "camera",
+		Scheduler:          "bfs",
+		HorizonSec:         300,
+		Seed:               9,
+		Migration:          true,
+		MonitorIntervalSec: 30,
+		Faults: []faults.Event{
+			{AtSec: 60, Type: faults.NodeCrash, Node: "node2"},
+			{AtSec: 240, Type: faults.NodeRecover, Node: "node2"},
+		},
+	}
+	path := writeScenario(t, sc)
+	dir := t.TempDir()
+
+	read := func(name string) (events, metrics []byte) {
+		t.Helper()
+		ev := filepath.Join(dir, name+"-events.jsonl")
+		mt := filepath.Join(dir, name+"-metrics.json")
+		var out strings.Builder
+		if err := run([]string{"-events-out", ev, "-metrics-out", mt, path}, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out.String(), "journal: ") || !strings.Contains(out.String(), "metrics: ") {
+			t.Fatalf("output missing journal/metrics summary lines:\n%s", out.String())
+		}
+		events, err := os.ReadFile(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		metrics, err = os.ReadFile(mt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return events, metrics
+	}
+	ev1, mt1 := read("a")
+	ev2, mt2 := read("b")
+	if len(ev1) == 0 {
+		t.Fatal("journal is empty")
+	}
+	if string(ev1) != string(ev2) {
+		t.Errorf("same-seed journals differ:\n--- 1 ---\n%s--- 2 ---\n%s", ev1, ev2)
+	}
+	if string(mt1) != string(mt2) {
+		t.Errorf("same-seed metric dumps differ:\n--- 1 ---\n%s--- 2 ---\n%s", mt1, mt2)
+	}
+	// Every line must be a standalone JSON object (JSONL contract), and the
+	// failure handling must appear in the journal.
+	for _, line := range strings.Split(strings.TrimSuffix(string(ev1), "\n"), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("journal line is not JSON: %v\n%s", err, line)
+		}
+	}
+	for _, want := range []string{`"type":"node_down"`, `"type":"cordon"`, `"type":"failover"`} {
+		if !strings.Contains(string(ev1), want) {
+			t.Errorf("journal missing %s:\n%s", want, ev1)
+		}
+	}
+}
+
+// TestDerivePath checks per-run output path derivation.
+func TestDerivePath(t *testing.T) {
+	cases := []struct {
+		base     string
+		i, total int
+		want     string
+	}{
+		{"", 0, 3, ""},
+		{"out.jsonl", 0, 1, "out.jsonl"},
+		{"out.jsonl", 0, 3, "out.000.jsonl"},
+		{"out.jsonl", 2, 3, "out.002.jsonl"},
+		{"dir/out", 1, 2, "dir/out.001"},
+	}
+	for _, c := range cases {
+		if got := derivePath(c.base, c.i, c.total); got != c.want {
+			t.Errorf("derivePath(%q, %d, %d) = %q, want %q", c.base, c.i, c.total, got, c.want)
+		}
+	}
+}
+
 // TestExecuteRejectsBadFaultSchedule checks schedule validation surfaces as
 // an execute error.
 func TestExecuteRejectsBadFaultSchedule(t *testing.T) {

@@ -10,6 +10,9 @@
 //	GET /stats          — raw probe history (JSON)
 //	GET /api/v1/query   — metric queries (metric=link_capacity_mbps|link_headroom_mbps, label.peer=<addr>)
 //	GET /api/v1/metrics — metric names
+//	GET /metrics        — Prometheus text exposition (latest sample per series)
+//	GET /healthz        — liveness probe (200 ok)
+//	GET /debug/pprof/   — runtime profiling (CPU, heap, goroutines, ...)
 //
 // Example (two shaped daemons on loopback):
 //
@@ -25,6 +28,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -69,9 +73,7 @@ func run(args []string) error {
 	log.Printf("bassd: probe server on %s (shaped: %v)", probeSrv.Addr(), *shapeMbps > 0)
 
 	store := metricstore.New(0)
-	mux := http.NewServeMux()
-	mux.Handle("/stats", netem.NewStatsHandler(probeSrv))
-	mux.Handle("/api/v1/", store.Handler())
+	mux := newHTTPMux(netem.NewStatsHandler(probeSrv), store)
 	httpSrv := &http.Server{Addr: *httpListen, Handler: mux}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -115,6 +117,27 @@ func run(args []string) error {
 	_ = probeSrv.Close()
 	<-monitorDone
 	return err
+}
+
+// newHTTPMux assembles the daemon's HTTP surface: probe stats, the query
+// API, Prometheus text exposition, a liveness endpoint, and pprof. The
+// default mux is avoided deliberately — pprof's init() registers there, and
+// an explicit mux keeps the surface auditable and testable.
+func newHTTPMux(stats http.Handler, store *metricstore.Store) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/stats", stats)
+	mux.Handle("/api/v1/", store.Handler())
+	mux.Handle("/metrics", store.PrometheusHandler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // monitorPeers runs the paper's probing discipline: one max-capacity probe

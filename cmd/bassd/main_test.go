@@ -1,0 +1,125 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"bass/internal/metricstore"
+)
+
+func testMux(t *testing.T) (*http.ServeMux, *metricstore.Store) {
+	t.Helper()
+	store := metricstore.New(0)
+	stats := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("{}"))
+	})
+	return newHTTPMux(stats, store), store
+}
+
+func get(t *testing.T, mux *http.ServeMux, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	mux, _ := testMux(t)
+	rec := get(t, mux, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz status = %d, want 200", rec.Code)
+	}
+	if got := strings.TrimSpace(rec.Body.String()); got != "ok" {
+		t.Errorf("/healthz body = %q, want \"ok\"", got)
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	mux, _ := testMux(t)
+	rec := get(t, mux, "/debug/pprof/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d, want 200", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profile listing:\n%s", rec.Body.String())
+	}
+}
+
+// Prometheus text exposition format 0.0.4, the subset the store emits:
+// comment lines (# ...) and sample lines `name{labels} value [timestamp]`.
+var (
+	promTypeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (gauge|counter|histogram|summary|untyped)$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (\S+)( [0-9-]+)?$`)
+)
+
+// validatePromText checks every line of a text-exposition body and returns
+// the metric names that carried samples.
+func validatePromText(t *testing.T, body string) map[string]int {
+	t.Helper()
+	samples := make(map[string]int)
+	typed := make(map[string]bool)
+	for i, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			m := promTypeRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Errorf("line %d: malformed comment %q", i+1, line)
+				continue
+			}
+			typed[m[1]] = true
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("line %d: malformed sample %q", i+1, line)
+			continue
+		}
+		name := m[1]
+		if !typed[name] {
+			t.Errorf("line %d: sample %q precedes its # TYPE line", i+1, name)
+		}
+		value := m[len(m)-2]
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			t.Errorf("line %d: value %q not a float: %v", i+1, value, err)
+		}
+		samples[name]++
+	}
+	return samples
+}
+
+func TestMetricsEndpointIsValidPrometheusText(t *testing.T) {
+	mux, store := testMux(t)
+	at := time.UnixMilli(1700000000000)
+	store.Append("link_capacity_mbps", map[string]string{"peer": "127.0.0.1:9101"}, at, 24.5)
+	store.Append("link_headroom_mbps", map[string]string{"peer": "127.0.0.1:9101"}, at.Add(time.Second), 4.25)
+	store.Append("link_headroom_mbps", map[string]string{"peer": `weird"peer\n`}, at.Add(time.Second), 1)
+
+	rec := get(t, mux, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q, want text/plain version=0.0.4", ct)
+	}
+	samples := validatePromText(t, rec.Body.String())
+	if samples["link_capacity_mbps"] != 1 || samples["link_headroom_mbps"] != 2 {
+		t.Errorf("sample counts = %v, want link_capacity_mbps:1 link_headroom_mbps:2\n%s",
+			samples, rec.Body.String())
+	}
+}
+
+func TestMetricsEndpointEmptyStore(t *testing.T) {
+	mux, _ := testMux(t)
+	rec := get(t, mux, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d, want 200", rec.Code)
+	}
+	validatePromText(t, rec.Body.String())
+}

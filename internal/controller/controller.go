@@ -12,6 +12,7 @@ import (
 	"bass/internal/dag"
 	"bass/internal/mesh"
 	"bass/internal/netmon"
+	"bass/internal/obs"
 	"bass/internal/scheduler"
 )
 
@@ -84,6 +85,10 @@ type Controller struct {
 	// deadNodes holds the controller's current node-down verdicts, so
 	// Decisions report transitions rather than repeating standing state.
 	deadNodes map[string]bool
+
+	// plane journals verdicts (candidates entering cooldown, node liveness
+	// transitions) when observability is attached; nil costs nothing.
+	plane *obs.Plane
 }
 
 // New builds a controller over the monitor. now supplies (virtual) time.
@@ -106,6 +111,9 @@ func New(monitor *netmon.Monitor, cfg Config, now func() time.Duration) *Control
 
 // Config returns the controller configuration.
 func (c *Controller) Config() Config { return c.cfg }
+
+// SetObserver attaches an observability plane for decision journaling.
+func (c *Controller) SetObserver(p *obs.Plane) { c.plane = p }
 
 // Migrations reports the total number of migrations approved so far.
 func (c *Controller) Migrations() int { return c.migrations }
@@ -151,9 +159,12 @@ func (c *Controller) Evaluate(g *dag.Graph, usagesFn func() []scheduler.Dependen
 		case floor >= c.cfg.FailureThreshold && !c.deadNodes[node]:
 			c.deadNodes[node] = true
 			nodesDown = append(nodesDown, node)
+			c.plane.Emit(obs.Event{Type: obs.EventNodeDown, Node: node,
+				Reason: "all links failed K consecutive sweeps", Value: float64(floor)})
 		case floor == 0 && c.deadNodes[node]:
 			delete(c.deadNodes, node)
 			nodesRecovered = append(nodesRecovered, node)
+			c.plane.Emit(obs.Event{Type: obs.EventNodeRecovered, Node: node, Reason: "probe answered"})
 		}
 	}
 
@@ -175,6 +186,10 @@ func (c *Controller) Evaluate(g *dag.Graph, usagesFn func() []scheduler.Dependen
 		candidateSet[name] = true
 		if _, ok := c.firstViolation[name]; !ok {
 			c.firstViolation[name] = now
+			// Journal the moment a component enters the violation window —
+			// the cooldown clock that explains a later migration starts here.
+			c.plane.Emit(obs.Event{Type: obs.EventMigrationCandidate, Component: name,
+				Reason: "bandwidth violation observed; cooldown started"})
 		}
 	}
 	// Violations that cleared reset their cooldown clocks.

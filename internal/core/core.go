@@ -14,7 +14,9 @@ import (
 	"bass/internal/controller"
 	"bass/internal/dag"
 	"bass/internal/mesh"
+	"bass/internal/metricstore"
 	"bass/internal/netmon"
+	"bass/internal/obs"
 	"bass/internal/scheduler"
 	"bass/internal/sim"
 	"bass/internal/simnet"
@@ -191,6 +193,10 @@ type Orchestrator struct {
 	failovers     []FailoverEvent
 	mttrs         []time.Duration
 	failoverQueue []*pendingFailover
+
+	// plane is the observability plane shared with the monitor and
+	// controller; nil (the default) records nothing at no cost.
+	plane *obs.Plane
 }
 
 // New wires an orchestrator over an engine, topology, network, and cluster.
@@ -209,6 +215,21 @@ func New(eng *sim.Engine, topo *mesh.Topology, net *simnet.Network, clus *cluste
 	o.ctrl = controller.New(o.monitor, cfg.Controller, eng.Now)
 	return o
 }
+
+// AttachObservability wires a decision journal and a metric store (either may
+// be nil) into the orchestrator, its monitor, and its controller, stamped
+// with the engine's virtual clock. The same seed then yields a byte-identical
+// journal: every event derives from deterministic simulation state. It
+// returns the assembled plane.
+func (o *Orchestrator) AttachObservability(journal *obs.Journal, store *metricstore.Store) *obs.Plane {
+	o.plane = obs.NewPlane(journal, store, o.eng.Now)
+	o.monitor.SetObserver(o.plane)
+	o.ctrl.SetObserver(o.plane)
+	return o.plane
+}
+
+// Observability returns the attached plane (nil when unattached).
+func (o *Orchestrator) Observability() *obs.Plane { return o.plane }
 
 // Monitor exposes the net-monitor (read-only use by experiments).
 func (o *Orchestrator) Monitor() *netmon.Monitor { return o.monitor }
@@ -385,14 +406,19 @@ func (o *Orchestrator) usages(app *deployedApp) []scheduler.DependencyUsage {
 		if err != nil {
 			continue
 		}
-		out = append(out, scheduler.DependencyUsage{
+		usage := scheduler.DependencyUsage{
 			Component:         e.From,
 			Dep:               e.To,
 			RequiredMbps:      e.BandwidthMbps,
 			AchievedMbps:      o.net.FlowRateByTag(app.env.Tag(e.From, e.To)),
 			PathCapacityMbps:  pathCap,
 			PathAvailableMbps: pathSpare,
-		})
+		}
+		if o.plane.Enabled() && usage.RequiredMbps > 0 {
+			o.plane.Metric(obs.MetricDepGoodput, usage.AchievedMbps/usage.RequiredMbps,
+				"app", app.name, "component", e.From, "dep", e.To)
+		}
+		out = append(out, usage)
 	}
 	return out
 }
@@ -487,11 +513,15 @@ func (o *Orchestrator) migrate(app *deployedApp, comp string) bool {
 	)
 	if err != nil {
 		o.ctrl.RecordMigrationFailure(comp)
+		o.plane.Emit(obs.Event{Type: obs.EventMigrationRejected, App: app.name,
+			Component: comp, Reason: "no feasible target: " + err.Error()})
 		return false
 	}
 	from := assignment[comp]
 	if err := o.clus.Move(app.name, comp, target); err != nil {
 		o.ctrl.RecordMigrationFailure(comp)
+		o.plane.Emit(obs.Event{Type: obs.EventMigrationRejected, App: app.name,
+			Component: comp, To: target, Reason: "commit failed: " + err.Error()})
 		return false
 	}
 	o.ctrl.RecordMigration(comp)
@@ -502,6 +532,11 @@ func (o *Orchestrator) migrate(app *deployedApp, comp string) bool {
 		From:      from,
 		To:        target,
 	})
+	if o.plane.Enabled() {
+		o.plane.Emit(obs.Event{Type: obs.EventMigration, App: app.name, Component: comp,
+			From: from, To: target, Reason: "bandwidth violation persisted past cooldown"})
+		o.plane.Metric(obs.MetricMigrations, float64(len(o.migrations)))
+	}
 	app.workload.OnMigration(app.env, comp, from, target, o.migrationDowntime(app, comp, from, target))
 	return true
 }
@@ -542,6 +577,11 @@ func (o *Orchestrator) ForceMigrate(appName, comp, toNode string) error {
 	o.migrations = append(o.migrations, MigrationEvent{
 		At: o.eng.Now(), App: appName, Component: comp, From: from, To: toNode,
 	})
+	if o.plane.Enabled() {
+		o.plane.Emit(obs.Event{Type: obs.EventMigration, App: appName, Component: comp,
+			From: from, To: toNode, Reason: "forced by experiment script"})
+		o.plane.Metric(obs.MetricMigrations, float64(len(o.migrations)))
+	}
 	app.workload.OnMigration(app.env, comp, from, toNode, o.migrationDowntime(app, comp, from, toNode))
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"bass/internal/cluster"
+	"bass/internal/obs"
 	"bass/internal/scheduler"
 	"bass/internal/simnet"
 )
@@ -69,12 +70,14 @@ func (o *Orchestrator) handleNodeDown(node string) {
 	if err := o.clus.Cordon(node); err != nil {
 		return // unknown to the cluster: nothing placed there
 	}
+	o.plane.Emit(obs.Event{Type: obs.EventCordon, Node: node, Reason: "node-down verdict"})
 	var stranded []pendingFailover
 	for _, appName := range o.appOrder {
 		for _, comp := range o.clus.ComponentsOn(appName, node) { // sorted
 			if err := o.clus.Remove(appName, comp); err != nil {
 				continue
 			}
+			o.plane.Emit(obs.Event{Type: obs.EventEvacuate, App: appName, Component: comp, Node: node})
 			stranded = append(stranded, pendingFailover{
 				app:        appName,
 				component:  comp,
@@ -99,6 +102,7 @@ func (o *Orchestrator) handleNodeRecovered(node string) {
 	if err := o.clus.Uncordon(node); err != nil {
 		return
 	}
+	o.plane.Emit(obs.Event{Type: obs.EventUncordon, Node: node, Reason: "node recovered"})
 	o.drainFailoverQueue()
 }
 
@@ -116,6 +120,9 @@ func (o *Orchestrator) tryFailover(p *pendingFailover) {
 	}
 	if p.attempts >= o.cfg.FailoverMaxRetries {
 		o.failoverQueue = append(o.failoverQueue, p)
+		o.plane.Emit(obs.Event{Type: obs.EventFailoverQueued, App: p.app, Component: p.component,
+			From: p.fromNode, Reason: "placement retries exhausted; waiting for capacity",
+			Value: float64(p.attempts)})
 		return
 	}
 	delay := o.cfg.FailoverBackoffBase << (p.attempts - 1)
@@ -173,7 +180,18 @@ func (o *Orchestrator) placeFailover(app *deployedApp, p *pendingFailover) bool 
 		Attempts:  p.attempts,
 		FromQueue: p.attempts > o.cfg.FailoverMaxRetries,
 	})
-	o.mttrs = append(o.mttrs, o.eng.Now()+o.cfg.MigrationDowntime-p.detectedAt)
+	mttr := o.eng.Now() + o.cfg.MigrationDowntime - p.detectedAt
+	o.mttrs = append(o.mttrs, mttr)
+	if o.plane.Enabled() {
+		reason := "re-placed after node failure"
+		if p.attempts > o.cfg.FailoverMaxRetries {
+			reason = "re-placed from recovery queue"
+		}
+		o.plane.Emit(obs.Event{Type: obs.EventFailover, App: app.name, Component: p.component,
+			From: p.fromNode, To: target, Reason: reason, Value: float64(p.attempts)})
+		o.plane.Metric(obs.MetricFailoverMTTR, mttr.Seconds(),
+			"app", app.name, "component", p.component)
+	}
 	// The component restarts cold on the new node; state on the dead host is
 	// unreachable, so only the restart cost applies — never a state transfer.
 	app.workload.OnMigration(app.env, p.component, p.fromNode, target, o.cfg.MigrationDowntime)

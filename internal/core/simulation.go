@@ -7,6 +7,8 @@ import (
 	"bass/internal/cluster"
 	"bass/internal/faults"
 	"bass/internal/mesh"
+	"bass/internal/metricstore"
+	"bass/internal/obs"
 	"bass/internal/sim"
 	"bass/internal/simnet"
 )
@@ -60,6 +62,15 @@ func NewSimulation(topo *mesh.Topology, nodes []cluster.Node, seed int64, cfg Co
 // Run advances virtual time to the horizon.
 func (s *Simulation) Run(until time.Duration) error {
 	return s.Eng.Run(until)
+}
+
+// AttachObservability wires a decision journal and metric store into the
+// orchestration stack (see Orchestrator.AttachObservability). Attach before
+// Run so the journal covers the whole horizon; the startup probing round has
+// already happened by the time NewSimulation returns, so journals begin with
+// the first monitoring sweep.
+func (s *Simulation) AttachObservability(journal *obs.Journal, store *metricstore.Store) *obs.Plane {
+	return s.Orch.AttachObservability(journal, store)
 }
 
 // InjectFaults validates a fault schedule against the topology and arms its

@@ -9,6 +9,7 @@ import (
 	"bass/internal/core"
 	"bass/internal/faults"
 	"bass/internal/mesh"
+	"bass/internal/obs"
 	"bass/internal/scheduler"
 )
 
@@ -36,6 +37,9 @@ type ChaosResult struct {
 	FramesPublished int
 	FramesLost      int
 	Migrations      int
+	// JournalSummary is the decision journal rolled up by event type
+	// ("type:count ..."), identical for equal seeds and across net drivers.
+	JournalSummary string
 }
 
 // RunChaos executes the chaos scenario: a camera pipeline plus an 8 Mbps
@@ -71,6 +75,8 @@ func runChaos(seed int64, horizon time.Duration, polling bool) (ChaosResult, err
 		return ChaosResult{}, err
 	}
 	defer sim.Close()
+	journal := obs.NewJournal(0)
+	sim.AttachObservability(journal, nil)
 
 	cam, err := camera.New(camera.Config{})
 	if err != nil {
@@ -108,6 +114,7 @@ func runChaos(seed int64, horizon time.Duration, polling bool) (ChaosResult, err
 		MeanGoodput:     pair.Goodput().Mean(),
 		FailedTransfers: sim.Net.FailedTransfers(),
 		Migrations:      len(sim.Orch.Migrations()),
+		JournalSummary:  obs.Summarize(journal.Events()),
 	}
 	published, _, _, dropped := cam.Counters()
 	res.FramesPublished = published
@@ -146,6 +153,7 @@ func (r ChaosResult) Table() Table {
 		{"transfers failed", fmt.Sprintf("%d", r.FailedTransfers)},
 		{"frames lost", fmt.Sprintf("%d of %d", r.FramesLost, r.FramesPublished)},
 		{"migrations", fmt.Sprintf("%d", r.Migrations)},
+		{"journal", r.JournalSummary},
 	}
 	return Table{
 		Title: fmt.Sprintf("Chaos: seeded fault storm over %s (crash detect K=3 × 30 s probes, failover w/ backoff)",

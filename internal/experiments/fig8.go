@@ -8,6 +8,7 @@ import (
 	"bass/internal/controller"
 	"bass/internal/core"
 	"bass/internal/mesh"
+	"bass/internal/obs"
 	"bass/internal/scheduler"
 	"bass/internal/trace"
 )
@@ -23,6 +24,9 @@ type Fig8Result struct {
 	GoodputDuringDrop          float64
 	GoodputAfterFirstMigration float64
 	GoodputEnd                 float64
+	// JournalSummary is the decision journal rolled up by event type
+	// ("type:count ..."), identical for equal seeds and across net drivers.
+	JournalSummary string
 }
 
 // RunFig8 reproduces the Fig 8 scenario on the Fig 15(a) topology: a
@@ -88,6 +92,8 @@ func runFig8(seed int64, polling bool) (Fig8Result, error) {
 		return Fig8Result{}, err
 	}
 	defer sim.Close()
+	journal := obs.NewJournal(0)
+	sim.AttachObservability(journal, nil)
 
 	app := newPairApp("pair", 8, mesh.CityLabNode3, 2)
 	if _, err := sim.Orch.Deploy("pair", app); err != nil {
@@ -106,6 +112,7 @@ func runFig8(seed int64, polling bool) (Fig8Result, error) {
 		GoodputBeforeDrop: at(firstDrop - 10*time.Second),
 		GoodputDuringDrop: at(firstDrop + 45*time.Second),
 		GoodputEnd:        at(horizon - 30*time.Second),
+		JournalSummary:    obs.Summarize(journal.Events()),
 	}
 	if len(res.Migrations) > 0 {
 		res.GoodputAfterFirstMigration = at(res.Migrations[0].At + 30*time.Second)
@@ -128,6 +135,7 @@ func (r Fig8Result) Table() Table {
 			map[int]string{0: "t≈870s node4->node1", 1: "t≈1240s node1->node4"}[i],
 		})
 	}
+	rows = append(rows, []string{"journal", r.JournalSummary, ""})
 	return Table{
 		Title:  "Fig 8: migration on bandwidth change (8 Mbps pair, 4 Mbps headroom, 50% threshold, 30 s probes)",
 		Header: []string{"event", "measured", "paper"},

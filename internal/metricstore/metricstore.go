@@ -8,6 +8,7 @@ package metricstore
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -29,10 +30,17 @@ type Series struct {
 	Samples []Sample          `json:"samples"`
 }
 
-// seriesKey canonicalises (metric, labels) for map lookup.
+// keyEscaper escapes the key's structural characters inside metric names,
+// label keys, and label values. Without it, distinct label sets collide:
+// {a: "b|c=d"} and {a: "b", c: "d"} would canonicalise to the same key and
+// silently merge into one series.
+var keyEscaper = strings.NewReplacer(`\`, `\\`, "|", `\|`, "=", `\=`)
+
+// seriesKey canonicalises (metric, labels) for map lookup. Every component is
+// escaped, so the key parses unambiguously back into its parts.
 func seriesKey(metric string, labels map[string]string) string {
 	if len(labels) == 0 {
-		return metric
+		return keyEscaper.Replace(metric)
 	}
 	keys := make([]string, 0, len(labels))
 	for k := range labels {
@@ -40,12 +48,12 @@ func seriesKey(metric string, labels map[string]string) string {
 	}
 	sort.Strings(keys)
 	var b strings.Builder
-	b.WriteString(metric)
+	b.WriteString(keyEscaper.Replace(metric))
 	for _, k := range keys {
 		b.WriteString("|")
-		b.WriteString(k)
+		b.WriteString(keyEscaper.Replace(k))
 		b.WriteString("=")
-		b.WriteString(labels[k])
+		b.WriteString(keyEscaper.Replace(labels[k]))
 	}
 	return b.String()
 }
@@ -87,10 +95,14 @@ func (s *Store) Append(metric string, labels map[string]string, at time.Time, va
 	}
 }
 
-// matches reports whether the series carries every selector label.
+// matches reports whether the series carries every selector label. A series
+// must carry the label explicitly to match — an empty-string selector value
+// matches only series labeled with the empty string, never series that lack
+// the label (a plain sr.Labels[k] lookup cannot tell those apart).
 func matches(sr *Series, selector map[string]string) bool {
 	for k, v := range selector {
-		if sr.Labels[k] != v {
+		got, ok := sr.Labels[k]
+		if !ok || got != v {
 			return false
 		}
 	}
@@ -125,13 +137,20 @@ func (s *Store) Query(metric string, selector map[string]string, from, to time.T
 	return out
 }
 
-// Latest returns the most recent sample of the single series matching the
-// metric and selector, with ok=false when absent or empty.
+// Latest returns the most recent sample across the series matching the
+// metric and selector, with ok=false when absent or empty. It scans under the
+// read lock without copying — going through Query would deep-copy every
+// matching series' full sample history per call, O(total samples) on the
+// controller's per-sweep read path just to look at the last element.
 func (s *Store) Latest(metric string, selector map[string]string) (Sample, bool) {
-	series := s.Query(metric, selector, time.Time{}, time.Time{})
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var best Sample
 	found := false
-	for _, sr := range series {
+	for _, sr := range s.series {
+		if sr.Metric != metric || !matches(sr, selector) {
+			continue
+		}
 		if n := len(sr.Samples); n > 0 {
 			last := sr.Samples[n-1]
 			if !found || last.At.After(best.At) {
@@ -175,6 +194,82 @@ func (s *Store) Metrics() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Snapshot returns copies of every series, sorted by canonical key — the
+// deterministic whole-store dump behind bass-sim's -metrics-out.
+func (s *Store) Snapshot() []Series {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Series, 0, len(s.series))
+	for _, sr := range s.series {
+		copied := Series{Metric: sr.Metric, Labels: sr.Labels}
+		copied.Samples = append([]Sample(nil), sr.Samples...)
+		out = append(out, copied)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return seriesKey(out[i].Metric, out[i].Labels) < seriesKey(out[j].Metric, out[j].Labels)
+	})
+	return out
+}
+
+// promLabelEscaper escapes label values per the Prometheus text exposition
+// format (backslash, double quote, line feed).
+var promLabelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// WritePrometheus renders the latest sample of every series in the
+// Prometheus text exposition format (version 0.0.4): a # TYPE line per
+// metric, then one sample line per series with millisecond timestamps.
+// Series order is deterministic (sorted by canonical key).
+func (s *Store) WritePrometheus(w io.Writer) error {
+	series := s.Snapshot()
+	lastMetric := ""
+	for _, sr := range series {
+		if len(sr.Samples) == 0 {
+			continue
+		}
+		if sr.Metric != lastMetric {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", sr.Metric); err != nil {
+				return err
+			}
+			lastMetric = sr.Metric
+		}
+		var b strings.Builder
+		b.WriteString(sr.Metric)
+		if len(sr.Labels) > 0 {
+			keys := make([]string, 0, len(sr.Labels))
+			for k := range sr.Labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			b.WriteString("{")
+			for i, k := range keys {
+				if i > 0 {
+					b.WriteString(",")
+				}
+				b.WriteString(k)
+				b.WriteString(`="`)
+				b.WriteString(promLabelEscaper.Replace(sr.Labels[k]))
+				b.WriteString(`"`)
+			}
+			b.WriteString("}")
+		}
+		last := sr.Samples[len(sr.Samples)-1]
+		if _, err := fmt.Fprintf(w, "%s %s %d\n",
+			b.String(), strconv.FormatFloat(last.Value, 'g', -1, 64), last.At.UnixMilli()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrometheusHandler serves WritePrometheus — the /metrics endpoint a real
+// Prometheus server would scrape from bassd.
+func (s *Store) PrometheusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.WritePrometheus(w)
+	})
 }
 
 // Handler serves the query API:

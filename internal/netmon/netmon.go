@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"bass/internal/mesh"
+	"bass/internal/obs"
 )
 
 // ErrUnknownLink is returned for probes of links not in the topology.
@@ -161,6 +162,10 @@ type Monitor struct {
 
 	views map[mesh.LinkID]*LinkView
 	stats ProbeStats
+
+	// plane records probe observations when observability is attached; the
+	// nil default costs nothing (see package obs).
+	plane *obs.Plane
 }
 
 // New builds a monitor over the topology. now supplies virtual (or real)
@@ -182,6 +187,11 @@ func New(topo *mesh.Topology, prober Prober, cfg Config, now func() time.Duratio
 // Config returns the monitor's effective configuration.
 func (m *Monitor) Config() Config { return m.cfg }
 
+// SetObserver attaches an observability plane. Probe results, probe errors,
+// and headroom violations are journaled; measured capacities and spares feed
+// the link_capacity_mbps / link_headroom_mbps series.
+func (m *Monitor) SetObserver(p *obs.Plane) { m.plane = p }
+
 // FullProbeAll measures every link's capacity (system startup, §4.2).
 func (m *Monitor) FullProbeAll() error {
 	for _, l := range m.topo.Links() {
@@ -201,6 +211,9 @@ func (m *Monitor) FullProbe(id mesh.LinkID) error {
 	cap, err := m.prober.ProbeCapacity(id)
 	if err != nil {
 		v.ConsecutiveFailures++
+		if m.plane.Enabled() {
+			m.plane.Emit(obs.Event{Type: obs.EventProbeError, Link: id.String(), Reason: "full: " + err.Error()})
+		}
 		return ProbeError{Link: id, Op: "full", Err: err}
 	}
 	v.ConsecutiveFailures = 0
@@ -210,6 +223,11 @@ func (m *Monitor) FullProbe(id mesh.LinkID) error {
 	m.stats.FullProbes++
 	// A full probe floods the link for ProbeDuration.
 	m.stats.OverheadMbits += cap * m.cfg.ProbeDuration.Seconds()
+	if m.plane.Enabled() {
+		link := id.String()
+		m.plane.Emit(obs.Event{Type: obs.EventProbeFull, Link: link, Value: cap})
+		m.plane.Metric(obs.MetricLinkCapacity, cap, "link", link)
+	}
 	return nil
 }
 
@@ -248,6 +266,9 @@ func (m *Monitor) HeadroomProbe(id mesh.LinkID) (HeadroomEvent, error) {
 	spare, err := m.prober.ProbeSpare(id)
 	if err != nil {
 		v.ConsecutiveFailures++
+		if m.plane.Enabled() {
+			m.plane.Emit(obs.Event{Type: obs.EventProbeError, Link: id.String(), Reason: "headroom: " + err.Error()})
+		}
 		return HeadroomEvent{}, ProbeError{Link: id, Op: "headroom", Err: err}
 	}
 	v.ConsecutiveFailures = 0
@@ -274,6 +295,14 @@ func (m *Monitor) HeadroomProbe(id mesh.LinkID) (HeadroomEvent, error) {
 		ev.Changed = true
 	}
 	v.HeadroomOK = !ev.Violated
+	if m.plane.Enabled() {
+		link := id.String()
+		m.plane.Emit(obs.Event{Type: obs.EventProbeHeadroom, Link: link, Value: spare, Want: want})
+		m.plane.Metric(obs.MetricLinkHeadroom, spare, "link", link)
+		if ev.Violated {
+			m.plane.Emit(obs.Event{Type: obs.EventHeadroomViolation, Link: link, Value: spare, Want: want})
+		}
+	}
 	return ev, nil
 }
 

@@ -1,0 +1,295 @@
+// Package obs is the unified observability plane: a deterministic,
+// virtual-time-stamped decision journal plus labeled metric emission into a
+// shared metricstore.Store. The simulation-side monitor, controller, and
+// orchestrator record into it the way the paper's monitoring services log
+// into Prometheus (§5) — structured Dapper-style events explaining *why* a
+// migration or failover fired, and Monarch-style labeled time series the
+// controller's decisions can be replayed against.
+//
+// Determinism contract: events are stamped with virtual time and carry only
+// fixed, ordered fields, so the same seed yields a byte-identical JSONL
+// journal whatever the wall clock, worker count, or network driver.
+//
+// Cost contract: an unattached plane is a nil pointer, every method on which
+// is a nil-check and return — components instrument unconditionally and pay
+// nothing until someone attaches a journal or store.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"bass/internal/metricstore"
+)
+
+// EventType classifies journal entries.
+type EventType string
+
+// Journal event types, in rough pipeline order: probing observations, the
+// controller's verdicts, and the orchestrator's actions.
+const (
+	// EventProbeFull is a successful max-capacity probe (Value = Mbps).
+	EventProbeFull EventType = "probe_full"
+	// EventProbeHeadroom is a successful headroom probe (Value = spare Mbps,
+	// Want = required headroom Mbps).
+	EventProbeHeadroom EventType = "probe_headroom"
+	// EventProbeError is a failed probe (Reason = error).
+	EventProbeError EventType = "probe_error"
+	// EventHeadroomViolation is a headroom probe that found less spare
+	// capacity than the link must keep (Value = spare, Want = required).
+	EventHeadroomViolation EventType = "headroom_violation"
+	// EventMigrationCandidate is a component newly entering the controller's
+	// violation window (cooldown starts now).
+	EventMigrationCandidate EventType = "migration_candidate"
+	// EventMigration is a committed migration: chosen target in To, the
+	// trigger in Reason.
+	EventMigration EventType = "migration"
+	// EventMigrationRejected is an approved migration that found no feasible
+	// target or failed to commit (Reason = why).
+	EventMigrationRejected EventType = "migration_rejected"
+	// EventNodeDown is the controller's node-down verdict.
+	EventNodeDown EventType = "node_down"
+	// EventNodeRecovered is a previously-dead node answering probes again.
+	EventNodeRecovered EventType = "node_recovered"
+	// EventCordon marks a node closed to placement after a down verdict.
+	EventCordon EventType = "cordon"
+	// EventUncordon marks a recovered node reopened for placement.
+	EventUncordon EventType = "uncordon"
+	// EventEvacuate is one component removed from a dead node.
+	EventEvacuate EventType = "evacuate"
+	// EventFailover is a stranded component re-placed (Value = attempts).
+	EventFailover EventType = "failover"
+	// EventFailoverQueued is a component that exhausted placement retries and
+	// parked in the recovery queue.
+	EventFailoverQueued EventType = "failover_queued"
+)
+
+// Metric names shared by the simulated and live paths — one schema, whichever
+// substrate feeds the store.
+const (
+	MetricLinkCapacity = "link_capacity_mbps"
+	MetricLinkHeadroom = "link_headroom_mbps"
+	MetricDepGoodput   = "dependency_goodput_frac"
+	MetricMigrations   = "migrations_total"
+	MetricFailoverMTTR = "failover_mttr_seconds"
+)
+
+// Event is one journal entry. Fields are fixed and typed (never a map) so
+// JSON encoding is deterministic; unused fields are omitted.
+type Event struct {
+	// At is the virtual timestamp, nanoseconds since simulation start.
+	At   time.Duration `json:"atNs"`
+	Type EventType     `json:"type"`
+	App  string        `json:"app,omitempty"`
+	// Component and Dep name a DAG component (and its dependency partner).
+	Component string `json:"component,omitempty"`
+	Dep       string `json:"dep,omitempty"`
+	Node      string `json:"node,omitempty"`
+	Link      string `json:"link,omitempty"`
+	From      string `json:"from,omitempty"`
+	To        string `json:"to,omitempty"`
+	// Reason is the human-readable why: the trigger for a migration, the
+	// error behind a probe failure.
+	Reason string `json:"reason,omitempty"`
+	// Value and Want carry the event's quantities (probed Mbps vs required
+	// headroom, failover attempt count, ...).
+	Value float64 `json:"value,omitempty"`
+	Want  float64 `json:"want,omitempty"`
+}
+
+// Journal is a bounded ring buffer of events. It is safe for concurrent use;
+// a nil *Journal discards appends for free.
+type Journal struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int // index of the oldest event
+	n       int // live events in buf
+	dropped uint64
+}
+
+// DefaultJournalCapacity bounds journal memory when no capacity is given.
+const DefaultJournalCapacity = 1 << 14
+
+// NewJournal returns a journal retaining the last capacity events
+// (DefaultJournalCapacity when capacity ≤ 0).
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultJournalCapacity
+	}
+	return &Journal{buf: make([]Event, capacity)}
+}
+
+// Append records an event, evicting the oldest when full. Nil-safe.
+func (j *Journal) Append(ev Event) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.n < len(j.buf) {
+		j.buf[(j.start+j.n)%len(j.buf)] = ev
+		j.n++
+		return
+	}
+	j.buf[j.start] = ev
+	j.start = (j.start + 1) % len(j.buf)
+	j.dropped++
+}
+
+// Len reports the number of retained events.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Dropped reports how many events the ring evicted.
+func (j *Journal) Dropped() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// Events returns the retained events, oldest first.
+func (j *Journal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, j.n)
+	for i := 0; i < j.n; i++ {
+		out[i] = j.buf[(j.start+i)%len(j.buf)]
+	}
+	return out
+}
+
+// WriteJSONL writes the retained events as one JSON object per line, oldest
+// first. Same events ⇒ same bytes: encoding uses only the fixed Event fields.
+func (j *Journal) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, j.Events())
+}
+
+// WriteJSONL encodes events as JSONL.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Summarize renders "type:count" pairs sorted by type — the compact journal
+// annotation experiment tables print.
+func Summarize(events []Event) string {
+	counts := make(map[EventType]int)
+	for _, ev := range events {
+		counts[ev.Type]++
+	}
+	types := make([]string, 0, len(counts))
+	for t := range counts {
+		types = append(types, string(t))
+	}
+	sort.Strings(types)
+	var b strings.Builder
+	for i, t := range types {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s:%d", t, counts[EventType(t)])
+	}
+	return b.String()
+}
+
+// Plane bundles a journal and a metric store behind one virtual clock.
+// Either half may be nil; a nil *Plane as a whole is the unattached fast
+// path.
+type Plane struct {
+	journal *Journal
+	store   *metricstore.Store
+	now     func() time.Duration
+	epoch   time.Time
+}
+
+// NewPlane wires a plane. now supplies virtual time; journal and store may
+// each be nil to record only the other half.
+func NewPlane(journal *Journal, store *metricstore.Store, now func() time.Duration) *Plane {
+	return &Plane{
+		journal: journal,
+		store:   store,
+		now:     now,
+		// Metric timestamps are the virtual clock projected onto the Unix
+		// epoch, so store contents are as reproducible as the journal.
+		epoch: time.Unix(0, 0).UTC(),
+	}
+}
+
+// Enabled reports whether emitting can have any effect. Call sites that must
+// format strings or build label maps should gate on it.
+func (p *Plane) Enabled() bool {
+	return p != nil && (p.journal != nil || p.store != nil)
+}
+
+// Now reports the plane's virtual time (zero on a nil plane).
+func (p *Plane) Now() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.now()
+}
+
+// Emit stamps the event with virtual time and journals it. Nil-safe.
+func (p *Plane) Emit(ev Event) {
+	if p == nil || p.journal == nil {
+		return
+	}
+	ev.At = p.now()
+	p.journal.Append(ev)
+}
+
+// Metric appends a labeled sample at the current virtual time. Labels are
+// alternating key/value pairs (a trailing unpaired key is ignored). Nil-safe.
+func (p *Plane) Metric(name string, value float64, kv ...string) {
+	if p == nil || p.store == nil {
+		return
+	}
+	var labels map[string]string
+	if len(kv) >= 2 {
+		labels = make(map[string]string, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			labels[kv[i]] = kv[i+1]
+		}
+	}
+	p.store.Append(name, labels, p.epoch.Add(p.now()), value)
+}
+
+// Journal exposes the plane's journal (nil when unattached).
+func (p *Plane) Journal() *Journal {
+	if p == nil {
+		return nil
+	}
+	return p.journal
+}
+
+// Store exposes the plane's metric store (nil when unattached).
+func (p *Plane) Store() *metricstore.Store {
+	if p == nil {
+		return nil
+	}
+	return p.store
+}

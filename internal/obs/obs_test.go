@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bass/internal/metricstore"
+)
+
+func TestJournalAppendAndOrder(t *testing.T) {
+	j := NewJournal(8)
+	for i := 0; i < 5; i++ {
+		j.Append(Event{At: time.Duration(i), Type: EventProbeFull})
+	}
+	evs := j.Events()
+	if len(evs) != 5 || j.Len() != 5 {
+		t.Fatalf("len = %d/%d, want 5", len(evs), j.Len())
+	}
+	for i, ev := range evs {
+		if ev.At != time.Duration(i) {
+			t.Errorf("event %d at %d, want %d", i, ev.At, i)
+		}
+	}
+}
+
+func TestJournalRingEviction(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Append(Event{At: time.Duration(i)})
+	}
+	evs := j.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	if evs[0].At != 6 || evs[3].At != 9 {
+		t.Errorf("retained window = [%d, %d], want [6, 9]", evs[0].At, evs[3].At)
+	}
+	if j.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", j.Dropped())
+	}
+}
+
+func TestNilJournalAndPlaneAreSafe(t *testing.T) {
+	var j *Journal
+	j.Append(Event{Type: EventMigration})
+	if j.Len() != 0 || j.Events() != nil || j.Dropped() != 0 {
+		t.Error("nil journal is not inert")
+	}
+	var p *Plane
+	p.Emit(Event{Type: EventMigration})
+	p.Metric(MetricLinkCapacity, 1, "link", "a-b")
+	if p.Enabled() || p.Journal() != nil || p.Store() != nil || p.Now() != 0 {
+		t.Error("nil plane is not inert")
+	}
+}
+
+// TestNilPlaneZeroAlloc pins the unattached fast path: emitting through a nil
+// plane must not allocate, so instrumented components cost nothing on runs
+// that never attach observability.
+func TestNilPlaneZeroAlloc(t *testing.T) {
+	var p *Plane
+	ev := Event{Type: EventProbeFull, Link: "a-b", Value: 10}
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.Emit(ev)
+	})
+	if allocs != 0 {
+		t.Errorf("nil-plane Emit allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestWriteJSONLDeterministic(t *testing.T) {
+	mk := func() *Journal {
+		j := NewJournal(16)
+		j.Append(Event{At: time.Second, Type: EventProbeFull, Link: "a-b", Value: 12.5})
+		j.Append(Event{At: 2 * time.Second, Type: EventHeadroomViolation, Link: "a-b", Value: 1, Want: 2.5})
+		j.Append(Event{At: 3 * time.Second, Type: EventMigration, App: "pair", Component: "b", From: "n1", To: "n2", Reason: "bandwidth violation"})
+		return j
+	}
+	var b1, b2 bytes.Buffer
+	if err := mk().WriteJSONL(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk().WriteJSONL(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Errorf("same events encode to different bytes:\n%s\n%s", b1.String(), b2.String())
+	}
+	lines := strings.Split(strings.TrimRight(b1.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3:\n%s", len(lines), b1.String())
+	}
+	if !strings.Contains(lines[2], `"type":"migration"`) || !strings.Contains(lines[2], `"to":"n2"`) {
+		t.Errorf("migration line missing fields: %s", lines[2])
+	}
+}
+
+func TestPlaneStampsVirtualTime(t *testing.T) {
+	now := 42 * time.Second
+	j := NewJournal(4)
+	store := metricstore.New(0)
+	p := NewPlane(j, store, func() time.Duration { return now })
+	if !p.Enabled() {
+		t.Fatal("plane with journal+store reports disabled")
+	}
+	p.Emit(Event{Type: EventProbeFull, Link: "a-b", Value: 10})
+	if evs := j.Events(); len(evs) != 1 || evs[0].At != now {
+		t.Fatalf("journal = %+v, want one event at %v", evs, now)
+	}
+	p.Metric(MetricLinkCapacity, 10, "link", "a-b")
+	sample, ok := store.Latest(MetricLinkCapacity, map[string]string{"link": "a-b"})
+	if !ok || sample.Value != 10 {
+		t.Fatalf("Latest = %+v ok=%v", sample, ok)
+	}
+	if want := time.Unix(0, 0).UTC().Add(now); !sample.At.Equal(want) {
+		t.Errorf("metric stamped %v, want %v", sample.At, want)
+	}
+}
+
+func TestPlaneHalves(t *testing.T) {
+	// Journal-only and store-only planes must each record their half and
+	// ignore the other.
+	j := NewJournal(4)
+	pj := NewPlane(j, nil, func() time.Duration { return 0 })
+	pj.Emit(Event{Type: EventCordon, Node: "n1"})
+	pj.Metric(MetricMigrations, 1)
+	if j.Len() != 1 {
+		t.Error("journal-only plane did not journal")
+	}
+	store := metricstore.New(0)
+	ps := NewPlane(nil, store, func() time.Duration { return 0 })
+	ps.Emit(Event{Type: EventCordon, Node: "n1"})
+	ps.Metric(MetricMigrations, 1)
+	if _, ok := store.Latest(MetricMigrations, nil); !ok {
+		t.Error("store-only plane did not record the metric")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		{Type: EventProbeFull}, {Type: EventProbeFull},
+		{Type: EventMigration}, {Type: EventCordon},
+	}
+	got := Summarize(events)
+	want := "cordon:1 migration:1 probe_full:2"
+	if got != want {
+		t.Errorf("Summarize = %q, want %q", got, want)
+	}
+	if Summarize(nil) != "" {
+		t.Errorf("Summarize(nil) = %q, want empty", Summarize(nil))
+	}
+}
+
+func TestJournalConcurrentAppend(t *testing.T) {
+	j := NewJournal(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				j.Append(Event{Type: EventProbeHeadroom})
+				_ = j.Events()
+				_ = j.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := j.Len() + int(j.Dropped()); got != 400 {
+		t.Errorf("retained+dropped = %d, want 400", got)
+	}
+}

@@ -323,7 +323,10 @@ func BenchmarkReallocate(b *testing.B) {
 // ring with one stepping link (two observed capacity changes per simulated
 // minute). The drivers produce bit-identical simulation output (asserted by
 // the simnet and experiments differential tests); this measures the
-// wall-clock and allocation cost of getting there:
+// wall-clock and allocation cost of getting there. No observability plane is
+// attached, so the run also pins the disabled-tracing contract: the network's
+// span-threaded flow lifecycle (ambient cause stamping, nil-plane EmitSpan at
+// park/resume/fail sites) must keep quiet/event at 0 allocs/op:
 //
 //	go test -bench=EventDriven -benchtime=10x -benchmem
 func BenchmarkEventDriven(b *testing.B) {

@@ -75,6 +75,10 @@ type scenario struct {
 	Seed               int64 `json:"seed"`
 	Migration          bool  `json:"migration"`
 	MonitorIntervalSec int   `json:"monitorIntervalSec,omitempty"`
+	// PollingNet switches the simulated network to the legacy once-per-second
+	// polling driver; output is bit-identical to the default event-driven
+	// driver (the equivalence the trace-smoke CI job asserts).
+	PollingNet bool `json:"pollingNet,omitempty"`
 
 	// Social network.
 	RPS        float64 `json:"rps,omitempty"`
@@ -151,10 +155,12 @@ func main() {
 type runSpec struct {
 	label string
 	sc    scenario
-	// eventsPath/metricsPath, when non-empty, receive the run's decision
-	// journal (JSONL) and metric-store dump (JSON).
+	// eventsPath/metricsPath/tracePath, when non-empty, receive the run's
+	// decision journal (JSONL), metric-store dump (JSON), and Chrome
+	// trace-event export (JSON, loadable in Perfetto).
 	eventsPath  string
 	metricsPath string
+	tracePath   string
 }
 
 // derivePath returns the per-run output path: the base itself for a single
@@ -176,6 +182,8 @@ func run(args []string, stdout io.Writer) error {
 	seeds := fs.Int("seeds", 1, "per-scenario seed replicas (seed, seed+1, ...)")
 	eventsOut := fs.String("events-out", "", "write the decision journal as JSONL to this path (\".NNN\" run index inserted when running multiple scenarios)")
 	metricsOut := fs.String("metrics-out", "", "write the collected metric series as JSON to this path (\".NNN\" run index inserted when running multiple scenarios)")
+	traceOut := fs.String("trace-out", "", "write the decision journal as Chrome trace-event JSON (Perfetto-loadable) to this path (\".NNN\" run index inserted when running multiple scenarios)")
+	polling := fs.Bool("polling", false, "force the legacy polling network driver for every scenario (output stays bit-identical to event-driven)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -209,6 +217,9 @@ func run(args []string, stdout io.Writer) error {
 		for s := 0; s < *seeds; s++ {
 			replica := sc
 			replica.Seed = sc.Seed + int64(s)
+			if *polling {
+				replica.PollingNet = true
+			}
 			specs = append(specs, runSpec{
 				label: fmt.Sprintf("%s seed=%d", p, replica.Seed),
 				sc:    replica,
@@ -218,6 +229,7 @@ func run(args []string, stdout io.Writer) error {
 	for i := range specs {
 		specs[i].eventsPath = derivePath(*eventsOut, i, len(specs))
 		specs[i].metricsPath = derivePath(*metricsOut, i, len(specs))
+		specs[i].tracePath = derivePath(*traceOut, i, len(specs))
 	}
 	return executeAll(specs, *workers, stdout)
 }
@@ -240,7 +252,7 @@ func executeAll(specs []runSpec, workers int, stdout io.Writer) error {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				errs[i] = executeObserved(specs[i].sc, &outputs[i], specs[i].eventsPath, specs[i].metricsPath)
+				errs[i] = executeObserved(specs[i].sc, &outputs[i], specs[i].eventsPath, specs[i].metricsPath, specs[i].tracePath)
 			}
 		}()
 	}
@@ -272,14 +284,15 @@ func executeAll(specs []runSpec, workers int, stdout io.Writer) error {
 }
 
 func execute(sc scenario, out io.Writer) error {
-	return executeObserved(sc, out, "", "")
+	return executeObserved(sc, out, "", "", "")
 }
 
-// executeObserved runs one scenario; non-empty eventsPath/metricsPath attach
-// the observability plane and write the decision journal (JSONL) and metric
-// dump (JSON) after the run. Runs without either path attach nothing, so
-// their output bytes — and hot paths — are identical to earlier releases.
-func executeObserved(sc scenario, out io.Writer, eventsPath, metricsPath string) error {
+// executeObserved runs one scenario; non-empty eventsPath/metricsPath/
+// tracePath attach the observability plane and write the decision journal
+// (JSONL), metric dump (JSON), and Chrome trace export after the run. Runs
+// without any path attach nothing, so their output bytes — and hot paths —
+// are identical to earlier releases.
+func executeObserved(sc scenario, out io.Writer, eventsPath, metricsPath, tracePath string) error {
 	if sc.HorizonSec <= 0 {
 		sc.HorizonSec = 600
 	}
@@ -297,6 +310,7 @@ func executeObserved(sc scenario, out io.Writer, eventsPath, metricsPath string)
 		Policy:          policy,
 		EnableMigration: sc.Migration,
 		ReservedCPU:     1,
+		PollingNet:      sc.PollingNet,
 	}
 	if sc.MonitorIntervalSec > 0 {
 		cfg.MonitorInterval = time.Duration(sc.MonitorIntervalSec) * time.Second
@@ -309,8 +323,8 @@ func executeObserved(sc scenario, out io.Writer, eventsPath, metricsPath string)
 
 	var journal *obs.Journal
 	var store *metricstore.Store
-	if eventsPath != "" || metricsPath != "" {
-		if eventsPath != "" {
+	if eventsPath != "" || metricsPath != "" || tracePath != "" {
+		if eventsPath != "" || tracePath != "" {
 			journal = obs.NewJournal(0)
 		}
 		if metricsPath != "" {
@@ -346,12 +360,18 @@ func executeObserved(sc scenario, out io.Writer, eventsPath, metricsPath string)
 	if sched != nil {
 		reportRecovery(sim, sched, out)
 	}
-	if journal != nil {
+	if journal != nil && eventsPath != "" {
 		if err := writeJournal(journal, eventsPath); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "journal: %d events (%d evicted) -> %s\n",
 			journal.Len(), journal.Dropped(), eventsPath)
+	}
+	if journal != nil && tracePath != "" {
+		if err := writeTrace(journal, tracePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace: %d events -> %s\n", journal.Len(), tracePath)
 	}
 	if store != nil {
 		if err := writeMetrics(store, metricsPath); err != nil {
@@ -369,6 +389,20 @@ func writeJournal(journal *obs.Journal, path string) error {
 		return err
 	}
 	if err := journal.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTrace exports the journal's span tree in Chrome trace-event format —
+// loadable in Perfetto / chrome://tracing. Same seed, same bytes.
+func writeTrace(journal *obs.Journal, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, journal.Events()); err != nil {
 		f.Close()
 		return err
 	}

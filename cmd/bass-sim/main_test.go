@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"bass/internal/faults"
+	"bass/internal/obs"
 )
 
 func writeScenario(t *testing.T, sc scenario) string {
@@ -311,6 +312,158 @@ func TestDerivePath(t *testing.T) {
 		if got := derivePath(c.base, c.i, c.total); got != c.want {
 			t.Errorf("derivePath(%q, %d, %d) = %q, want %q", c.base, c.i, c.total, got, c.want)
 		}
+	}
+}
+
+// TestTraceOutDeterministicAcrossDrivers runs the same faulted, seeded
+// scenario with -trace-out under the default event-driven network driver and
+// again under -polling, and demands byte-identical Chrome trace JSON — the
+// causal trace is part of the simulation's observable output, so the driver
+// equivalence guarantee extends to it. A same-driver rerun pins same-seed
+// determinism as well.
+func TestTraceOutDeterministicAcrossDrivers(t *testing.T) {
+	sc := scenario{
+		Topology:           "lan",
+		LANNodes:           4,
+		App:                "camera",
+		Scheduler:          "bfs",
+		HorizonSec:         300,
+		Seed:               9,
+		Migration:          true,
+		MonitorIntervalSec: 30,
+		Faults: []faults.Event{
+			{AtSec: 60, Type: faults.NodeCrash, Node: "node2"},
+			{AtSec: 240, Type: faults.NodeRecover, Node: "node2"},
+		},
+	}
+	path := writeScenario(t, sc)
+	dir := t.TempDir()
+
+	read := func(name string, polling bool) []byte {
+		t.Helper()
+		tr := filepath.Join(dir, name+"-trace.json")
+		args := []string{"-trace-out", tr}
+		if polling {
+			args = append(args, "-polling")
+		}
+		var out strings.Builder
+		if err := run(append(args, path), &out); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out.String(), "trace: ") {
+			t.Fatalf("output missing trace summary line:\n%s", out.String())
+		}
+		raw, err := os.ReadFile(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	event1 := read("event1", false)
+	event2 := read("event2", false)
+	polling := read("polling", true)
+	if len(event1) == 0 {
+		t.Fatal("trace export is empty")
+	}
+	if string(event1) != string(event2) {
+		t.Error("same-seed event-driven traces differ")
+	}
+	if string(event1) != string(polling) {
+		t.Error("event-driven and polling traces differ at equal seed")
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Ts   *float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(event1, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	counts := map[string]int{}
+	for i, te := range trace.TraceEvents {
+		if te.Name == "" || te.Ph == "" {
+			t.Fatalf("trace event %d missing name/ph: %+v", i, te)
+		}
+		if te.Ph != "M" && te.Ts == nil {
+			t.Fatalf("trace event %d (%s) missing ts", i, te.Name)
+		}
+		counts[te.Ph]++
+	}
+	if counts["X"] == 0 || counts["s"] == 0 || counts["s"] != counts["f"] {
+		t.Errorf("trace shape off: %d slices, %d flow starts, %d flow ends",
+			counts["X"], counts["s"], counts["f"])
+	}
+}
+
+// TestJournalCauseChainsResolveToProbes pins the PR's headline acceptance
+// criterion end to end through the CLI: in a run with bandwidth-violation
+// migrations and in one with fault-driven failovers, every migration and
+// failover journal event carries a cause chain that resolves back to a
+// concrete probe sample, with the full candidate scoreboard attached.
+func TestJournalCauseChainsResolveToProbes(t *testing.T) {
+	scenarios := map[string]scenario{
+		// The throttled citylab uplink drives the SFU through repeated
+		// bandwidth-violation migrations.
+		"migration": {
+			Topology: "citylab", App: "videoconf", Scheduler: "bfs",
+			HorizonSec: 900, Seed: 5, Migration: true, MonitorIntervalSec: 30,
+		},
+		// The crashed LAN node strands components and drives failovers.
+		"failover": {
+			Topology: "lan", LANNodes: 4, App: "camera", Scheduler: "bfs",
+			HorizonSec: 300, Seed: 9, Migration: true, MonitorIntervalSec: 30,
+			Faults: []faults.Event{
+				{AtSec: 60, Type: faults.NodeCrash, Node: "node2"},
+				{AtSec: 240, Type: faults.NodeRecover, Node: "node2"},
+			},
+		},
+	}
+	for name, sc := range scenarios {
+		t.Run(name, func(t *testing.T) {
+			path := writeScenario(t, sc)
+			ev := filepath.Join(t.TempDir(), "events.jsonl")
+			if err := run([]string{"-events-out", ev, path}, io.Discard); err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.Open(ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			events, err := obs.ReadJSONL(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := obs.EventMigration
+			if name == "failover" {
+				want = obs.EventFailover
+			}
+			checked := 0
+			for _, e := range events {
+				if e.Type != want {
+					continue
+				}
+				checked++
+				if e.Span == 0 || e.Cause == 0 {
+					t.Fatalf("%s event lacks span/cause: %+v", want, e)
+				}
+				chain := obs.CauseChain(events, e.Span)
+				if len(chain) < 2 {
+					t.Fatalf("%s event has no resolvable cause chain: %+v", want, e)
+				}
+				if root := chain[len(chain)-1]; !root.IsProbeSample() {
+					t.Errorf("%s cause chain roots at %s, want a probe sample", want, root.Type)
+				}
+				if board := obs.Scoreboard(events, e); len(board) == 0 {
+					t.Errorf("%s event has no candidate scoreboard: %+v", want, e)
+				}
+			}
+			if checked == 0 {
+				t.Fatalf("scenario produced no %s events; journal has %d events", want, len(events))
+			}
+		})
 	}
 }
 

@@ -11,6 +11,8 @@
 //	GET /api/v1/query   — metric queries (metric=link_capacity_mbps|link_headroom_mbps, label.peer=<addr>)
 //	GET /api/v1/metrics — metric names
 //	GET /metrics        — Prometheus text exposition (latest sample per series)
+//	GET /journal        — decision journal as JSONL (?n=K tails the last K events)
+//	GET /trace          — journal as Chrome trace-event JSON (Perfetto-loadable)
 //	GET /healthz        — liveness probe (200 ok)
 //	GET /debug/pprof/   — runtime profiling (CPU, heap, goroutines, ...)
 //
@@ -31,12 +33,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"bass/internal/metricstore"
 	"bass/internal/netem"
+	"bass/internal/obs"
 )
 
 func main() {
@@ -73,7 +77,10 @@ func run(args []string) error {
 	log.Printf("bassd: probe server on %s (shaped: %v)", probeSrv.Addr(), *shapeMbps > 0)
 
 	store := metricstore.New(0)
-	mux := newHTTPMux(netem.NewStatsHandler(probeSrv), store)
+	journal := obs.NewJournal(0)
+	start := time.Now()
+	plane := obs.NewPlane(journal, store, func() time.Duration { return time.Since(start) })
+	mux := newHTTPMux(netem.NewStatsHandler(probeSrv), store, journal)
 	httpSrv := &http.Server{Addr: *httpListen, Handler: mux}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -103,7 +110,7 @@ func run(args []string) error {
 	monitorDone := make(chan struct{})
 	go func() {
 		defer close(monitorDone)
-		monitorPeers(ctx, peerList, store, *interval, *probeFor, *headroom)
+		monitorPeers(ctx, peerList, store, plane, *interval, *probeFor, *headroom)
 	}()
 
 	select {
@@ -120,14 +127,34 @@ func run(args []string) error {
 }
 
 // newHTTPMux assembles the daemon's HTTP surface: probe stats, the query
-// API, Prometheus text exposition, a liveness endpoint, and pprof. The
-// default mux is avoided deliberately — pprof's init() registers there, and
-// an explicit mux keeps the surface auditable and testable.
-func newHTTPMux(stats http.Handler, store *metricstore.Store) *http.ServeMux {
+// API, Prometheus text exposition, the decision journal (JSONL tail and
+// Chrome-trace views), a liveness endpoint, and pprof. The default mux is
+// avoided deliberately — pprof's init() registers there, and an explicit mux
+// keeps the surface auditable and testable.
+func newHTTPMux(stats http.Handler, store *metricstore.Store, journal *obs.Journal) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/stats", stats)
 	mux.Handle("/api/v1/", store.Handler())
 	mux.Handle("/metrics", store.PrometheusHandler())
+	mux.HandleFunc("/journal", func(w http.ResponseWriter, r *http.Request) {
+		events := journal.Events()
+		if q := r.URL.Query().Get("n"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 0 {
+				http.Error(w, "n must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			if n < len(events) {
+				events = events[len(events)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = obs.WriteJSONL(w, events)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.WriteChromeTrace(w, journal.Events())
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -143,8 +170,10 @@ func newHTTPMux(stats http.Handler, store *metricstore.Store) *http.ServeMux {
 // monitorPeers runs the paper's probing discipline: one max-capacity probe
 // per peer at startup, then headroom probes every interval; a headroom
 // violation triggers a fresh max-capacity probe to refresh the cached
-// estimate.
-func monitorPeers(ctx context.Context, peers []string, store *metricstore.Store, interval, probeFor time.Duration, headroomMbps float64) {
+// estimate. Every probe observation and violation verdict is journaled
+// through the plane with the same span/cause schema the simulated stack
+// emits, so /journal and /trace show live decisions in the same format.
+func monitorPeers(ctx context.Context, peers []string, store *metricstore.Store, plane *obs.Plane, interval, probeFor time.Duration, headroomMbps float64) {
 	if len(peers) == 0 {
 		<-ctx.Done()
 		return
@@ -153,9 +182,11 @@ func monitorPeers(ctx context.Context, peers []string, store *metricstore.Store,
 		capMbps, err := netem.ProbeCapacity(peer, probeFor)
 		if err != nil {
 			log.Printf("bassd: capacity probe %s: %v", peer, err)
+			plane.Emit(obs.Event{Type: obs.EventProbeError, Link: peer, Reason: err.Error()})
 			continue
 		}
 		store.Append("link_capacity_mbps", map[string]string{"peer": peer}, time.Now(), capMbps)
+		plane.Emit(obs.Event{Type: obs.EventProbeFull, Link: peer, Value: capMbps})
 		log.Printf("bassd: %s capacity %.1f Mbps", peer, capMbps)
 	}
 	ticker := time.NewTicker(interval)
@@ -170,17 +201,24 @@ func monitorPeers(ctx context.Context, peers []string, store *metricstore.Store,
 			achieved, ok, err := netem.ProbeHeadroom(peer, probeFor, headroomMbps)
 			if err != nil {
 				log.Printf("bassd: headroom probe %s: %v", peer, err)
+				plane.Emit(obs.Event{Type: obs.EventProbeError, Link: peer, Reason: err.Error()})
 				continue
 			}
 			store.Append("link_headroom_mbps", map[string]string{"peer": peer}, time.Now(), achieved)
+			probeSpan := plane.EmitSpan(obs.Event{Type: obs.EventProbeHeadroom, Link: peer,
+				Value: achieved, Want: headroomMbps})
 			if !ok {
+				plane.Emit(obs.Event{Type: obs.EventHeadroomViolation, Link: peer,
+					Cause: probeSpan, Value: achieved, Want: headroomMbps})
 				log.Printf("bassd: %s headroom violated (%.1f < %.1f Mbps): full probe", peer, achieved, headroomMbps)
 				capMbps, perr := netem.ProbeCapacity(peer, probeFor)
 				if perr != nil {
 					log.Printf("bassd: capacity probe %s: %v", peer, perr)
+					plane.Emit(obs.Event{Type: obs.EventProbeError, Link: peer, Reason: perr.Error()})
 					continue
 				}
 				store.Append("link_capacity_mbps", map[string]string{"peer": peer}, time.Now(), capMbps)
+				plane.Emit(obs.Event{Type: obs.EventProbeFull, Link: peer, Value: capMbps})
 				fmt.Printf("link %s capacity now %.1f Mbps\n", peer, capMbps)
 			}
 		}

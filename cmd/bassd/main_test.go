@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
@@ -10,15 +11,17 @@ import (
 	"time"
 
 	"bass/internal/metricstore"
+	"bass/internal/obs"
 )
 
-func testMux(t *testing.T) (*http.ServeMux, *metricstore.Store) {
+func testMux(t *testing.T) (*http.ServeMux, *metricstore.Store, *obs.Journal) {
 	t.Helper()
 	store := metricstore.New(0)
+	journal := obs.NewJournal(0)
 	stats := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("{}"))
 	})
-	return newHTTPMux(stats, store), store
+	return newHTTPMux(stats, store, journal), store, journal
 }
 
 func get(t *testing.T, mux *http.ServeMux, path string) *httptest.ResponseRecorder {
@@ -29,7 +32,7 @@ func get(t *testing.T, mux *http.ServeMux, path string) *httptest.ResponseRecord
 }
 
 func TestHealthz(t *testing.T) {
-	mux, _ := testMux(t)
+	mux, _, _ := testMux(t)
 	rec := get(t, mux, "/healthz")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("/healthz status = %d, want 200", rec.Code)
@@ -40,7 +43,7 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestPprofIndex(t *testing.T) {
-	mux, _ := testMux(t)
+	mux, _, _ := testMux(t)
 	rec := get(t, mux, "/debug/pprof/")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("/debug/pprof/ status = %d, want 200", rec.Code)
@@ -95,7 +98,7 @@ func validatePromText(t *testing.T, body string) map[string]int {
 }
 
 func TestMetricsEndpointIsValidPrometheusText(t *testing.T) {
-	mux, store := testMux(t)
+	mux, store, _ := testMux(t)
 	at := time.UnixMilli(1700000000000)
 	store.Append("link_capacity_mbps", map[string]string{"peer": "127.0.0.1:9101"}, at, 24.5)
 	store.Append("link_headroom_mbps", map[string]string{"peer": "127.0.0.1:9101"}, at.Add(time.Second), 4.25)
@@ -116,10 +119,112 @@ func TestMetricsEndpointIsValidPrometheusText(t *testing.T) {
 }
 
 func TestMetricsEndpointEmptyStore(t *testing.T) {
-	mux, _ := testMux(t)
+	mux, _, _ := testMux(t)
 	rec := get(t, mux, "/metrics")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("/metrics status = %d, want 200", rec.Code)
 	}
 	validatePromText(t, rec.Body.String())
+}
+
+// seedJournal fills the journal with a short probe→violation chain.
+func seedJournal(journal *obs.Journal) []obs.Event {
+	events := []obs.Event{
+		{At: 1 * time.Second, Type: obs.EventProbeHeadroom, Span: 1, Link: "127.0.0.1:9101", Value: 4, Want: 5},
+		{At: 1 * time.Second, Type: obs.EventHeadroomViolation, Span: 2, Cause: 1, Link: "127.0.0.1:9101", Value: 4, Want: 5},
+		{At: 31 * time.Second, Type: obs.EventProbeHeadroom, Span: 3, Link: "127.0.0.1:9101", Value: 6, Want: 5},
+	}
+	for _, ev := range events {
+		journal.Append(ev)
+	}
+	return events
+}
+
+func TestJournalEndpointTailsJSONL(t *testing.T) {
+	mux, _, journal := testMux(t)
+	events := seedJournal(journal)
+
+	rec := get(t, mux, "/journal")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/journal status = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("/journal Content-Type = %q, want application/x-ndjson", ct)
+	}
+	got, err := obs.ReadJSONL(rec.Body)
+	if err != nil {
+		t.Fatalf("/journal body is not valid JSONL: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("/journal returned %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], events[i])
+		}
+	}
+
+	// ?n= tails the newest events.
+	rec = get(t, mux, "/journal?n=2")
+	got, err = obs.ReadJSONL(rec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Span != 2 || got[1].Span != 3 {
+		t.Errorf("/journal?n=2 = %+v, want the last two events", got)
+	}
+
+	// n larger than the journal returns everything; invalid n is a 400.
+	rec = get(t, mux, "/journal?n=100")
+	if got, _ = obs.ReadJSONL(rec.Body); len(got) != len(events) {
+		t.Errorf("/journal?n=100 returned %d events, want %d", len(got), len(events))
+	}
+	if rec := get(t, mux, "/journal?n=-1"); rec.Code != http.StatusBadRequest {
+		t.Errorf("/journal?n=-1 status = %d, want 400", rec.Code)
+	}
+	if rec := get(t, mux, "/journal?n=bogus"); rec.Code != http.StatusBadRequest {
+		t.Errorf("/journal?n=bogus status = %d, want 400", rec.Code)
+	}
+}
+
+func TestJournalEndpointEmpty(t *testing.T) {
+	mux, _, _ := testMux(t)
+	rec := get(t, mux, "/journal")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/journal status = %d, want 200", rec.Code)
+	}
+	if got, err := obs.ReadJSONL(rec.Body); err != nil || len(got) != 0 {
+		t.Errorf("empty journal: %d events, err %v", len(got), err)
+	}
+}
+
+func TestTraceEndpointServesChromeTrace(t *testing.T) {
+	mux, _, journal := testMux(t)
+	events := seedJournal(journal)
+
+	rec := get(t, mux, "/trace")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/trace status = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/trace Content-Type = %q, want application/json", ct)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &trace); err != nil {
+		t.Fatalf("/trace body is not valid JSON: %v", err)
+	}
+	var slices int
+	for _, te := range trace.TraceEvents {
+		if te.Ph == "X" {
+			slices++
+		}
+	}
+	if slices != len(events) {
+		t.Errorf("/trace has %d slices, want one per journal event (%d)", slices, len(events))
+	}
 }

@@ -68,6 +68,15 @@ type Decision struct {
 	NodesDown []string
 	// NodesRecovered lists previously-dead nodes that answered a probe again.
 	NodesRecovered []string
+	// CandidateSpans maps each current migration candidate to the span of its
+	// migration_candidate journal event — the cause the orchestrator threads
+	// into the migrations it executes. Empty without observability.
+	CandidateSpans map[string]uint64
+	// NodeDownSpans maps each newly-dead node to the span of its node_down
+	// verdict, the cause of the cordon/evacuate/failover chain that follows.
+	NodeDownSpans map[string]uint64
+	// NodeRecoveredSpans maps each recovered node to its node_recovered span.
+	NodeRecoveredSpans map[string]uint64
 }
 
 // Controller tracks violation persistence across evaluation cycles. Drive it
@@ -79,8 +88,12 @@ type Controller struct {
 	now     func() time.Duration
 
 	firstViolation map[string]time.Duration
-	lastMigration  map[string]time.Duration
-	migrations     int
+	// firstViolationSpan remembers each candidate's migration_candidate span
+	// for as long as its violation window stays open, so a migration approved
+	// cycles later still cites the verdict that started its cooldown.
+	firstViolationSpan map[string]uint64
+	lastMigration      map[string]time.Duration
+	migrations         int
 
 	// deadNodes holds the controller's current node-down verdicts, so
 	// Decisions report transitions rather than repeating standing state.
@@ -100,12 +113,13 @@ func New(monitor *netmon.Monitor, cfg Config, now func() time.Duration) *Control
 		cfg.FailureThreshold = 3
 	}
 	return &Controller{
-		cfg:            cfg,
-		monitor:        monitor,
-		now:            now,
-		firstViolation: make(map[string]time.Duration),
-		lastMigration:  make(map[string]time.Duration),
-		deadNodes:      make(map[string]bool),
+		cfg:                cfg,
+		monitor:            monitor,
+		now:                now,
+		firstViolation:     make(map[string]time.Duration),
+		firstViolationSpan: make(map[string]uint64),
+		lastMigration:      make(map[string]time.Duration),
+		deadNodes:          make(map[string]bool),
 	}
 }
 
@@ -149,22 +163,72 @@ func (c *Controller) Evaluate(g *dag.Graph, usagesFn func() []scheduler.Dependen
 		}
 	}
 
+	// Cause spans for this cycle's verdicts. A violated headroom event is the
+	// strongest evidence; any probe observation beats nothing.
+	var cycleCause uint64
+	for _, ev := range events {
+		if ev.Span == 0 {
+			continue
+		}
+		if cycleCause == 0 {
+			cycleCause = ev.Span
+		}
+		if ev.Violated {
+			cycleCause = ev.Span
+			break
+		}
+	}
+	// nodeEvidence picks the cause of a liveness verdict about node: the
+	// latest probe observation (error or sample) on one of its links.
+	nodeEvidence := func(node string, wantErrors bool) uint64 {
+		var span uint64
+		if wantErrors {
+			for _, pe := range probeErrs {
+				if (pe.Link.A == node || pe.Link.B == node) && pe.Span > span {
+					span = pe.Span
+				}
+			}
+		} else {
+			for _, ev := range events {
+				if (ev.Link.A == node || ev.Link.B == node) && ev.Span > span {
+					span = ev.Span
+				}
+			}
+		}
+		return span
+	}
+
 	// Failure detection: a node whose every link has failed FailureThreshold
 	// consecutive sweeps is declared down; one answered probe brings it back.
 	// Only transitions are reported.
 	var nodesDown, nodesRecovered []string
+	var nodeDownSpans, nodeRecoveredSpans map[string]uint64
 	for _, node := range c.monitor.Nodes() {
 		floor := c.monitor.NodeFailureFloor(node)
 		switch {
 		case floor >= c.cfg.FailureThreshold && !c.deadNodes[node]:
 			c.deadNodes[node] = true
 			nodesDown = append(nodesDown, node)
-			c.plane.Emit(obs.Event{Type: obs.EventNodeDown, Node: node,
+			span := c.plane.EmitSpan(obs.Event{Type: obs.EventNodeDown, Node: node,
+				Cause:  nodeEvidence(node, true),
 				Reason: "all links failed K consecutive sweeps", Value: float64(floor)})
+			if span != 0 {
+				if nodeDownSpans == nil {
+					nodeDownSpans = make(map[string]uint64)
+				}
+				nodeDownSpans[node] = span
+			}
 		case floor == 0 && c.deadNodes[node]:
 			delete(c.deadNodes, node)
 			nodesRecovered = append(nodesRecovered, node)
-			c.plane.Emit(obs.Event{Type: obs.EventNodeRecovered, Node: node, Reason: "probe answered"})
+			span := c.plane.EmitSpan(obs.Event{Type: obs.EventNodeRecovered, Node: node,
+				Cause: nodeEvidence(node, false), Reason: "probe answered"})
+			if span != 0 {
+				if nodeRecoveredSpans == nil {
+					nodeRecoveredSpans = make(map[string]uint64)
+				}
+				nodeRecoveredSpans[node] = span
+			}
 		}
 	}
 
@@ -188,19 +252,30 @@ func (c *Controller) Evaluate(g *dag.Graph, usagesFn func() []scheduler.Dependen
 			c.firstViolation[name] = now
 			// Journal the moment a component enters the violation window —
 			// the cooldown clock that explains a later migration starts here.
-			c.plane.Emit(obs.Event{Type: obs.EventMigrationCandidate, Component: name,
-				Reason: "bandwidth violation observed; cooldown started"})
+			span := c.plane.EmitSpan(obs.Event{Type: obs.EventMigrationCandidate, Component: name,
+				Cause: cycleCause, Reason: "bandwidth violation observed; cooldown started"})
+			if span != 0 {
+				c.firstViolationSpan[name] = span
+			}
 		}
 	}
 	// Violations that cleared reset their cooldown clocks.
 	for name := range c.firstViolation {
 		if !candidateSet[name] {
 			delete(c.firstViolation, name)
+			delete(c.firstViolationSpan, name)
 		}
 	}
 
 	var migrate []string
+	var candidateSpans map[string]uint64
 	for _, name := range report.Candidates {
+		if span, ok := c.firstViolationSpan[name]; ok {
+			if candidateSpans == nil {
+				candidateSpans = make(map[string]uint64, len(report.Candidates))
+			}
+			candidateSpans[name] = span
+		}
 		if now-c.firstViolation[name] < c.cfg.Cooldown {
 			continue
 		}
@@ -208,13 +283,16 @@ func (c *Controller) Evaluate(g *dag.Graph, usagesFn func() []scheduler.Dependen
 	}
 
 	return Decision{
-		FullProbeLinks: probeLinks,
-		Migrate:        migrate,
-		Report:         report,
-		HeadroomEvents: events,
-		ProbeErrors:    probeErrs,
-		NodesDown:      nodesDown,
-		NodesRecovered: nodesRecovered,
+		FullProbeLinks:     probeLinks,
+		Migrate:            migrate,
+		Report:             report,
+		HeadroomEvents:     events,
+		ProbeErrors:        probeErrs,
+		NodesDown:          nodesDown,
+		NodesRecovered:     nodesRecovered,
+		CandidateSpans:     candidateSpans,
+		NodeDownSpans:      nodeDownSpans,
+		NodeRecoveredSpans: nodeRecoveredSpans,
 	}, nil
 }
 
@@ -226,6 +304,7 @@ func (c *Controller) NodeDown(node string) bool { return c.deadNodes[node] }
 func (c *Controller) RecordMigration(component string) {
 	c.lastMigration[component] = c.now()
 	delete(c.firstViolation, component)
+	delete(c.firstViolationSpan, component)
 	c.migrations++
 }
 

@@ -223,9 +223,40 @@ func New(eng *sim.Engine, topo *mesh.Topology, net *simnet.Network, clus *cluste
 // returns the assembled plane.
 func (o *Orchestrator) AttachObservability(journal *obs.Journal, store *metricstore.Store) *obs.Plane {
 	o.plane = obs.NewPlane(journal, store, o.eng.Now)
+	o.plane.SetTraceSeed(o.eng.Seed())
 	o.monitor.SetObserver(o.plane)
 	o.ctrl.SetObserver(o.plane)
+	o.net.SetObserver(o.plane)
 	return o.plane
+}
+
+// planeRecorder adapts the plane to the scheduler's Recorder: every candidate
+// row of an Explanation becomes one sched_candidate journal event under the
+// decision's cause span, so bass-trace explain can rebuild the scoreboard.
+type planeRecorder struct {
+	plane *obs.Plane
+	app   string
+	cause uint64
+}
+
+func (r planeRecorder) RecordExplanation(ex scheduler.Explanation) {
+	for _, cs := range ex.Candidates {
+		r.plane.EmitSpan(obs.Event{
+			Type: obs.EventSchedCandidate, App: r.app, Component: ex.Component,
+			Node: cs.Node, Cause: r.cause, Reason: string(cs.Rejection),
+			Value: cs.Score, Want: float64(cs.DepCount),
+			Local: cs.LocalMbps, Remote: cs.RemoteMbps,
+		})
+	}
+}
+
+// recorder builds a scheduler Recorder journaling under the given cause, or
+// nil when no plane is attached so choice passes skip all bookkeeping.
+func (o *Orchestrator) recorder(app string, cause uint64) scheduler.Recorder {
+	if !o.plane.Enabled() {
+		return nil
+	}
+	return planeRecorder{plane: o.plane, app: app, cause: cause}
 }
 
 // Observability returns the attached plane (nil when unattached).
@@ -320,7 +351,9 @@ func (o *Orchestrator) DeployAt(name string, w Workload, overrides scheduler.Ass
 	if g.AppName != name {
 		return nil, fmt.Errorf("core: workload graph is named %q, deploying as %q", g.AppName, name)
 	}
-	assignment, err := o.schedule(g)
+	deploySpan := o.plane.EmitSpan(obs.Event{Type: obs.EventDeploy, App: name,
+		Reason: o.cfg.Policy.Name(), Value: float64(g.NumComponents())})
+	assignment, err := o.schedule(g, o.recorder(name, deploySpan))
 	if err != nil {
 		return nil, err
 	}
@@ -330,7 +363,11 @@ func (o *Orchestrator) DeployAt(name string, w Workload, overrides scheduler.Ass
 		}
 		assignment[comp] = node
 	}
-	for comp, node := range assignment {
+	for _, comp := range g.Components() { // sorted: deterministic journal order
+		node, ok := assignment[comp]
+		if !ok {
+			continue
+		}
 		c, cerr := g.Component(comp)
 		if cerr != nil {
 			return nil, cerr
@@ -344,21 +381,40 @@ func (o *Orchestrator) DeployAt(name string, w Workload, overrides scheduler.Ass
 		}); perr != nil {
 			return nil, fmt.Errorf("core: commit placement: %w", perr)
 		}
+		reason := "policy placement"
+		if _, forced := overrides[comp]; forced {
+			reason = "deployment override"
+		}
+		o.plane.EmitSpan(obs.Event{Type: obs.EventSchedule, App: name, Component: comp,
+			To: node, Cause: deploySpan, Reason: reason})
 	}
 	env := &Env{app: name, orch: o}
 	app := &deployedApp{name: name, workload: w, graph: g, env: env}
 	o.apps[name] = app
 	o.appOrder = append(o.appOrder, name)
-	if err := w.Start(env); err != nil {
+	// Flows the workload opens at startup cite the deploy as their cause.
+	o.net.SetCause(deploySpan)
+	err = w.Start(env)
+	o.net.SetCause(0)
+	if err != nil {
 		return nil, fmt.Errorf("core: start workload %q: %w", name, err)
 	}
 	return assignment, nil
 }
 
-// schedule runs the placement policy, recording Table 3/4 timings.
-func (o *Orchestrator) schedule(g *dag.Graph) (scheduler.Assignment, error) {
+// schedule runs the placement policy, recording Table 3/4 timings. When a
+// recorder is attached and the policy can explain itself, the per-component
+// candidate scoreboards are journaled alongside the decision.
+func (o *Orchestrator) schedule(g *dag.Graph, rec scheduler.Recorder) (scheduler.Assignment, error) {
+	nodes := o.nodeInfos()
 	procStart := time.Now()
-	assignment, err := o.cfg.Policy.Schedule(g, o.nodeInfos())
+	var assignment scheduler.Assignment
+	var err error
+	if ep, ok := o.cfg.Policy.(scheduler.ExplainingPolicy); ok && rec != nil {
+		assignment, err = ep.ScheduleExplained(g, nodes, rec)
+	} else {
+		assignment, err = o.cfg.Policy.Schedule(g, nodes)
+	}
 	elapsed := time.Since(procStart)
 	if err != nil {
 		return nil, fmt.Errorf("core: schedule %q with %s: %w", g.AppName, o.cfg.Policy.Name(), err)
@@ -466,14 +522,14 @@ func (o *Orchestrator) controlCycle() {
 			continue // evaluation failure: retry next cycle
 		}
 		for _, node := range decision.NodesDown {
-			o.handleNodeDown(node)
+			o.handleNodeDown(node, decision.NodeDownSpans[node])
 		}
 		for _, node := range decision.NodesRecovered {
-			o.handleNodeRecovered(node)
+			o.handleNodeRecovered(node, decision.NodeRecoveredSpans[node])
 		}
 		migrated := 0
 		for _, comp := range decision.Migrate {
-			if o.migrate(app, comp) {
+			if o.migrate(app, comp, decision.CandidateSpans[comp]) {
 				migrated++
 			}
 		}
@@ -490,14 +546,16 @@ func (o *Orchestrator) controlCycle() {
 }
 
 // migrate moves one component to the best target node, reporting success.
-func (o *Orchestrator) migrate(app *deployedApp, comp string) bool {
+// cause is the span of the migration_candidate verdict that approved the
+// move; every journal event the move produces chains back to it.
+func (o *Orchestrator) migrate(app *deployedApp, comp string, cause uint64) bool {
 	assignment := make(scheduler.Assignment)
 	for _, c := range app.graph.Components() {
 		if node := o.clus.NodeOf(app.name, c); node != "" {
 			assignment[c] = node
 		}
 	}
-	target, err := scheduler.ChooseMigrationTarget(
+	target, err := scheduler.ChooseMigrationTargetExplained(
 		app.graph, comp, assignment, o.nodeInfos(),
 		func(a, b string) float64 {
 			spare, networked, perr := o.monitor.PathSpareMbps(a, b)
@@ -510,18 +568,19 @@ func (o *Orchestrator) migrate(app *deployedApp, comp string) bool {
 			return spare
 		},
 		o.ctrl.Config().Migration,
+		o.recorder(app.name, cause),
 	)
 	if err != nil {
 		o.ctrl.RecordMigrationFailure(comp)
 		o.plane.Emit(obs.Event{Type: obs.EventMigrationRejected, App: app.name,
-			Component: comp, Reason: "no feasible target: " + err.Error()})
+			Component: comp, Cause: cause, Reason: "no feasible target: " + err.Error()})
 		return false
 	}
 	from := assignment[comp]
 	if err := o.clus.Move(app.name, comp, target); err != nil {
 		o.ctrl.RecordMigrationFailure(comp)
 		o.plane.Emit(obs.Event{Type: obs.EventMigrationRejected, App: app.name,
-			Component: comp, To: target, Reason: "commit failed: " + err.Error()})
+			Component: comp, To: target, Cause: cause, Reason: "commit failed: " + err.Error()})
 		return false
 	}
 	o.ctrl.RecordMigration(comp)
@@ -532,12 +591,15 @@ func (o *Orchestrator) migrate(app *deployedApp, comp string) bool {
 		From:      from,
 		To:        target,
 	})
+	migSpan := o.plane.EmitSpan(obs.Event{Type: obs.EventMigration, App: app.name, Component: comp,
+		From: from, To: target, Cause: cause, Reason: "bandwidth violation persisted past cooldown"})
 	if o.plane.Enabled() {
-		o.plane.Emit(obs.Event{Type: obs.EventMigration, App: app.name, Component: comp,
-			From: from, To: target, Reason: "bandwidth violation persisted past cooldown"})
 		o.plane.Metric(obs.MetricMigrations, float64(len(o.migrations)))
 	}
+	// The state transfer and any flows the workload re-routes cite the move.
+	o.net.SetCause(migSpan)
 	app.workload.OnMigration(app.env, comp, from, target, o.migrationDowntime(app, comp, from, target))
+	o.net.SetCause(0)
 	return true
 }
 
@@ -577,11 +639,13 @@ func (o *Orchestrator) ForceMigrate(appName, comp, toNode string) error {
 	o.migrations = append(o.migrations, MigrationEvent{
 		At: o.eng.Now(), App: appName, Component: comp, From: from, To: toNode,
 	})
+	migSpan := o.plane.EmitSpan(obs.Event{Type: obs.EventMigration, App: appName, Component: comp,
+		From: from, To: toNode, Reason: "forced by experiment script"})
 	if o.plane.Enabled() {
-		o.plane.Emit(obs.Event{Type: obs.EventMigration, App: appName, Component: comp,
-			From: from, To: toNode, Reason: "forced by experiment script"})
 		o.plane.Metric(obs.MetricMigrations, float64(len(o.migrations)))
 	}
+	o.net.SetCause(migSpan)
 	app.workload.OnMigration(app.env, comp, from, toNode, o.migrationDowntime(app, comp, from, toNode))
+	o.net.SetCause(0)
 	return nil
 }

@@ -56,6 +56,10 @@ type pendingFailover struct {
 	fromNode   string
 	detectedAt time.Duration
 	attempts   int
+	// cause is the span of the evacuate event that stranded the component;
+	// every placement attempt, queue entry, and the final failover event
+	// chain back through it to the node-down verdict and its probe errors.
+	cause uint64
 }
 
 // handleNodeDown reacts to a controller node-down verdict: cordon the node so
@@ -65,24 +69,27 @@ type pendingFailover struct {
 // returns. Untouched components keep serving throughout — only flows that
 // crossed the dead node were disturbed, and the network already handled
 // those.
-func (o *Orchestrator) handleNodeDown(node string) {
+func (o *Orchestrator) handleNodeDown(node string, cause uint64) {
 	now := o.eng.Now()
 	if err := o.clus.Cordon(node); err != nil {
 		return // unknown to the cluster: nothing placed there
 	}
-	o.plane.Emit(obs.Event{Type: obs.EventCordon, Node: node, Reason: "node-down verdict"})
+	cordonSpan := o.plane.EmitSpan(obs.Event{Type: obs.EventCordon, Node: node,
+		Cause: cause, Reason: "node-down verdict"})
 	var stranded []pendingFailover
 	for _, appName := range o.appOrder {
 		for _, comp := range o.clus.ComponentsOn(appName, node) { // sorted
 			if err := o.clus.Remove(appName, comp); err != nil {
 				continue
 			}
-			o.plane.Emit(obs.Event{Type: obs.EventEvacuate, App: appName, Component: comp, Node: node})
+			evacSpan := o.plane.EmitSpan(obs.Event{Type: obs.EventEvacuate,
+				App: appName, Component: comp, Node: node, Cause: cordonSpan})
 			stranded = append(stranded, pendingFailover{
 				app:        appName,
 				component:  comp,
 				fromNode:   node,
 				detectedAt: now,
+				cause:      evacSpan,
 			})
 		}
 	}
@@ -98,11 +105,12 @@ func (o *Orchestrator) handleNodeDown(node string) {
 // handleNodeRecovered reopens a node the controller saw answering probes
 // again and immediately retries the recovery queue: the returning capacity is
 // exactly what queued components were waiting for.
-func (o *Orchestrator) handleNodeRecovered(node string) {
+func (o *Orchestrator) handleNodeRecovered(node string, cause uint64) {
 	if err := o.clus.Uncordon(node); err != nil {
 		return
 	}
-	o.plane.Emit(obs.Event{Type: obs.EventUncordon, Node: node, Reason: "node recovered"})
+	o.plane.Emit(obs.Event{Type: obs.EventUncordon, Node: node,
+		Cause: cause, Reason: "node recovered"})
 	o.drainFailoverQueue()
 }
 
@@ -121,8 +129,9 @@ func (o *Orchestrator) tryFailover(p *pendingFailover) {
 	if p.attempts >= o.cfg.FailoverMaxRetries {
 		o.failoverQueue = append(o.failoverQueue, p)
 		o.plane.Emit(obs.Event{Type: obs.EventFailoverQueued, App: p.app, Component: p.component,
-			From: p.fromNode, Reason: "placement retries exhausted; waiting for capacity",
-			Value: float64(p.attempts)})
+			From: p.fromNode, Cause: p.cause,
+			Reason: "placement retries exhausted; waiting for capacity",
+			Value:  float64(p.attempts)})
 		return
 	}
 	delay := o.cfg.FailoverBackoffBase << (p.attempts - 1)
@@ -145,7 +154,7 @@ func (o *Orchestrator) placeFailover(app *deployedApp, p *pendingFailover) bool 
 			assignment[c] = node
 		}
 	}
-	target, err := scheduler.ChooseFailoverTarget(
+	target, err := scheduler.ChooseFailoverTargetExplained(
 		app.graph, p.component, assignment, o.nodeInfos(),
 		func(a, b string) float64 {
 			spare, networked, perr := o.monitor.PathSpareMbps(a, b)
@@ -158,6 +167,7 @@ func (o *Orchestrator) placeFailover(app *deployedApp, p *pendingFailover) bool 
 			return spare
 		},
 		o.ctrl.Config().Migration,
+		o.recorder(app.name, p.cause),
 	)
 	if err != nil {
 		return false
@@ -182,19 +192,22 @@ func (o *Orchestrator) placeFailover(app *deployedApp, p *pendingFailover) bool 
 	})
 	mttr := o.eng.Now() + o.cfg.MigrationDowntime - p.detectedAt
 	o.mttrs = append(o.mttrs, mttr)
+	reason := "re-placed after node failure"
+	if p.attempts > o.cfg.FailoverMaxRetries {
+		reason = "re-placed from recovery queue"
+	}
+	foSpan := o.plane.EmitSpan(obs.Event{Type: obs.EventFailover, App: app.name, Component: p.component,
+		From: p.fromNode, To: target, Cause: p.cause, Reason: reason, Value: float64(p.attempts)})
 	if o.plane.Enabled() {
-		reason := "re-placed after node failure"
-		if p.attempts > o.cfg.FailoverMaxRetries {
-			reason = "re-placed from recovery queue"
-		}
-		o.plane.Emit(obs.Event{Type: obs.EventFailover, App: app.name, Component: p.component,
-			From: p.fromNode, To: target, Reason: reason, Value: float64(p.attempts)})
 		o.plane.Metric(obs.MetricFailoverMTTR, mttr.Seconds(),
 			"app", app.name, "component", p.component)
 	}
 	// The component restarts cold on the new node; state on the dead host is
 	// unreachable, so only the restart cost applies — never a state transfer.
+	// Flows the workload re-opens cite the failover.
+	o.net.SetCause(foSpan)
 	app.workload.OnMigration(app.env, p.component, p.fromNode, target, o.cfg.MigrationDowntime)
+	o.net.SetCause(0)
 	return true
 }
 

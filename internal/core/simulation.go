@@ -89,12 +89,23 @@ func (s *Simulation) InjectFaults(sched *faults.Schedule) (*faults.Injector, err
 // orchestrator learns of a crash the way a real control plane does, from
 // probes failing, never from the injector telling it.
 
+// applyFault journals the injected fault and propagates the availability
+// change to the data plane under its cause span, so the flow disruptions the
+// reroute produces (parked streams, failed transfers) cite the fault that
+// caused them.
+func (s *Simulation) applyFault(ev obs.Event) {
+	span := s.Orch.plane.EmitSpan(ev)
+	s.Net.SetCause(span)
+	s.Net.ApplyTopologyState()
+	s.Net.SetCause(0)
+}
+
 // NodeDown implements faults.Target.
 func (s *Simulation) NodeDown(name string) {
 	if err := s.Topo.SetNodeUp(name, false); err != nil {
 		return
 	}
-	s.Net.ApplyTopologyState()
+	s.applyFault(obs.Event{Type: obs.EventFault, Node: name, Reason: "node_down"})
 }
 
 // NodeUp implements faults.Target.
@@ -102,7 +113,7 @@ func (s *Simulation) NodeUp(name string) {
 	if err := s.Topo.SetNodeUp(name, true); err != nil {
 		return
 	}
-	s.Net.ApplyTopologyState()
+	s.applyFault(obs.Event{Type: obs.EventFault, Node: name, Reason: "node_up"})
 }
 
 // LinkDown implements faults.Target.
@@ -110,7 +121,7 @@ func (s *Simulation) LinkDown(id mesh.LinkID) {
 	if err := s.Topo.SetLinkUp(id.A, id.B, false); err != nil {
 		return
 	}
-	s.Net.ApplyTopologyState()
+	s.applyFault(obs.Event{Type: obs.EventFault, Link: id.String(), Reason: "link_down"})
 }
 
 // LinkUp implements faults.Target.
@@ -118,7 +129,7 @@ func (s *Simulation) LinkUp(id mesh.LinkID) {
 	if err := s.Topo.SetLinkUp(id.A, id.B, true); err != nil {
 		return
 	}
-	s.Net.ApplyTopologyState()
+	s.applyFault(obs.Event{Type: obs.EventFault, Link: id.String(), Reason: "link_up"})
 }
 
 // SetProbeLoss implements faults.Target.

@@ -30,6 +30,10 @@ type ProbeError struct {
 	// Op is "full" or "headroom".
 	Op  string
 	Err error
+	// Span is the trace ID of the probe_error journal event (zero when no
+	// observability is attached) — the root cause downstream node-down
+	// verdicts link back to.
+	Span uint64
 }
 
 func (e ProbeError) Error() string {
@@ -131,6 +135,10 @@ type HeadroomEvent struct {
 	// Changed is true when spare moved more than ChangeTolerance relative to
 	// the previous observation.
 	Changed bool
+	// Span is the trace ID downstream verdicts cite as their cause: the
+	// headroom_violation event when Violated, else the probe_headroom sample
+	// itself. Zero when no observability is attached.
+	Span uint64
 }
 
 // ProbeStats accounts monitoring overhead.
@@ -211,10 +219,11 @@ func (m *Monitor) FullProbe(id mesh.LinkID) error {
 	cap, err := m.prober.ProbeCapacity(id)
 	if err != nil {
 		v.ConsecutiveFailures++
+		var span uint64
 		if m.plane.Enabled() {
-			m.plane.Emit(obs.Event{Type: obs.EventProbeError, Link: id.String(), Reason: "full: " + err.Error()})
+			span = m.plane.EmitSpan(obs.Event{Type: obs.EventProbeError, Link: id.String(), Reason: "full: " + err.Error()})
 		}
-		return ProbeError{Link: id, Op: "full", Err: err}
+		return ProbeError{Link: id, Op: "full", Err: err, Span: span}
 	}
 	v.ConsecutiveFailures = 0
 	v.CapacityMbps = cap
@@ -266,10 +275,11 @@ func (m *Monitor) HeadroomProbe(id mesh.LinkID) (HeadroomEvent, error) {
 	spare, err := m.prober.ProbeSpare(id)
 	if err != nil {
 		v.ConsecutiveFailures++
+		var span uint64
 		if m.plane.Enabled() {
-			m.plane.Emit(obs.Event{Type: obs.EventProbeError, Link: id.String(), Reason: "headroom: " + err.Error()})
+			span = m.plane.EmitSpan(obs.Event{Type: obs.EventProbeError, Link: id.String(), Reason: "headroom: " + err.Error()})
 		}
-		return HeadroomEvent{}, ProbeError{Link: id, Op: "headroom", Err: err}
+		return HeadroomEvent{}, ProbeError{Link: id, Op: "headroom", Err: err, Span: span}
 	}
 	v.ConsecutiveFailures = 0
 	prev := v.SpareMbps
@@ -297,10 +307,16 @@ func (m *Monitor) HeadroomProbe(id mesh.LinkID) (HeadroomEvent, error) {
 	v.HeadroomOK = !ev.Violated
 	if m.plane.Enabled() {
 		link := id.String()
-		m.plane.Emit(obs.Event{Type: obs.EventProbeHeadroom, Link: link, Value: spare, Want: want})
+		probeSpan := m.plane.EmitSpan(obs.Event{Type: obs.EventProbeHeadroom, Link: link, Value: spare, Want: want})
 		m.plane.Metric(obs.MetricLinkHeadroom, spare, "link", link)
+		ev.Span = probeSpan
 		if ev.Violated {
-			m.plane.Emit(obs.Event{Type: obs.EventHeadroomViolation, Link: link, Value: spare, Want: want})
+			// The violation verdict cites the probe sample as its cause;
+			// downstream migration candidates cite the violation.
+			ev.Span = m.plane.EmitSpan(obs.Event{
+				Type: obs.EventHeadroomViolation, Cause: probeSpan,
+				Link: link, Value: spare, Want: want,
+			})
 		}
 	}
 	return ev, nil

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReadJSONL parses a journal written by WriteJSONL back into events, one JSON
+// object per line. Blank lines are skipped; a malformed line aborts with its
+// line number so truncated journals fail loudly rather than silently.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("obs: journal line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// IndexBySpan maps span ID → index into events for every event carrying a
+// span. Later events win on (pathological) duplicate spans.
+func IndexBySpan(events []Event) map[uint64]int {
+	idx := make(map[uint64]int)
+	for i, ev := range events {
+		if ev.Span != 0 {
+			idx[ev.Span] = i
+		}
+	}
+	return idx
+}
+
+// CauseChain walks an event's Cause links back to their root and returns the
+// chain effect-first: events[0] is the event with the given span, the last
+// entry is the root cause (typically a probe sample). Spans evicted from a
+// ring-buffered journal truncate the chain at the last resolvable hop; a
+// cycle (impossible for correctly threaded spans) also stops the walk.
+func CauseChain(events []Event, span uint64) []Event {
+	idx := IndexBySpan(events)
+	var chain []Event
+	seen := make(map[uint64]bool)
+	for span != 0 && !seen[span] {
+		seen[span] = true
+		i, ok := idx[span]
+		if !ok {
+			break
+		}
+		chain = append(chain, events[i])
+		span = events[i].Cause
+	}
+	return chain
+}
+
+// IsProbeSample reports whether the event is a concrete probe observation —
+// the ground truth every decision chain should resolve back to.
+func (e Event) IsProbeSample() bool {
+	switch e.Type {
+	case EventProbeFull, EventProbeHeadroom, EventProbeError:
+		return true
+	}
+	return false
+}
+
+// Scoreboard returns the candidate-evaluation events belonging to the given
+// decision event: sched_candidate events sharing its Cause span, component,
+// and virtual timestamp (one decision pass evaluates all its candidates at
+// one instant). Matching the component keeps deploy-time decisions — several
+// components scheduled at the same instant under the same deploy cause —
+// from borrowing each other's candidates.
+func Scoreboard(events []Event, decision Event) []Event {
+	if decision.Cause == 0 {
+		return nil
+	}
+	var board []Event
+	for _, ev := range events {
+		if ev.Type == EventSchedCandidate && ev.Cause == decision.Cause && ev.At == decision.At &&
+			(decision.Component == "" || ev.Component == decision.Component) {
+			board = append(board, ev)
+		}
+	}
+	return board
+}

@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bass/internal/metricstore"
@@ -68,6 +69,28 @@ const (
 	// EventFailoverQueued is a component that exhausted placement retries and
 	// parked in the recovery queue.
 	EventFailoverQueued EventType = "failover_queued"
+	// EventDeploy is an application entering the scheduler (the root cause of
+	// its components' initial placements).
+	EventDeploy EventType = "deploy"
+	// EventSchedule is one component's committed placement decision (To =
+	// chosen node, Reason = why the packer landed there).
+	EventSchedule EventType = "schedule"
+	// EventSchedCandidate is one node evaluated while choosing a placement,
+	// migration, or failover target: Value = total score, Want = co-located
+	// dependency count, Local/Remote = the score's bandwidth terms, Reason =
+	// the typed rejection (empty for the winner).
+	EventSchedCandidate EventType = "sched_candidate"
+	// EventFault is an injected fault hitting the data plane (Reason = fault
+	// type). It is the root cause of the flow disruptions that follow.
+	EventFault EventType = "fault"
+	// EventFlowParked is a stream stranded by a fault: it holds no links and
+	// carries nothing until a route reappears (Flow = its tag).
+	EventFlowParked EventType = "flow_parked"
+	// EventFlowResumed is a parked stream finding a route again.
+	EventFlowResumed EventType = "flow_resumed"
+	// EventTransferFailed is a transfer aborted because a fault left its
+	// endpoints unreachable.
+	EventTransferFailed EventType = "transfer_failed"
 )
 
 // Metric names shared by the simulated and live paths — one schema, whichever
@@ -86,7 +109,15 @@ type Event struct {
 	// At is the virtual timestamp, nanoseconds since simulation start.
 	At   time.Duration `json:"atNs"`
 	Type EventType     `json:"type"`
-	App  string        `json:"app,omitempty"`
+	// Span is this event's deterministic trace ID, derived from the run seed
+	// and a monotonic sequence (never the wall clock), so equal seeds yield
+	// identical IDs. Zero on events recorded without a journal attached.
+	Span uint64 `json:"span,omitempty"`
+	// Cause is the Span of the event that caused this one — the probe sample
+	// behind a violation, the violation behind a candidate, the candidate
+	// behind a migration — forming a chain resolvable by CauseChain.
+	Cause uint64 `json:"cause,omitempty"`
+	App   string `json:"app,omitempty"`
 	// Component and Dep name a DAG component (and its dependency partner).
 	Component string `json:"component,omitempty"`
 	Dep       string `json:"dep,omitempty"`
@@ -94,13 +125,19 @@ type Event struct {
 	Link      string `json:"link,omitempty"`
 	From      string `json:"from,omitempty"`
 	To        string `json:"to,omitempty"`
+	// Flow names a data-plane flow (its accounting tag) for network events.
+	Flow string `json:"flow,omitempty"`
 	// Reason is the human-readable why: the trigger for a migration, the
-	// error behind a probe failure.
+	// error behind a probe failure, the typed rejection of a candidate.
 	Reason string `json:"reason,omitempty"`
 	// Value and Want carry the event's quantities (probed Mbps vs required
-	// headroom, failover attempt count, ...).
+	// headroom, candidate score vs dependency count, ...).
 	Value float64 `json:"value,omitempty"`
 	Want  float64 `json:"want,omitempty"`
+	// Local and Remote break a candidate's bandwidth score into the Mbps
+	// satisfied by co-located edges and by remote paths, respectively.
+	Local  float64 `json:"bwLocalMbps,omitempty"`
+	Remote float64 `json:"bwRemoteMbps,omitempty"`
 }
 
 // Journal is a bounded ring buffer of events. It is safe for concurrent use;
@@ -224,6 +261,28 @@ type Plane struct {
 	store   *metricstore.Store
 	now     func() time.Duration
 	epoch   time.Time
+
+	// spanBase namespaces span IDs by run seed (see SetTraceSeed); spanSeq is
+	// the monotonic allocation counter. Together they make span IDs a pure
+	// function of (seed, emission order): no wall clock, no randomness, so the
+	// byte-identical-at-equal-seeds journal guarantee extends to spans.
+	spanBase uint64
+	spanSeq  uint64 // accessed atomically
+}
+
+// SetTraceSeed namespaces the plane's span IDs by the run seed: span =
+// base(seed) | sequence, where base occupies the high bits. IDs stay below
+// 2^52 so they survive JSON number round-trips. Call before emitting.
+func (p *Plane) SetTraceSeed(seed int64) {
+	if p == nil {
+		return
+	}
+	p.spanBase = (uint64(seed) & 0x7FF) << 40
+}
+
+// nextSpan allocates the next deterministic span ID.
+func (p *Plane) nextSpan() uint64 {
+	return p.spanBase | atomic.AddUint64(&p.spanSeq, 1)
 }
 
 // NewPlane wires a plane. now supplies virtual time; journal and store may
@@ -253,13 +312,25 @@ func (p *Plane) Now() time.Duration {
 	return p.now()
 }
 
-// Emit stamps the event with virtual time and journals it. Nil-safe.
+// Emit stamps the event with virtual time and a span ID and journals it.
+// Nil-safe.
 func (p *Plane) Emit(ev Event) {
+	_ = p.EmitSpan(ev)
+}
+
+// EmitSpan is Emit returning the event's allocated span ID, for callers that
+// thread it as the Cause of later events. A nil or journal-less plane records
+// nothing and returns 0 without allocating.
+func (p *Plane) EmitSpan(ev Event) uint64 {
 	if p == nil || p.journal == nil {
-		return
+		return 0
 	}
 	ev.At = p.now()
+	if ev.Span == 0 {
+		ev.Span = p.nextSpan()
+	}
 	p.journal.Append(ev)
+	return ev.Span
 }
 
 // Metric appends a labeled sample at the current virtual time. Labels are

@@ -59,15 +59,74 @@ func TestNilJournalAndPlaneAreSafe(t *testing.T) {
 
 // TestNilPlaneZeroAlloc pins the unattached fast path: emitting through a nil
 // plane must not allocate, so instrumented components cost nothing on runs
-// that never attach observability.
+// that never attach observability. EmitSpan and SetTraceSeed are on the same
+// contract — the span-threading call sites run unconditionally in the decision
+// loop, so with tracing disabled they must stay free.
 func TestNilPlaneZeroAlloc(t *testing.T) {
 	var p *Plane
 	ev := Event{Type: EventProbeFull, Link: "a-b", Value: 10}
-	allocs := testing.AllocsPerRun(1000, func() {
-		p.Emit(ev)
-	})
-	if allocs != 0 {
-		t.Errorf("nil-plane Emit allocates %.1f per op, want 0", allocs)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Emit", func() { p.Emit(ev) }},
+		{"EmitSpan", func() {
+			if s := p.EmitSpan(ev); s != 0 {
+				t.Fatalf("nil-plane EmitSpan = %d, want 0", s)
+			}
+		}},
+		{"EmitSpanWithCause", func() {
+			_ = p.EmitSpan(Event{Type: EventMigration, Cause: 42, To: "n2"})
+		}},
+		{"SetTraceSeed", func() { p.SetTraceSeed(7) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(1000, tc.fn); allocs != 0 {
+			t.Errorf("nil-plane %s allocates %.1f per op, want 0", tc.name, allocs)
+		}
+	}
+	// A journal-less plane (metrics only) must also skip span allocation.
+	ps := NewPlane(nil, metricstore.New(0), func() time.Duration { return 0 })
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if s := ps.EmitSpan(ev); s != 0 {
+			t.Fatalf("journal-less EmitSpan = %d, want 0", s)
+		}
+	}); allocs != 0 {
+		t.Errorf("journal-less EmitSpan allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestSpanIDsDeterministic pins the span allocation scheme: IDs are a pure
+// function of (seed, emission order), below 2^52, and distinct across seeds.
+func TestSpanIDsDeterministic(t *testing.T) {
+	run := func(seed int64) []uint64 {
+		p := NewPlane(NewJournal(8), nil, func() time.Duration { return 0 })
+		p.SetTraceSeed(seed)
+		spans := make([]uint64, 3)
+		for i := range spans {
+			spans[i] = p.EmitSpan(Event{Type: EventProbeFull})
+		}
+		return spans
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("span %d differs across identical runs: %d vs %d", i, a[i], b[i])
+		}
+		if a[i] == 0 || a[i] >= 1<<52 {
+			t.Errorf("span %d = %d, want nonzero and < 2^52", i, a[i])
+		}
+		if i > 0 && a[i] != a[i-1]+1 {
+			t.Errorf("spans not sequential: %d then %d", a[i-1], a[i])
+		}
+	}
+	if c := run(43); c[0] == a[0] {
+		t.Errorf("different seeds share span base %d", c[0])
+	}
+	// Explicit spans pass through untouched (netmon stamps before emitting).
+	p := NewPlane(NewJournal(8), nil, func() time.Duration { return 0 })
+	if got := p.EmitSpan(Event{Type: EventProbeFull, Span: 99}); got != 99 {
+		t.Errorf("pre-set span rewritten to %d", got)
 	}
 }
 

@@ -1,0 +1,293 @@
+package scheduler
+
+import (
+	"reflect"
+	"testing"
+
+	"bass/internal/dag"
+)
+
+// captureRecorder collects explanations for assertion.
+type captureRecorder struct {
+	explanations []Explanation
+}
+
+func (r *captureRecorder) RecordExplanation(ex Explanation) {
+	r.explanations = append(r.explanations, ex)
+}
+
+// explainNodes builds a small cluster for target-choice tests.
+func explainNodes() []NodeInfo {
+	return []NodeInfo{
+		{Name: "n1", FreeCPU: 4, FreeMemoryMB: 4096},
+		{Name: "n2", FreeCPU: 4, FreeMemoryMB: 4096},
+		{Name: "n3", FreeCPU: 4, FreeMemoryMB: 4096},
+		{Name: "tiny", FreeCPU: 0.1, FreeMemoryMB: 64},
+	}
+}
+
+// TestBetterCandidateTieBreakOrder pins the comparator's tie-break order —
+// the one comparator both migration and failover sort with: feasibility,
+// then (depCount, score) for feasible / (score, depCount) for saturated
+// fallbacks, then free CPU, then name.
+func TestBetterCandidateTieBreakOrder(t *testing.T) {
+	n := func(name string, cpu float64) NodeInfo { return NodeInfo{Name: name, FreeCPU: cpu} }
+	cases := []struct {
+		name string
+		a, b candidate
+		want bool // betterCandidate(a, b)
+	}{
+		{"feasible beats infeasible",
+			candidate{node: n("a", 0), feasible: true},
+			candidate{node: n("b", 9), feasible: false, score: 99, depCount: 9}, true},
+		{"feasible: depCount before score",
+			candidate{node: n("a", 0), feasible: true, depCount: 2, score: 1},
+			candidate{node: n("b", 0), feasible: true, depCount: 1, score: 50}, true},
+		{"feasible: score breaks depCount tie",
+			candidate{node: n("a", 0), feasible: true, depCount: 1, score: 50},
+			candidate{node: n("b", 0), feasible: true, depCount: 1, score: 1}, true},
+		{"infeasible: score before depCount",
+			candidate{node: n("a", 0), score: 50, depCount: 0},
+			candidate{node: n("b", 0), score: 1, depCount: 9}, true},
+		{"infeasible: depCount breaks score tie",
+			candidate{node: n("a", 0), score: 5, depCount: 2},
+			candidate{node: n("b", 0), score: 5, depCount: 1}, true},
+		{"free CPU breaks full tie",
+			candidate{node: n("a", 8), feasible: true, depCount: 1, score: 5},
+			candidate{node: n("b", 4), feasible: true, depCount: 1, score: 5}, true},
+		{"name is the final tie-break",
+			candidate{node: n("a", 4), feasible: true},
+			candidate{node: n("b", 4), feasible: true}, true},
+	}
+	for _, tc := range cases {
+		if got := betterCandidate(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: betterCandidate = %v, want %v", tc.name, got, tc.want)
+		}
+		// Strict weak ordering: a<b and b<a cannot both hold.
+		if betterCandidate(tc.a, tc.b) && betterCandidate(tc.b, tc.a) {
+			t.Errorf("%s: comparator is not antisymmetric", tc.name)
+		}
+	}
+	self := candidate{node: n("a", 1), feasible: true, depCount: 1, score: 1}
+	if betterCandidate(self, self) {
+		t.Error("comparator is not irreflexive")
+	}
+}
+
+func TestChooseMigrationTargetExplained(t *testing.T) {
+	g := dag.NewGraph("pair")
+	g.MustAddComponent(dag.Component{Name: "producer", CPU: 1})
+	g.MustAddComponent(dag.Component{Name: "consumer", CPU: 1})
+	g.MustAddEdge("producer", "consumer", 8)
+	assignment := Assignment{"producer": "n1", "consumer": "n2"}
+	// Every inter-node path is saturated: only co-locating with the consumer
+	// on n2 satisfies the edge.
+	pathAvail := func(from, to string) float64 { return 1 }
+	cfg := MigrationConfig{HeadroomMbps: 4}
+
+	rec := &captureRecorder{}
+	got, err := ChooseMigrationTargetExplained(g, "producer", assignment, explainNodes(), pathAvail, cfg, rec)
+	if err != nil || got != "n2" {
+		t.Fatalf("chose %q, %v; want n2", got, err)
+	}
+	// Recorder must not change the outcome.
+	plain, err := ChooseMigrationTarget(g, "producer", assignment, explainNodes(), pathAvail, cfg)
+	if err != nil || plain != got {
+		t.Fatalf("nil-recorder path chose %q, %v; explained chose %q", plain, err, got)
+	}
+	if len(rec.explanations) != 1 {
+		t.Fatalf("recorded %d explanations, want 1", len(rec.explanations))
+	}
+	ex := rec.explanations[0]
+	if ex.Kind != ChoiceMigration || ex.Component != "producer" || ex.Current != "n1" || ex.Chosen != "n2" {
+		t.Fatalf("explanation header = %+v", ex)
+	}
+	byNode := make(map[string]CandidateScore)
+	for _, cs := range ex.Candidates {
+		byNode[cs.Node] = cs
+	}
+	if len(byNode) != 4 {
+		t.Fatalf("scoreboard = %+v, want all 4 nodes", ex.Candidates)
+	}
+	if w := byNode["n2"]; w.Rejection != RejectNone || !w.Feasible || w.DepCount != 1 || w.LocalMbps != 8 || w.Score != 8 {
+		t.Errorf("winner row = %+v", w)
+	}
+	if r := byNode["n3"]; r.Rejection != RejectInsufficientBandwidth || r.Feasible || r.RemoteMbps != 1 {
+		t.Errorf("saturated row = %+v", r)
+	}
+	if r := byNode["n1"]; r.Rejection != RejectCurrentNode {
+		t.Errorf("current-node row = %+v", r)
+	}
+	if r := byNode["tiny"]; r.Rejection != RejectNoCapacity {
+		t.Errorf("undersized row = %+v", r)
+	}
+}
+
+func TestChooseMigrationTargetExplainsHysteresis(t *testing.T) {
+	g := dag.NewGraph("pair")
+	g.MustAddComponent(dag.Component{Name: "producer", CPU: 1})
+	g.MustAddComponent(dag.Component{Name: "consumer", CPU: 1})
+	g.MustAddEdge("producer", "consumer", 8)
+	assignment := Assignment{"producer": "n1", "consumer": "n2"}
+	// Everything is equally saturated: no move clears the hysteresis margin.
+	pathAvail := func(from, to string) float64 { return 1 }
+	nodes := []NodeInfo{
+		{Name: "n1", FreeCPU: 4, FreeMemoryMB: 4096},
+		{Name: "n3", FreeCPU: 4, FreeMemoryMB: 4096},
+	}
+	rec := &captureRecorder{}
+	_, err := ChooseMigrationTargetExplained(g, "producer", assignment, nodes, pathAvail, MigrationConfig{HeadroomMbps: 4}, rec)
+	if err == nil {
+		t.Fatal("saturated mesh produced a move")
+	}
+	ex := rec.explanations[0]
+	if ex.Chosen != "" {
+		t.Fatalf("chosen = %q, want none", ex.Chosen)
+	}
+	found := false
+	for _, cs := range ex.Candidates {
+		if cs.Node == "n3" {
+			found = true
+			if cs.Rejection != RejectHysteresis {
+				t.Errorf("best fallback rejection = %q, want %q", cs.Rejection, RejectHysteresis)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("n3 missing from scoreboard: %+v", ex.Candidates)
+	}
+}
+
+func TestChooseFailoverTargetExplained(t *testing.T) {
+	g := dag.NewGraph("pair")
+	g.MustAddComponent(dag.Component{Name: "producer", CPU: 1})
+	g.MustAddComponent(dag.Component{Name: "consumer", CPU: 1})
+	g.MustAddEdge("producer", "consumer", 8)
+	assignment := Assignment{"consumer": "n2"}
+	pathAvail := func(from, to string) float64 {
+		if from == "n2" || to == "n2" {
+			return 100
+		}
+		return 1
+	}
+	rec := &captureRecorder{}
+	got, err := ChooseFailoverTargetExplained(g, "producer", assignment, explainNodes(), pathAvail, MigrationConfig{HeadroomMbps: 4}, rec)
+	if err != nil || got != "n2" {
+		t.Fatalf("chose %q, %v; want n2", got, err)
+	}
+	plain, err := ChooseFailoverTarget(g, "producer", assignment, explainNodes(), pathAvail, MigrationConfig{HeadroomMbps: 4})
+	if err != nil || plain != got {
+		t.Fatalf("nil-recorder path chose %q, %v; explained chose %q", plain, err, got)
+	}
+	ex := rec.explanations[0]
+	if ex.Kind != ChoiceFailover || ex.Chosen != "n2" {
+		t.Fatalf("explanation header = %+v", ex)
+	}
+	var winner, tiny *CandidateScore
+	for i := range ex.Candidates {
+		switch ex.Candidates[i].Node {
+		case "n2":
+			winner = &ex.Candidates[i]
+		case "tiny":
+			tiny = &ex.Candidates[i]
+		}
+	}
+	if winner == nil || winner.Rejection != RejectNone || winner.DepCount != 1 {
+		t.Errorf("winner row = %+v", winner)
+	}
+	if tiny == nil || tiny.Rejection != RejectNoCapacity {
+		t.Errorf("undersized row = %+v", tiny)
+	}
+}
+
+func TestChooseFailoverTargetExplainsPinned(t *testing.T) {
+	g := dag.NewGraph("cam")
+	g.MustAddComponent(dag.Component{Name: "camera", CPU: 1, Labels: dag.Pin("n3")})
+	rec := &captureRecorder{}
+	got, err := ChooseFailoverTargetExplained(g, "camera", Assignment{}, explainNodes(), nil, MigrationConfig{}, rec)
+	if err != nil || got != "n3" {
+		t.Fatalf("chose %q, %v; want pinned n3", got, err)
+	}
+	ex := rec.explanations[0]
+	if ex.Chosen != "n3" {
+		t.Fatalf("explanation = %+v", ex)
+	}
+	for _, cs := range ex.Candidates {
+		want := RejectPinnedElsewhere
+		if cs.Node == "n3" {
+			want = RejectNone
+		}
+		if cs.Rejection != want {
+			t.Errorf("node %s rejection = %q, want %q", cs.Node, cs.Rejection, want)
+		}
+	}
+}
+
+func TestScheduleExplainedMatchesSchedule(t *testing.T) {
+	g := dag.NewGraph("app")
+	g.MustAddComponent(dag.Component{Name: "a", CPU: 1})
+	g.MustAddComponent(dag.Component{Name: "b", CPU: 1})
+	g.MustAddComponent(dag.Component{Name: "pin", CPU: 1, Labels: dag.Pin("n2")})
+	g.MustAddEdge("a", "b", 5)
+	g.MustAddEdge("b", "pin", 2)
+	nodes := []NodeInfo{
+		{Name: "n1", FreeCPU: 2, FreeMemoryMB: 2048, TotalCPU: 4, TotalMemoryMB: 4096, LinkCapacityMbps: 40},
+		{Name: "n2", FreeCPU: 2, FreeMemoryMB: 2048, TotalCPU: 4, TotalMemoryMB: 4096, LinkCapacityMbps: 20},
+	}
+	for _, p := range []ExplainingPolicy{NewBass(HeuristicBFS), NewK3s()} {
+		rec := &captureRecorder{}
+		explained, err := p.ScheduleExplained(g, nodes, rec)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		plain, err := p.Schedule(g, nodes)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if !reflect.DeepEqual(explained, plain) {
+			t.Errorf("%s: explained assignment %v differs from plain %v", p.Name(), explained, plain)
+		}
+		if len(rec.explanations) != g.NumComponents() {
+			t.Fatalf("%s: %d explanations, want one per component (%d)",
+				p.Name(), len(rec.explanations), g.NumComponents())
+		}
+		for _, ex := range rec.explanations {
+			if ex.Kind != ChoiceSchedule {
+				t.Errorf("%s: kind = %q", p.Name(), ex.Kind)
+			}
+			if ex.Chosen != plain[ex.Component] {
+				t.Errorf("%s: explanation for %q chose %q, assignment says %q",
+					p.Name(), ex.Component, ex.Chosen, plain[ex.Component])
+			}
+		}
+	}
+}
+
+// TestExplainedNilRecorderAllocParity pins the cost contract: passing a nil
+// recorder must not allocate more than the pre-explanation implementation —
+// explanation bookkeeping is gated entirely on rec != nil.
+func TestExplainedNilRecorderAllocParity(t *testing.T) {
+	g := dag.NewGraph("pair")
+	g.MustAddComponent(dag.Component{Name: "producer", CPU: 1})
+	g.MustAddComponent(dag.Component{Name: "consumer", CPU: 1})
+	g.MustAddEdge("producer", "consumer", 8)
+	assignment := Assignment{"producer": "n1", "consumer": "n2"}
+	nodes := explainNodes()
+	pathAvail := func(from, to string) float64 { return 100 }
+	cfg := MigrationConfig{HeadroomMbps: 4}
+
+	nilRec := testing.AllocsPerRun(200, func() {
+		_, _ = ChooseMigrationTargetExplained(g, "producer", assignment, nodes, pathAvail, cfg, nil)
+	})
+	rec := &captureRecorder{}
+	withRec := testing.AllocsPerRun(200, func() {
+		rec.explanations = rec.explanations[:0]
+		_, _ = ChooseMigrationTargetExplained(g, "producer", assignment, nodes, pathAvail, cfg, rec)
+	})
+	if nilRec >= withRec {
+		t.Errorf("nil recorder allocates %.1f per op, recording %.1f: bookkeeping is not gated", nilRec, withRec)
+	}
+	if nilRec > 6 { // candidate slice growth + sort closure; no scoreboard rows
+		t.Errorf("nil-recorder migration choice allocates %.1f per op, want ≤ 6", nilRec)
+	}
+}

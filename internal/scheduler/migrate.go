@@ -208,6 +208,130 @@ func FindMigrationCandidates(g *dag.Graph, usages []DependencyUsage, cfg Migrati
 // between two nodes; co-located nodes report a very large value.
 type PathQuery func(fromNode, toNode string) float64
 
+// candidate is one node's evaluation during migration or failover target
+// choice.
+type candidate struct {
+	node     NodeInfo
+	depCount int
+	// local and remote split the satisfiable edge bandwidth (Mbps) into the
+	// part served by co-located edges (counted in full) and the part served
+	// over remote paths (capped at each path's available capacity); score is
+	// their sum.
+	local  float64
+	remote float64
+	score  float64
+	// feasible reports whether every remote dependency fits in the path's
+	// available capacity plus headroom.
+	feasible bool
+}
+
+// scoreCandidate evaluates placing the component (whose DAG edges are
+// neighbors) on nodeName: local edges count in full, remote edges up to the
+// path's available capacity, edges to pinned endpoints weigh double — no
+// later migration can relieve them, so satisfying them now matters more than
+// edges between movable pairs, which progressive relocation can fix.
+func scoreCandidate(
+	g *dag.Graph,
+	neighbors map[string]float64,
+	assignment Assignment,
+	nodeName string,
+	pathAvail PathQuery,
+	headroomMbps float64,
+) candidate {
+	c := candidate{feasible: true}
+	for dep, mbps := range neighbors {
+		depNode, placed := assignment[dep]
+		if !placed {
+			continue
+		}
+		weight := 1.0
+		if d, derr := g.Component(dep); derr == nil && d.Pinned() {
+			weight = 2
+		}
+		if depNode == nodeName {
+			c.depCount++
+			c.local += weight * mbps
+			continue
+		}
+		avail := mbps
+		if pathAvail != nil {
+			avail = pathAvail(nodeName, depNode)
+		}
+		if avail < mbps+headroomMbps {
+			c.feasible = false
+		}
+		if avail < mbps {
+			c.remote += weight * avail
+		} else {
+			c.remote += weight * mbps
+		}
+	}
+	c.score = c.local + c.remote
+	return c
+}
+
+// betterCandidate is the single tie-break comparator for migration and
+// failover target choice. Feasible nodes rank by dependency count (the
+// paper's rule) then satisfiable bandwidth; saturated fallbacks rank by
+// satisfiable bandwidth first, where a single light co-located dependency
+// must not outvote a heavy reachable one, then dependency count. Secondary:
+// more free CPU, then name for determinism.
+func betterCandidate(a, b candidate) bool {
+	if a.feasible != b.feasible {
+		return a.feasible
+	}
+	if a.feasible {
+		if a.depCount != b.depCount {
+			return a.depCount > b.depCount
+		}
+		if a.score != b.score {
+			return a.score > b.score
+		}
+	} else {
+		if a.score != b.score {
+			return a.score > b.score
+		}
+		if a.depCount != b.depCount {
+			return a.depCount > b.depCount
+		}
+	}
+	if a.node.FreeCPU != b.node.FreeCPU {
+		return a.node.FreeCPU > b.node.FreeCPU
+	}
+	return a.node.Name < b.node.Name
+}
+
+// explainScoreboard renders a sorted candidate slice plus the pre-filtered
+// rejects as CandidateScores: the winner keeps RejectNone, feasible losers
+// are outscored, infeasible ones lacked bandwidth — except a winning
+// infeasible fallback, and bestHysteresis marks the case where the best
+// fallback lost to the anti-thrash margin instead.
+func explainScoreboard(cands []candidate, chosen string, bestHysteresis bool, skipped []CandidateScore) []CandidateScore {
+	out := make([]CandidateScore, 0, len(cands)+len(skipped))
+	for i, c := range cands {
+		cs := CandidateScore{
+			Node:       c.node.Name,
+			Feasible:   c.feasible,
+			DepCount:   c.depCount,
+			Score:      c.score,
+			LocalMbps:  c.local,
+			RemoteMbps: c.remote,
+		}
+		switch {
+		case c.node.Name == chosen:
+			cs.Rejection = RejectNone
+		case i == 0 && bestHysteresis:
+			cs.Rejection = RejectHysteresis
+		case !c.feasible:
+			cs.Rejection = RejectInsufficientBandwidth
+		default:
+			cs.Rejection = RejectOutscored
+		}
+		out = append(out, cs)
+	}
+	return append(out, skipped...)
+}
+
 // ChooseMigrationTarget picks the node to move a component to (§3.2.2): among
 // nodes with sufficient CPU and memory, prefer the node hosting the most of
 // the component's DAG neighbors (minimising inter-node transfer), requiring
@@ -222,11 +346,27 @@ func ChooseMigrationTarget(
 	pathAvail PathQuery,
 	cfg MigrationConfig,
 ) (string, error) {
+	return ChooseMigrationTargetExplained(g, component, assignment, nodes, pathAvail, cfg, nil)
+}
+
+// ChooseMigrationTargetExplained is ChooseMigrationTarget recording the full
+// candidate scoreboard through rec. A nil rec skips all explanation
+// bookkeeping and behaves identically to ChooseMigrationTarget.
+func ChooseMigrationTargetExplained(
+	g *dag.Graph,
+	component string,
+	assignment Assignment,
+	nodes []NodeInfo,
+	pathAvail PathQuery,
+	cfg MigrationConfig,
+	rec Recorder,
+) (string, error) {
 	comp, err := g.Component(component)
 	if err != nil {
 		return "", err
 	}
 	if comp.Pinned() {
+		explain(rec, Explanation{Kind: ChoiceMigration, Component: component, Current: assignment[component]})
 		return "", fmt.Errorf("%w: %q is pinned to %q", ErrNoBetterNode, component, comp.PinnedTo())
 	}
 	current, ok := assignment[component]
@@ -235,105 +375,62 @@ func ChooseMigrationTarget(
 	}
 	neighbors := g.Neighbors(component)
 
-	type candidate struct {
-		node     NodeInfo
-		depCount int
-		// score is the bandwidth (Mbps) of this component's edges that the
-		// placement could satisfy: local edges count in full, remote edges up
-		// to the path's available capacity.
-		score float64
-		// feasible reports whether every remote dependency fits in the
-		// path's available capacity plus headroom.
-		feasible bool
-	}
-	evaluate := func(nodeName string) candidate {
-		c := candidate{feasible: true}
-		for dep, mbps := range neighbors {
-			depNode, placed := assignment[dep]
-			if !placed {
-				continue
-			}
-			// Edges to pinned endpoints weigh double: no later migration can
-			// relieve them, so satisfying them now matters more than edges
-			// between movable pairs, which progressive relocation can fix.
-			weight := 1.0
-			if d, derr := g.Component(dep); derr == nil && d.Pinned() {
-				weight = 2
-			}
-			if depNode == nodeName {
-				c.depCount++
-				c.score += weight * mbps
-				continue
-			}
-			avail := mbps
-			if pathAvail != nil {
-				avail = pathAvail(nodeName, depNode)
-			}
-			if avail < mbps+cfg.HeadroomMbps {
-				c.feasible = false
-			}
-			if avail < mbps {
-				c.score += weight * avail
-			} else {
-				c.score += weight * mbps
-			}
-		}
-		return c
-	}
 	var cands []candidate
+	var skipped []CandidateScore
 	for _, n := range nodes {
-		if n.Name == current || !fits(n, comp) {
+		if n.Name == current {
+			if rec != nil {
+				skipped = append(skipped, CandidateScore{Node: n.Name, Rejection: RejectCurrentNode})
+			}
 			continue
 		}
-		c := evaluate(n.Name)
+		if !fits(n, comp) {
+			if rec != nil {
+				skipped = append(skipped, CandidateScore{Node: n.Name, Rejection: RejectNoCapacity})
+			}
+			continue
+		}
+		c := scoreCandidate(g, neighbors, assignment, n.Name, pathAvail, cfg.HeadroomMbps)
 		c.node = n
 		cands = append(cands, c)
 	}
 	if len(cands) == 0 {
+		explain(rec, Explanation{Kind: ChoiceMigration, Component: component, Current: current, Candidates: skipped})
 		return "", fmt.Errorf("%w: %q stays on %q", ErrNoBetterNode, component, current)
 	}
-	sort.SliceStable(cands, func(i, j int) bool {
-		if cands[i].feasible != cands[j].feasible {
-			return cands[i].feasible
-		}
-		// Feasible nodes rank by dependency count (the paper's rule);
-		// saturated fallbacks rank by satisfiable bandwidth, where a single
-		// light co-located dependency must not outvote a heavy reachable one.
-		if cands[i].feasible {
-			if cands[i].depCount != cands[j].depCount {
-				return cands[i].depCount > cands[j].depCount
-			}
-			if cands[i].score != cands[j].score {
-				return cands[i].score > cands[j].score
-			}
-		} else {
-			if cands[i].score != cands[j].score {
-				return cands[i].score > cands[j].score
-			}
-			if cands[i].depCount != cands[j].depCount {
-				return cands[i].depCount > cands[j].depCount
-			}
-		}
-		// Secondary: more free CPU, then name.
-		if cands[i].node.FreeCPU != cands[j].node.FreeCPU {
-			return cands[i].node.FreeCPU > cands[j].node.FreeCPU
-		}
-		return cands[i].node.Name < cands[j].node.Name
-	})
+	sort.SliceStable(cands, func(i, j int) bool { return betterCandidate(cands[i], cands[j]) })
 	best := cands[0]
+	chosen := ""
+	hysteresis := false
 	if best.feasible {
-		return best.node.Name, nil
+		chosen = best.node.Name
+	} else {
+		// No node passes the bandwidth check — the network around the
+		// component is saturated (the very situation that triggered the
+		// migration). Fall back to the node that can satisfy the most of the
+		// component's bandwidth, with a hysteresis margin over the current
+		// placement so the component does not thrash. Accepting the best
+		// partially-feasible node shifts the bottleneck onto edges whose
+		// endpoints are movable, unlocking the progressive relocation the
+		// paper observes in Table 1.
+		currentScore := scoreCandidate(g, neighbors, assignment, current, pathAvail, cfg.HeadroomMbps).score
+		if best.score > currentScore*1.05 {
+			chosen = best.node.Name
+		} else {
+			hysteresis = true
+		}
 	}
-	// No node passes the bandwidth check — the network around the component
-	// is saturated (the very situation that triggered the migration). Fall
-	// back to the node that can satisfy the most of the component's
-	// bandwidth, with a hysteresis margin over the current placement so the
-	// component does not thrash. Accepting the best partially-feasible node
-	// shifts the bottleneck onto edges whose endpoints are movable,
-	// unlocking the progressive relocation the paper observes in Table 1.
-	currentScore := evaluate(current).score
-	if best.score > currentScore*1.05 {
-		return best.node.Name, nil
+	if rec != nil {
+		rec.RecordExplanation(Explanation{
+			Kind:       ChoiceMigration,
+			Component:  component,
+			Current:    current,
+			Chosen:     chosen,
+			Candidates: explainScoreboard(cands, chosen, hysteresis, skipped),
+		})
+	}
+	if chosen != "" {
+		return chosen, nil
 	}
 	return "", fmt.Errorf("%w: %q stays on %q", ErrNoBetterNode, component, current)
 }
@@ -357,6 +454,21 @@ func ChooseFailoverTarget(
 	pathAvail PathQuery,
 	cfg MigrationConfig,
 ) (string, error) {
+	return ChooseFailoverTargetExplained(g, component, assignment, nodes, pathAvail, cfg, nil)
+}
+
+// ChooseFailoverTargetExplained is ChooseFailoverTarget recording the full
+// candidate scoreboard through rec. A nil rec skips all explanation
+// bookkeeping and behaves identically to ChooseFailoverTarget.
+func ChooseFailoverTargetExplained(
+	g *dag.Graph,
+	component string,
+	assignment Assignment,
+	nodes []NodeInfo,
+	pathAvail PathQuery,
+	cfg MigrationConfig,
+	rec Recorder,
+) (string, error) {
 	comp, err := g.Component(component)
 	if err != nil {
 		return "", err
@@ -364,77 +476,64 @@ func ChooseFailoverTarget(
 	if comp.Pinned() {
 		// A pinned component can only ever run on its pinned node; if that
 		// node is not among the survivors, the component waits for it.
+		chosen := ""
 		for _, n := range nodes {
 			if n.Name == comp.PinnedTo() && fits(n, comp) {
-				return n.Name, nil
+				chosen = n.Name
+				break
 			}
+		}
+		if rec != nil {
+			ex := Explanation{Kind: ChoiceFailover, Component: component, Chosen: chosen}
+			for _, n := range nodes {
+				cs := CandidateScore{Node: n.Name, Rejection: RejectPinnedElsewhere}
+				if n.Name == comp.PinnedTo() {
+					cs.Feasible = fits(n, comp)
+					if cs.Feasible {
+						cs.Rejection = RejectNone
+					} else {
+						cs.Rejection = RejectNoCapacity
+					}
+				}
+				ex.Candidates = append(ex.Candidates, cs)
+			}
+			rec.RecordExplanation(ex)
+		}
+		if chosen != "" {
+			return chosen, nil
 		}
 		return "", fmt.Errorf("%w: %q pinned to %q", ErrNoFailoverNode, component, comp.PinnedTo())
 	}
 	neighbors := g.Neighbors(component)
 
-	type candidate struct {
-		node     NodeInfo
-		depCount int
-		score    float64
-		feasible bool
-	}
 	var cands []candidate
+	var skipped []CandidateScore
 	for _, n := range nodes {
 		if !fits(n, comp) {
+			if rec != nil {
+				skipped = append(skipped, CandidateScore{Node: n.Name, Rejection: RejectNoCapacity})
+			}
 			continue
 		}
-		c := candidate{node: n, feasible: true}
-		for dep, mbps := range neighbors {
-			depNode, placed := assignment[dep]
-			if !placed {
-				continue
-			}
-			weight := 1.0
-			if d, derr := g.Component(dep); derr == nil && d.Pinned() {
-				weight = 2
-			}
-			if depNode == n.Name {
-				c.depCount++
-				c.score += weight * mbps
-				continue
-			}
-			avail := mbps
-			if pathAvail != nil {
-				avail = pathAvail(n.Name, depNode)
-			}
-			if avail < mbps+cfg.HeadroomMbps {
-				c.feasible = false
-			}
-			if avail < mbps {
-				c.score += weight * avail
-			} else {
-				c.score += weight * mbps
-			}
-		}
+		c := scoreCandidate(g, neighbors, assignment, n.Name, pathAvail, cfg.HeadroomMbps)
+		c.node = n
 		cands = append(cands, c)
 	}
 	if len(cands) == 0 {
+		explain(rec, Explanation{Kind: ChoiceFailover, Component: component, Candidates: skipped})
 		return "", fmt.Errorf("%w: %q", ErrNoFailoverNode, component)
 	}
-	sort.SliceStable(cands, func(i, j int) bool {
-		if cands[i].feasible != cands[j].feasible {
-			return cands[i].feasible
-		}
-		if cands[i].feasible {
-			if cands[i].depCount != cands[j].depCount {
-				return cands[i].depCount > cands[j].depCount
-			}
-			if cands[i].score != cands[j].score {
-				return cands[i].score > cands[j].score
-			}
-		} else if cands[i].score != cands[j].score {
-			return cands[i].score > cands[j].score
-		}
-		if cands[i].node.FreeCPU != cands[j].node.FreeCPU {
-			return cands[i].node.FreeCPU > cands[j].node.FreeCPU
-		}
-		return cands[i].node.Name < cands[j].node.Name
-	})
-	return cands[0].node.Name, nil
+	sort.SliceStable(cands, func(i, j int) bool { return betterCandidate(cands[i], cands[j]) })
+	// The component is down: ANY node that fits beats leaving it dead, so
+	// even an infeasible best candidate wins outright — no hysteresis.
+	chosen := cands[0].node.Name
+	if rec != nil {
+		rec.RecordExplanation(Explanation{
+			Kind:       ChoiceFailover,
+			Component:  component,
+			Chosen:     chosen,
+			Candidates: explainScoreboard(cands, chosen, false, skipped),
+		})
+	}
+	return chosen, nil
 }

@@ -38,38 +38,60 @@ func (a Assignment) Clone() Assignment {
 	return out
 }
 
-// RankNodes orders nodes for packing: each of free CPU, free memory, and
-// combined link capacity is normalised by the maximum across nodes and
-// summed; higher scores first, ties by name for determinism.
-func RankNodes(nodes []NodeInfo) []NodeInfo {
+// NodeRank is one node's ranking breakdown: the three normalised score terms
+// and their sum, in RankNodes order.
+type NodeRank struct {
+	Node NodeInfo
+	// CPU, Mem, and Link are the node's free CPU, free memory, and combined
+	// link capacity, each normalised by the maximum across nodes.
+	CPU, Mem, Link float64
+	Score          float64
+}
+
+// ScoreNodes computes each node's ranking terms — free CPU, free memory, and
+// combined link capacity, each normalised by the maximum across nodes and
+// summed — and returns them sorted: higher scores first, ties by name for
+// determinism. RankNodes is this without the breakdown.
+func ScoreNodes(nodes []NodeInfo) []NodeRank {
 	var maxCPU, maxMem, maxLink float64
 	for _, n := range nodes {
 		maxCPU = maxf(maxCPU, n.FreeCPU)
 		maxMem = maxf(maxMem, n.FreeMemoryMB)
 		maxLink = maxf(maxLink, n.LinkCapacityMbps)
 	}
-	score := func(n NodeInfo) float64 {
-		var s float64
+	out := make([]NodeRank, len(nodes))
+	for i, n := range nodes {
+		r := NodeRank{Node: n}
 		if maxCPU > 0 {
-			s += n.FreeCPU / maxCPU
+			r.CPU = n.FreeCPU / maxCPU
 		}
 		if maxMem > 0 {
-			s += n.FreeMemoryMB / maxMem
+			r.Mem = n.FreeMemoryMB / maxMem
 		}
 		if maxLink > 0 {
-			s += n.LinkCapacityMbps / maxLink
+			r.Link = n.LinkCapacityMbps / maxLink
 		}
-		return s
+		r.Score = r.CPU + r.Mem + r.Link
+		out[i] = r
 	}
-	out := make([]NodeInfo, len(nodes))
-	copy(out, nodes)
 	sort.SliceStable(out, func(i, j int) bool {
-		si, sj := score(out[i]), score(out[j])
-		if si != sj {
-			return si > sj
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
 		}
-		return out[i].Name < out[j].Name
+		return out[i].Node.Name < out[j].Node.Name
 	})
+	return out
+}
+
+// RankNodes orders nodes for packing: each of free CPU, free memory, and
+// combined link capacity is normalised by the maximum across nodes and
+// summed; higher scores first, ties by name for determinism.
+func RankNodes(nodes []NodeInfo) []NodeInfo {
+	ranks := ScoreNodes(nodes)
+	out := make([]NodeInfo, len(ranks))
+	for i, r := range ranks {
+		out[i] = r.Node
+	}
 	return out
 }
 
@@ -126,6 +148,14 @@ func (b *Bass) Heuristic() Heuristic { return b.heuristic }
 // at the best-ranked node with remaining capacity, keeping whole chains
 // together when possible.
 func (b *Bass) Schedule(g *dag.Graph, nodes []NodeInfo) (Assignment, error) {
+	return b.ScheduleExplained(g, nodes, nil)
+}
+
+// ScheduleExplained is Schedule recording one Explanation per component —
+// the ranked node scoreboard at the instant it was placed — through rec. A
+// nil rec skips all explanation bookkeeping and behaves identically to
+// Schedule.
+func (b *Bass) ScheduleExplained(g *dag.Graph, nodes []NodeInfo, rec Recorder) (Assignment, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -170,6 +200,15 @@ func (b *Bass) Schedule(g *dag.Graph, nodes []NodeInfo) (Assignment, error) {
 	if err != nil {
 		return nil, err
 	}
+	if rec != nil {
+		// Pinned placements are decisions too, if foregone ones: one
+		// explanation each, in spec order, before the packing narrative.
+		for _, name := range g.Components() {
+			if pin, pinned := assignment[name]; pinned {
+				rec.RecordExplanation(Explanation{Kind: ChoiceSchedule, Component: name, Chosen: pin})
+			}
+		}
+	}
 	nodeIdx := func(nodeName string) int {
 		for i := range free {
 			if free[i].Name == nodeName {
@@ -211,12 +250,36 @@ func (b *Bass) Schedule(g *dag.Graph, nodes []NodeInfo) (Assignment, error) {
 				return nil, fmt.Errorf("%w: component %q (cpu=%.2f mem=%.0fMB)",
 					ErrInfeasible, name, comp.CPU, comp.MemoryMB)
 			}
+			if rec != nil {
+				rec.RecordExplanation(explainPlacement(comp, name, free, free[cursor].Name))
+			}
 			free[cursor].FreeCPU -= comp.CPU
 			free[cursor].FreeMemoryMB -= comp.MemoryMB
 			assignment[name] = free[cursor].Name
 		}
 	}
 	return assignment, nil
+}
+
+// explainPlacement snapshots the scoreboard for one packing decision: every
+// node in the current free view with its rank score, feasibility against the
+// component, and why it lost (capacity, or outranked by the cursor's pick).
+func explainPlacement(comp *dag.Component, component string, free []NodeInfo, chosen string) Explanation {
+	ex := Explanation{Kind: ChoiceSchedule, Component: component, Chosen: chosen}
+	ex.Candidates = make([]CandidateScore, 0, len(free))
+	for _, r := range ScoreNodes(free) {
+		cs := CandidateScore{Node: r.Node.Name, Score: r.Score, Feasible: fits(r.Node, comp)}
+		switch {
+		case r.Node.Name == chosen:
+			cs.Rejection = RejectNone
+		case !cs.Feasible:
+			cs.Rejection = RejectNoCapacity
+		default:
+			cs.Rejection = RejectOutscored
+		}
+		ex.Candidates = append(ex.Candidates, cs)
+	}
+	return ex
 }
 
 func fits(n NodeInfo, c *dag.Component) bool {
@@ -287,7 +350,14 @@ func NewK3s() *K3s { return &K3s{} }
 func (*K3s) Name() string { return "k3s-default" }
 
 // Schedule assigns every component of g to a node, one component at a time.
-func (*K3s) Schedule(g *dag.Graph, nodes []NodeInfo) (Assignment, error) {
+func (k *K3s) Schedule(g *dag.Graph, nodes []NodeInfo) (Assignment, error) {
+	return k.ScheduleExplained(g, nodes, nil)
+}
+
+// ScheduleExplained is Schedule recording one Explanation per component —
+// every node's k3s score at placement time — through rec. A nil rec skips
+// all explanation bookkeeping and behaves identically to Schedule.
+func (*K3s) ScheduleExplained(g *dag.Graph, nodes []NodeInfo, rec Recorder) (Assignment, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -297,6 +367,13 @@ func (*K3s) Schedule(g *dag.Graph, nodes []NodeInfo) (Assignment, error) {
 	assignment, err := placePinned(g, free)
 	if err != nil {
 		return nil, err
+	}
+	if rec != nil {
+		for _, name := range g.Components() {
+			if pin, pinned := assignment[name]; pinned {
+				rec.RecordExplanation(Explanation{Kind: ChoiceSchedule, Component: name, Chosen: pin})
+			}
+		}
 	}
 	for _, name := range g.Components() {
 		if _, pinned := assignment[name]; pinned {
@@ -318,8 +395,32 @@ func (*K3s) Schedule(g *dag.Graph, nodes []NodeInfo) (Assignment, error) {
 			}
 		}
 		if best < 0 {
+			if rec != nil {
+				ex := Explanation{Kind: ChoiceSchedule, Component: name}
+				for _, n := range free {
+					ex.Candidates = append(ex.Candidates, CandidateScore{Node: n.Name, Rejection: RejectNoCapacity})
+				}
+				rec.RecordExplanation(ex)
+			}
 			return nil, fmt.Errorf("%w: component %q (cpu=%.2f mem=%.0fMB)",
 				ErrInfeasible, name, comp.CPU, comp.MemoryMB)
+		}
+		if rec != nil {
+			ex := Explanation{Kind: ChoiceSchedule, Component: name, Chosen: free[best].Name}
+			for _, n := range free {
+				cs := CandidateScore{Node: n.Name, Feasible: fits(n, comp)}
+				switch {
+				case !cs.Feasible:
+					cs.Rejection = RejectNoCapacity
+				case n.Name == free[best].Name:
+					cs.Score = k3sScore(n, comp)
+				default:
+					cs.Score = k3sScore(n, comp)
+					cs.Rejection = RejectOutscored
+				}
+				ex.Candidates = append(ex.Candidates, cs)
+			}
+			rec.RecordExplanation(ex)
 		}
 		free[best].FreeCPU -= comp.CPU
 		free[best].FreeMemoryMB -= comp.MemoryMB
@@ -363,6 +464,8 @@ type Policy interface {
 
 // Compile-time interface checks.
 var (
-	_ Policy = (*Bass)(nil)
-	_ Policy = (*K3s)(nil)
+	_ Policy           = (*Bass)(nil)
+	_ Policy           = (*K3s)(nil)
+	_ ExplainingPolicy = (*Bass)(nil)
+	_ ExplainingPolicy = (*K3s)(nil)
 )

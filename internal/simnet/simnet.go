@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"bass/internal/mesh"
+	"bass/internal/obs"
 	"bass/internal/sim"
 )
 
@@ -125,6 +126,11 @@ type flow struct {
 	// crash or partition): it holds no links, carries nothing, and resumes
 	// when a route reappears.
 	parked bool
+
+	// cause is the journal span under which the flow was created (the deploy,
+	// migration, or failover that started it); network lifecycle events fall
+	// back to it when no fault is being applied.
+	cause uint64
 
 	// gone marks a removed flow still occupying a flowOrder slot; every
 	// iteration skips it and removeFlow compacts the slice once tombstones
@@ -237,6 +243,13 @@ type Network struct {
 	failedTransfers int                  // transfers aborted by faults
 	parkedResumes   int                  // parked streams that found a route again
 
+	// Observability. plane journals flow lifecycle events (parked, resumed,
+	// failed transfers); nil costs nothing. causeSpan is the ambient cause the
+	// orchestrator sets around fault application and workload starts, stamped
+	// onto flows created and events emitted while it is in force.
+	plane     *obs.Plane
+	causeSpan uint64
+
 	// Incremental-allocation state.
 	flowsDirty bool // flow set or a demand changed since the last full pass
 	dirtyCount int  // links with dirty capacity since the last full pass
@@ -337,6 +350,27 @@ func (n *Network) Start() (stop func()) {
 			n.hasArmed = false
 		}
 	}
+}
+
+// SetObserver attaches an observability plane. The network journals flow
+// lifecycle transitions (parked, resumed, failed transfers) caused by faults;
+// a nil plane (the default) keeps every path allocation-free.
+func (n *Network) SetObserver(p *obs.Plane) { n.plane = p }
+
+// SetCause sets the ambient cause span stamped onto flows created and
+// lifecycle events emitted until the next SetCause. The orchestrator brackets
+// fault application and workload starts with it so network-level effects cite
+// the decision or fault that produced them. SetCause(0) clears it.
+func (n *Network) SetCause(span uint64) { n.causeSpan = span }
+
+// eventCause resolves the cause for a lifecycle event about f: the ambient
+// cause (the fault being applied) when set, else the span that created the
+// flow.
+func (n *Network) eventCause(f *flow) uint64 {
+	if n.causeSpan != 0 {
+		return n.causeSpan
+	}
+	return f.cause
 }
 
 // SetMaxQueueSeconds overrides the per-link buffer budget.
@@ -672,6 +706,8 @@ func (n *Network) rerouteFlows() {
 		}
 		if f.parked {
 			n.parkedResumes++
+			n.plane.EmitSpan(obs.Event{Type: obs.EventFlowResumed, Flow: f.tag,
+				Cause: n.eventCause(f), Reason: "route restored"})
 		}
 		n.setFlowPath(f, hops)
 	}
@@ -680,6 +716,10 @@ func (n *Network) rerouteFlows() {
 // parkFlow strands a flow whose endpoints are unreachable: it releases its
 // links and carries nothing until rerouteFlows finds it a path again.
 func (n *Network) parkFlow(f *flow) {
+	if !f.parked {
+		n.plane.EmitSpan(obs.Event{Type: obs.EventFlowParked, Flow: f.tag,
+			Cause: n.eventCause(f), Reason: "no route between endpoints"})
+	}
 	for _, ls := range f.linkPath {
 		ls.flowCount--
 	}
@@ -720,6 +760,8 @@ func (n *Network) failTransfer(f *flow) {
 	}
 	n.removeFlow(f)
 	n.failedTransfers++
+	n.plane.EmitSpan(obs.Event{Type: obs.EventTransferFailed, Flow: f.tag,
+		Cause: n.eventCause(f), Reason: "endpoints unreachable"})
 	if f.onComplete != nil {
 		f.onComplete(TransferResult{
 			ID:       f.id,
@@ -774,6 +816,7 @@ func (n *Network) AddStream(tag, src, dst string, demandMbps float64) (FlowID, e
 		path:      path,
 		demandBps: demandMbps * 1e6,
 		started:   n.eng.Now(),
+		cause:     n.causeSpan,
 	}
 	n.addFlow(f)
 	n.reallocate()
@@ -859,6 +902,7 @@ func (n *Network) AddTransfer(tag, src, dst string, bytes float64, capMbps float
 		totalBits:     bytes * 8,
 		started:       n.eng.Now(),
 		onComplete:    onComplete,
+		cause:         n.causeSpan,
 	}
 	n.addFlow(f)
 	n.reallocate()

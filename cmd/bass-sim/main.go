@@ -23,6 +23,7 @@
 //	  "scheduler": "bfs" | "longest-path" | "k3s",
 //	  "horizonSec": 600, "seed": 42,
 //	  "migration": true, "monitorIntervalSec": 30,
+//	  "shards": 4,
 //	  "rps": 50, "clientNode": "node1",
 //	  "participantsPerNode": 3, "publishMbps": 0.5,
 //	  "faults": [{"atSec": 120, "type": "node-crash", "node": "node2"}],
@@ -79,6 +80,11 @@ type scenario struct {
 	// polling driver; output is bit-identical to the default event-driven
 	// driver (the equivalence the trace-smoke CI job asserts).
 	PollingNet bool `json:"pollingNet,omitempty"`
+	// Shards partitions the mesh into this many regions and runs the
+	// simulated network shard-parallel; 0/1 = single-shard. Output — report,
+	// journal, trace export — is byte-identical at every shard count (the
+	// equivalence the sharded seed-sweep CI test asserts).
+	Shards int `json:"shards,omitempty"`
 
 	// Social network.
 	RPS        float64 `json:"rps,omitempty"`
@@ -184,6 +190,7 @@ func run(args []string, stdout io.Writer) error {
 	metricsOut := fs.String("metrics-out", "", "write the collected metric series as JSON to this path (\".NNN\" run index inserted when running multiple scenarios)")
 	traceOut := fs.String("trace-out", "", "write the decision journal as Chrome trace-event JSON (Perfetto-loadable) to this path (\".NNN\" run index inserted when running multiple scenarios)")
 	polling := fs.Bool("polling", false, "force the legacy polling network driver for every scenario (output stays bit-identical to event-driven)")
+	shards := fs.Int("shards", 0, "force this mesh shard count for every scenario (0 = scenario value; output stays byte-identical at any count)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -219,6 +226,9 @@ func run(args []string, stdout io.Writer) error {
 			replica.Seed = sc.Seed + int64(s)
 			if *polling {
 				replica.PollingNet = true
+			}
+			if *shards > 0 {
+				replica.Shards = *shards
 			}
 			specs = append(specs, runSpec{
 				label: fmt.Sprintf("%s seed=%d", p, replica.Seed),
@@ -311,6 +321,7 @@ func executeObserved(sc scenario, out io.Writer, eventsPath, metricsPath, traceP
 		EnableMigration: sc.Migration,
 		ReservedCPU:     1,
 		PollingNet:      sc.PollingNet,
+		Shards:          sc.Shards,
 	}
 	if sc.MonitorIntervalSec > 0 {
 		cfg.MonitorInterval = time.Duration(sc.MonitorIntervalSec) * time.Second

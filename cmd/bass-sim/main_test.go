@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -464,6 +466,69 @@ func TestJournalCauseChainsResolveToProbes(t *testing.T) {
 				t.Fatalf("scenario produced no %s events; journal has %d events", want, len(events))
 			}
 		})
+	}
+}
+
+// TestShardedSeedSweepByteIdentical sweeps ten seeds of a faulted, chaotic
+// scenario through the CLI under the single-shard and 4-way-sharded network
+// drivers and demands byte-identical journal JSONL and Chrome trace exports
+// for every seed — the sharding invariant, end to end through the binary,
+// across a seed population (the check the trace-smoke CI job runs).
+func TestShardedSeedSweepByteIdentical(t *testing.T) {
+	sc := scenario{
+		Topology:           "lan",
+		LANNodes:           4,
+		App:                "camera",
+		Scheduler:          "bfs",
+		HorizonSec:         120,
+		Seed:               9,
+		Migration:          true,
+		MonitorIntervalSec: 30,
+		Faults: []faults.Event{
+			{AtSec: 30, Type: faults.NodeCrash, Node: "node2"},
+			{AtSec: 90, Type: faults.NodeRecover, Node: "node2"},
+		},
+		Chaos: &chaosConfig{LinkFlapsPerHour: 30, MeanLinkDowntimeSec: 15},
+	}
+	path := writeScenario(t, sc)
+	const seeds = 10
+
+	sweep := func(shards int) string {
+		t.Helper()
+		dir := t.TempDir()
+		args := []string{
+			"-seeds", fmt.Sprint(seeds),
+			"-shards", fmt.Sprint(shards),
+			"-events-out", filepath.Join(dir, "events.jsonl"),
+			"-trace-out", filepath.Join(dir, "trace.json"),
+			path,
+		}
+		if err := run(args, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	one := sweep(1)
+	four := sweep(4)
+	for i := 0; i < seeds; i++ {
+		for _, base := range []string{"events.jsonl", "trace.json"} {
+			name := derivePath(base, i, seeds)
+			a, err := os.ReadFile(filepath.Join(one, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := os.ReadFile(filepath.Join(four, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) == 0 {
+				t.Fatalf("seed %d: 1-shard %s is empty", sc.Seed+int64(i), base)
+			}
+			if !bytes.Equal(a, b) {
+				t.Errorf("seed %d: %s differs between 1-shard and 4-shard runs",
+					sc.Seed+int64(i), base)
+			}
+		}
 	}
 }
 

@@ -3,31 +3,46 @@
 //
 // Usage:
 //
-//	benchtab [-seed N] [-quick] [-workers N] [-replicas N]
+//	benchtab [-seed N] [-quick] [-workers N] [-replicas N] [-shards N]
 //	         [-cpuprofile FILE] [-memprofile FILE] <experiment>...
 //	benchtab all
+//	benchtab -scale-out BENCH_scale.json [-scale-nodes N] [-scale-flows N]
+//	         [-scale-horizon D] [-scale-shards 1,4,8]
 //
 // Experiments: fig2 fig4 fig5 fig6 fig8 fig10 fig11 fig12 fig13 table1
-// table2 fig14a fig14b fig14cd fig15a fig15b fig16 table3 table4, plus
+// table2 fig14a fig14b fig14cd fig15a fig15b fig16 table3 table4 scale, plus
 // design-choice ablations: ablate-pack ablate-cooldown ablate-probe
 //
 // Experiments run as jobs on a bounded worker pool (-workers, default
 // GOMAXPROCS); -replicas R fans each experiment out over seeds
 // seed..seed+R-1. Output order — and, modulo timing lines, output bytes —
 // is identical whatever the worker count.
+//
+// -shards partitions each experiment's mesh into N regions and runs the
+// simulated network shard-parallel; output is byte-identical to -shards 1 at
+// equal seeds. N must be at least 1 and no larger than the experiment
+// topology's node count (the region ceiling).
+//
+// -scale-out runs the city-scale benchmark across the -scale-shards counts
+// and writes a BENCH_scale.json report — the artifact CI's scale-smoke job
+// regression-gates with cmd/scalegate.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"bass/internal/experiments"
+	"bass/internal/mesh"
 )
 
 func main() {
@@ -43,10 +58,19 @@ func run(args []string, stdout io.Writer) error {
 	quick := fs.Bool("quick", false, "shorter horizons and smaller sweeps")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel experiment jobs (1 = sequential)")
 	replicas := fs.Int("replicas", 1, "per-seed replicas of each experiment (seed, seed+1, ...)")
+	shards := fs.Int("shards", 1, "mesh regions per experiment run (1 = single-shard; byte-identical output at any count)")
+	scaleOut := fs.String("scale-out", "", "run the scale benchmark sweep and write a BENCH_scale.json report to this file")
+	scaleNodes := fs.Int("scale-nodes", 200, "scale sweep: grid node target")
+	scaleFlows := fs.Int("scale-flows", 5000, "scale sweep: concurrent streams")
+	scaleHorizon := fs.Duration("scale-horizon", time.Minute, "scale sweep: simulated horizon")
+	scaleShards := fs.String("scale-shards", "1,4,8", "scale sweep: comma-separated shard counts to measure")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d (usage: -shards N, 1 <= N <= the experiment topology's node count)", *shards)
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -72,6 +96,9 @@ func run(args []string, stdout io.Writer) error {
 			f.Close()
 		}()
 	}
+	if *scaleOut != "" {
+		return runScaleSweep(stdout, *scaleOut, *scaleNodes, *scaleFlows, *scaleHorizon, *scaleShards, *seed)
+	}
 	names := fs.Args()
 	if len(names) == 0 {
 		return fmt.Errorf("no experiments given; try: benchtab all")
@@ -92,7 +119,7 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("replicas must be >= 1, got %d", *replicas)
 	}
 
-	runs := experiments.Replicate(names, *seed, *replicas, *quick)
+	runs := experiments.Replicate(names, *seed, *replicas, *quick, *shards)
 	var firstErr error
 	experiments.ExecuteStream(runs, *workers, func(res experiments.Result) {
 		label := res.Run.Job
@@ -111,7 +138,69 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "(%s completed in %v)\n\n", label, res.Elapsed.Round(time.Millisecond))
 	})
+	if errors.Is(firstErr, mesh.ErrPartitionRange) {
+		return fmt.Errorf("%w (usage: -shards N, 1 <= N <= the experiment topology's node count)", firstErr)
+	}
 	return firstErr
+}
+
+// runScaleSweep measures the scale workload at each requested shard count and
+// writes the BENCH_scale.json report CI's scale-smoke job gates on.
+func runScaleSweep(stdout io.Writer, outPath string, nodes, flows int, horizon time.Duration, shardList string, seed int64) error {
+	counts, err := parseShardList(shardList)
+	if err != nil {
+		return err
+	}
+	report := experiments.ScaleReport{
+		Schema:     experiments.ScaleReportSchema,
+		Nodes:      nodes,
+		Flows:      flows,
+		HorizonSec: horizon.Seconds(),
+		Seed:       seed,
+	}
+	for _, k := range counts {
+		res, err := experiments.RunScale(experiments.ScaleOptions{
+			Nodes: nodes, Flows: flows, Shards: k, Horizon: horizon, Seed: seed,
+		})
+		if err != nil {
+			if errors.Is(err, mesh.ErrPartitionRange) {
+				return fmt.Errorf("%w (usage: -scale-shards counts must not exceed the grid's node count)", err)
+			}
+			return fmt.Errorf("scale sweep, %d shard(s): %w", k, err)
+		}
+		report.Nodes = res.Nodes // grid rounding may bump the node target
+		report.Entries = append(report.Entries, res.Entry())
+		fmt.Fprintln(stdout, res.Table().String())
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("scale report: %w", err)
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d entries)\n", outPath, len(report.Entries))
+	return nil
+}
+
+// parseShardList parses "-scale-shards 1,4,8" into validated counts.
+func parseShardList(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := strconv.Atoi(part)
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("-scale-shards: bad count %q (want comma-separated integers >= 1)", part)
+		}
+		counts = append(counts, k)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("-scale-shards: no counts given")
+	}
+	return counts, nil
 }
 
 // runOne executes a single named experiment — the registry-backed

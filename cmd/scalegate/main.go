@@ -1,0 +1,115 @@
+// Command scalegate compares a freshly measured BENCH_scale.json against the
+// checked-in baseline and exits non-zero on a throughput regression — the CI
+// gate behind the scale-smoke job.
+//
+// Usage:
+//
+//	scalegate -current BENCH_scale.json -baseline ci/BENCH_scale.baseline.json \
+//	          [-max-regress 0.20] [-min-realtime 1.0]
+//
+// Entries are matched by shard count. For each baseline entry the current
+// run's events/sec must be at least (1 - max-regress) of the baseline's;
+// -min-realtime additionally demands every current entry simulate faster than
+// real time by that factor. Baselines are refreshed by regenerating the JSON
+// on a quiet machine and committing it (see README "Scale trajectory").
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bass/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scalegate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("scalegate", flag.ContinueOnError)
+	curPath := fs.String("current", "BENCH_scale.json", "freshly measured scale report")
+	basePath := fs.String("baseline", "ci/BENCH_scale.baseline.json", "checked-in baseline report")
+	maxRegress := fs.Float64("max-regress", 0.20, "maximum allowed fractional events/sec drop vs baseline")
+	minRealtime := fs.Float64("min-realtime", 0, "minimum real-time factor every current entry must reach (0 = no floor)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *maxRegress < 0 || *maxRegress >= 1 {
+		return fmt.Errorf("-max-regress must be in [0, 1), got %g", *maxRegress)
+	}
+	cur, err := readReport(*curPath)
+	if err != nil {
+		return err
+	}
+	base, err := readReport(*basePath)
+	if err != nil {
+		return err
+	}
+	if cur.Nodes != base.Nodes || cur.Flows != base.Flows {
+		return fmt.Errorf("workload mismatch: current %d nodes/%d flows vs baseline %d/%d — refresh the baseline",
+			cur.Nodes, cur.Flows, base.Nodes, base.Flows)
+	}
+
+	curBy := map[int]experiments.ScaleEntry{}
+	for _, e := range cur.Entries {
+		curBy[e.Shards] = e
+	}
+	var failures []string
+	for _, b := range base.Entries {
+		c, ok := curBy[b.Shards]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%d shard(s): missing from current report", b.Shards))
+			continue
+		}
+		floor := b.EventsPerSec * (1 - *maxRegress)
+		status := "ok"
+		if c.EventsPerSec < floor {
+			status = "REGRESSION"
+			failures = append(failures, fmt.Sprintf(
+				"%d shard(s): %.0f events/sec < floor %.0f (baseline %.0f, max regress %.0f%%)",
+				b.Shards, c.EventsPerSec, floor, b.EventsPerSec, *maxRegress*100))
+		}
+		fmt.Fprintf(stdout, "%d shard(s): %.0f events/sec (baseline %.0f, floor %.0f) realtime %.1fx — %s\n",
+			b.Shards, c.EventsPerSec, b.EventsPerSec, floor, c.RealTimeFactor, status)
+	}
+	if *minRealtime > 0 {
+		for _, e := range cur.Entries {
+			if e.RealTimeFactor < *minRealtime {
+				failures = append(failures, fmt.Sprintf(
+					"%d shard(s): real-time factor %.2f below floor %.2f", e.Shards, e.RealTimeFactor, *minRealtime))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(stdout, "FAIL:", f)
+		}
+		return fmt.Errorf("%d scale regression(s) vs %s", len(failures), *basePath)
+	}
+	fmt.Fprintln(stdout, "scale gate passed")
+	return nil
+}
+
+func readReport(path string) (experiments.ScaleReport, error) {
+	var r experiments.ScaleReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != experiments.ScaleReportSchema {
+		return r, fmt.Errorf("%s: schema %q, want %q — regenerate with benchtab -scale-out", path, r.Schema, experiments.ScaleReportSchema)
+	}
+	if len(r.Entries) == 0 {
+		return r, fmt.Errorf("%s: no entries", path)
+	}
+	return r, nil
+}

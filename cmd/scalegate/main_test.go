@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bass/internal/experiments"
+)
+
+func writeReport(t *testing.T, dir, name string, r experiments.ScaleReport) string {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func report(entries ...experiments.ScaleEntry) experiments.ScaleReport {
+	return experiments.ScaleReport{
+		Schema: experiments.ScaleReportSchema,
+		Nodes:  200, Flows: 5000, HorizonSec: 60, Seed: 42,
+		Entries: entries,
+	}
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", report(
+		experiments.ScaleEntry{Shards: 1, EventsPerSec: 1000, RealTimeFactor: 5},
+		experiments.ScaleEntry{Shards: 4, EventsPerSec: 3000, RealTimeFactor: 15},
+	))
+	// 15% slower than baseline: inside the 20% tolerance.
+	cur := writeReport(t, dir, "cur.json", report(
+		experiments.ScaleEntry{Shards: 1, EventsPerSec: 850, RealTimeFactor: 4},
+		experiments.ScaleEntry{Shards: 4, EventsPerSec: 2550, RealTimeFactor: 12},
+	))
+	var out strings.Builder
+	if err := run([]string{"-current", cur, "-baseline", base}, &out); err != nil {
+		t.Fatalf("within tolerance, want pass: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "scale gate passed") {
+		t.Errorf("missing pass line:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", report(
+		experiments.ScaleEntry{Shards: 1, EventsPerSec: 1000, RealTimeFactor: 5},
+		experiments.ScaleEntry{Shards: 4, EventsPerSec: 3000, RealTimeFactor: 15},
+	))
+	// 4-shard run fell 40%: outside tolerance.
+	cur := writeReport(t, dir, "cur.json", report(
+		experiments.ScaleEntry{Shards: 1, EventsPerSec: 990, RealTimeFactor: 5},
+		experiments.ScaleEntry{Shards: 4, EventsPerSec: 1800, RealTimeFactor: 9},
+	))
+	var out strings.Builder
+	err := run([]string{"-current", cur, "-baseline", base}, &out)
+	if err == nil {
+		t.Fatalf("40%% regression, want failure:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("missing REGRESSION marker:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnMissingEntryAndRealtimeFloor(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", report(
+		experiments.ScaleEntry{Shards: 1, EventsPerSec: 1000, RealTimeFactor: 5},
+		experiments.ScaleEntry{Shards: 8, EventsPerSec: 4000, RealTimeFactor: 20},
+	))
+	cur := writeReport(t, dir, "cur.json", report(
+		experiments.ScaleEntry{Shards: 1, EventsPerSec: 1000, RealTimeFactor: 0.5},
+	))
+	if err := run([]string{"-current", cur, "-baseline", base}, io.Discard); err == nil {
+		t.Error("missing 8-shard entry: want failure")
+	}
+	// Realtime floor alone trips even when throughput is fine.
+	base2 := writeReport(t, dir, "base2.json", report(
+		experiments.ScaleEntry{Shards: 1, EventsPerSec: 1000, RealTimeFactor: 5},
+	))
+	if err := run([]string{"-current", cur, "-baseline", base2, "-min-realtime", "1"}, io.Discard); err == nil {
+		t.Error("real-time factor 0.5 under floor 1: want failure")
+	}
+	if err := run([]string{"-current", cur, "-baseline", base2}, io.Discard); err != nil {
+		t.Errorf("no floor requested, throughput equal: want pass, got %v", err)
+	}
+}
+
+func TestGateRejectsMalformedInput(t *testing.T) {
+	dir := t.TempDir()
+	good := writeReport(t, dir, "good.json", report(
+		experiments.ScaleEntry{Shards: 1, EventsPerSec: 1000},
+	))
+	if err := run([]string{"-current", filepath.Join(dir, "absent.json"), "-baseline", good}, io.Discard); err == nil {
+		t.Error("missing current file: want error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v9","entries":[{"shards":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-current", bad, "-baseline", good}, io.Discard); err == nil {
+		t.Error("wrong schema: want error")
+	}
+	mismatched := writeReport(t, dir, "mismatch.json", experiments.ScaleReport{
+		Schema: experiments.ScaleReportSchema, Nodes: 64, Flows: 100, HorizonSec: 60,
+		Entries: []experiments.ScaleEntry{{Shards: 1, EventsPerSec: 1}},
+	})
+	if err := run([]string{"-current", mismatched, "-baseline", good}, io.Discard); err == nil {
+		t.Error("workload mismatch: want error")
+	}
+	if err := run([]string{"-current", good, "-baseline", good, "-max-regress", "1.5"}, io.Discard); err == nil {
+		t.Error("max-regress out of range: want error")
+	}
+}

@@ -116,6 +116,14 @@ type Config struct {
 	// the simnet and experiments differential tests assert); polling exists
 	// as an escape hatch and as the reference side of those tests.
 	PollingNet bool
+	// Shards partitions the mesh into this many regions (keyed by the
+	// simulation seed) and runs the network's per-link and per-flow allocator
+	// phases shard-parallel behind a bounded worker pool. 0 or 1 means
+	// single-shard. The sharded driver is byte-identical to the single-shard
+	// one at equal seeds — the sharded differential tests pin this — so the
+	// setting trades wall-clock for nothing but worker overhead at small
+	// scales. NewSimulation fails when Shards exceeds the node count.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {

@@ -49,12 +49,12 @@ type ChaosResult struct {
 // with bounded-retry backoff are armed; the result reports MTTR,
 // availability, and requests lost. Equal seeds yield identical results.
 func RunChaos(seed int64, horizon time.Duration) (ChaosResult, error) {
-	return runChaos(seed, horizon, false)
+	return runChaos(seed, horizon, false, 1)
 }
 
-// runChaos selects the network driver so the differential tests can compare
-// event-driven and polling runs byte for byte.
-func runChaos(seed int64, horizon time.Duration, polling bool) (ChaosResult, error) {
+// runChaos selects the network driver and shard count so the differential
+// tests can compare event-driven, polling, and sharded runs byte for byte.
+func runChaos(seed int64, horizon time.Duration, polling bool, shards int) (ChaosResult, error) {
 	if horizon == 0 {
 		horizon = 20 * time.Minute
 	}
@@ -70,6 +70,7 @@ func runChaos(seed int64, horizon time.Duration, polling bool) (ChaosResult, err
 		MonitorInterval:   30 * time.Second,
 		MigrationDowntime: 5 * time.Second,
 		PollingNet:        polling,
+		Shards:            shards,
 	})
 	if err != nil {
 		return ChaosResult{}, err
@@ -175,7 +176,7 @@ func (r ChaosResult) queuedFailovers() int {
 
 func init() {
 	register("chaos", func(p Params) ([]Table, error) {
-		r, err := RunChaos(p.Seed, p.Horizon(20*time.Minute))
+		r, err := runChaos(p.Seed, p.Horizon(20*time.Minute), false, p.ShardCount())
 		if err != nil {
 			return nil, err
 		}

@@ -14,11 +14,11 @@ import (
 // events and faults, all of which occur early).
 
 func TestFig8OutputIdenticalAcrossDrivers(t *testing.T) {
-	ev, err := runFig8(42, false)
+	ev, err := runFig8(42, false, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	po, err := runFig8(42, true)
+	po, err := runFig8(42, true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,11 +33,11 @@ func TestFig8OutputIdenticalAcrossDrivers(t *testing.T) {
 
 func TestTable2OutputIdenticalAcrossDrivers(t *testing.T) {
 	const horizon = 5 * time.Minute
-	ev, err := runTable2(42, horizon, false)
+	ev, err := runTable2(42, horizon, false, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	po, err := runTable2(42, horizon, true)
+	po, err := runTable2(42, horizon, true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,11 +49,11 @@ func TestTable2OutputIdenticalAcrossDrivers(t *testing.T) {
 
 func TestChaosOutputIdenticalAcrossDrivers(t *testing.T) {
 	const horizon = 8 * time.Minute
-	ev, err := runChaos(42, horizon, false)
+	ev, err := runChaos(42, horizon, false, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	po, err := runChaos(42, horizon, true)
+	po, err := runChaos(42, horizon, true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

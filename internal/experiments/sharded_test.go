@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests extend the driver-equivalence gate along the sharding axis:
+// each headline experiment's rendered output — including the journal
+// summaries embedded in the tables — must be byte-identical between the
+// single-shard and sharded network drivers at equal seeds. Shard counts are
+// chosen per topology (fig8 has 3 nodes, chaos 4, CityLab 5), so each run
+// exercises real gateway links.
+
+func TestFig8OutputIdenticalSharded(t *testing.T) {
+	one, err := runFig8(42, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := runFig8(42, false, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneOut, shOut := one.Table().String(), sh.Table().String()
+	if oneOut != shOut {
+		t.Errorf("fig8 output differs across shard counts:\n--- 1 shard ---\n%s\n--- 3 shards ---\n%s", oneOut, shOut)
+	}
+	if one.JournalSummary != sh.JournalSummary {
+		t.Errorf("fig8 journal summaries differ: %q vs %q", one.JournalSummary, sh.JournalSummary)
+	}
+}
+
+func TestTable2OutputIdenticalSharded(t *testing.T) {
+	const horizon = 5 * time.Minute
+	one, err := runTable2(42, horizon, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := runTable2(42, horizon, false, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneOut, shOut := one.Table().String(), sh.Table().String()
+	if oneOut != shOut {
+		t.Errorf("table2 output differs across shard counts:\n--- 1 shard ---\n%s\n--- 4 shards ---\n%s", oneOut, shOut)
+	}
+}
+
+func TestChaosOutputIdenticalSharded(t *testing.T) {
+	const horizon = 8 * time.Minute
+	one, err := runChaos(42, horizon, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := runChaos(42, horizon, false, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneOut, shOut := one.Table().String(), sh.Table().String()
+	if oneOut != shOut {
+		t.Errorf("chaos output differs across shard counts:\n--- 1 shard ---\n%s\n--- 4 shards ---\n%s", oneOut, shOut)
+	}
+	if one.JournalSummary != sh.JournalSummary {
+		t.Errorf("chaos journal summaries differ: %q vs %q", one.JournalSummary, sh.JournalSummary)
+	}
+}

@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var n atomic.Int64
+	for round := 0; round < 100; round++ {
+		fns := make([]func(), 16)
+		for i := range fns {
+			fns[i] = func() { n.Add(1) }
+		}
+		p.Run(fns)
+	}
+	if got := n.Load(); got != 1600 {
+		t.Fatalf("ran %d tasks, want 1600", got)
+	}
+}
+
+func TestNilPoolRunsSerially(t *testing.T) {
+	var p *Pool
+	order := []int{}
+	p.Run([]func(){
+		func() { order = append(order, 1) },
+		func() { order = append(order, 2) },
+		func() { order = append(order, 3) },
+	})
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("serial fallback order %v", order)
+	}
+	p.Close() // nil close is a no-op
+}
+
+func TestPoolEmptyBatch(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	p.Run(nil) // must not deadlock
+}

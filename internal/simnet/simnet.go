@@ -188,6 +188,11 @@ type linkState struct {
 	// Water-filling scratch state, valid only inside a full pass.
 	residual  float64
 	iterCount int
+	// flows lists the pass's active flows crossing this direction, ascending
+	// FlowID (built alongside iterCount). A bottleneck round freezes from this
+	// list directly instead of rescanning every active flow — at city scale
+	// (100k flows, thousands of rounds) the rescan was the dominant cost.
+	flows []*flow
 }
 
 // AllocStats counts allocation work since the network was built. The
@@ -256,9 +261,18 @@ type Network struct {
 	fullOnly   bool // disable incremental absorption (always run the full pass)
 	alloc      AllocStats
 
+	// Sharded-execution state (see shard.go); nil when single-shard.
+	sh *sharding
+
+	// Batch state: mutations inside Batch defer reallocation to batch end.
+	batching     bool
+	batchPending bool
+
 	// Scratch buffers reused across full passes.
 	activeScratch   []*flow
 	transferScratch []*flow
+	byDemandScratch []*flow // active set sorted by demand, per full pass
+	batchScratch    []*flow // per-round demand-limited freeze batch
 }
 
 // New builds a network over the topology. Call Start to begin trace-driven
@@ -330,9 +344,11 @@ func (n *Network) SetPolling(v bool) {
 func (n *Network) Start() (stop func()) {
 	n.started = true
 	n.gridAnchor = n.eng.Now()
+	poolStop := n.startPool()
 	if n.polling {
 		n.tickStop = n.eng.Every(gridStep, n.pollTick)
 		return func() {
+			poolStop()
 			if n.tickStop != nil {
 				n.tickStop()
 				n.tickStop = nil
@@ -344,6 +360,7 @@ func (n *Network) Start() (stop func()) {
 	}
 	n.armChain()
 	return func() {
+		poolStop()
 		n.chainStopped = true
 		if n.hasArmed {
 			n.eng.Cancel(n.armedID)
@@ -463,6 +480,9 @@ func (n *Network) gridAtOrAfter(t time.Duration) time.Duration {
 // value — the only future instant at which the polling driver would observe
 // a change.
 func (n *Network) nextCapacityEventAfter(now time.Duration) (time.Duration, bool) {
+	if n.sh != nil {
+		return n.nextCapacityEventSharded(now)
+	}
 	var best time.Duration
 	found := false
 	for _, ls := range n.linkOrder {
@@ -514,6 +534,10 @@ func (n *Network) linkNextEvent(ls *linkState, now time.Duration) (time.Duration
 // identical timing for changed links, which keeps the settle arithmetic —
 // and therefore all downstream float state — bit-identical across modes.
 func (n *Network) observeCapacities(now time.Duration) {
+	if n.sh != nil {
+		n.observeCapacitiesSharded(now)
+		return
+	}
 	if ep := n.topo.AvailabilityEpoch(); ep != n.lastAvailEpoch {
 		n.lastAvailEpoch = ep
 		for _, ls := range n.linkOrder {
@@ -971,6 +995,10 @@ func (n *Network) advanceProgress() {
 // bottlenecks, freeze the same flows at the same values, and terminate with
 // bit-identical rates.
 func (n *Network) reallocate() {
+	if n.batching {
+		n.batchPending = true
+		return
+	}
 	if !n.fullOnly && !n.flowsDirty && n.canAbsorbCapacityChanges() {
 		n.alloc.SkippedPasses++
 		return
@@ -1015,18 +1043,29 @@ func (n *Network) fullReallocate() {
 	n.dirtyCount = 0
 
 	// Settle backlogs before the demands their integrals depend on change,
-	// then reset per-link accounting and scratch state.
-	for _, ls := range n.linkOrder {
-		n.settleBacklog(ls, now)
-		ls.residual = ls.capacityBps
-		ls.iterCount = 0
-		ls.demandBps = 0
-		ls.bottleneck = false
-		ls.dirty = false
-		ls.shrunk = false
+	// then reset per-link accounting and scratch state. Shard-parallel when
+	// sharded: the settle integral and resets are link-local.
+	if n.sh != nil {
+		n.sh.now = now
+		n.sh.pool.Run(n.sh.resetFns)
+	} else {
+		for _, ls := range n.linkOrder {
+			n.settleBacklog(ls, now)
+			ls.residual = ls.capacityBps
+			ls.iterCount = 0
+			ls.demandBps = 0
+			ls.bottleneck = false
+			ls.dirty = false
+			ls.shrunk = false
+			ls.flows = ls.flows[:0]
+		}
 	}
 
+	// Build the active set. Demand accumulation writes links across shard
+	// boundaries, so this prelude stays sequential in both modes (and
+	// therefore identical).
 	active := n.activeScratch[:0]
+	remaining := 0
 	for _, f := range n.flowOrder {
 		if f.gone {
 			continue
@@ -1057,82 +1096,18 @@ func (n *Network) fullReallocate() {
 		f.frozenBy = nil
 		f.demandLimited = false
 		active = append(active, f)
+		remaining++
 		for _, ls := range f.linkPath {
 			ls.iterCount++
+			ls.flows = append(ls.flows, f)
 		}
 	}
 	n.activeScratch = active
 
-	remaining := len(active)
-	freeze := func(f *flow, rate float64, by *linkState) {
-		if rate < 0 {
-			rate = 0
-		}
-		f.rateBps = rate
-		f.frozen = true
-		f.frozenBy = by
-		f.demandLimited = by == nil
-		for _, ls := range f.linkPath {
-			ls.residual -= rate
-			if ls.residual < 0 {
-				ls.residual = 0
-			}
-			ls.iterCount--
-		}
-		remaining--
-	}
-
-	for remaining > 0 {
-		// Min fair share over constrained links, first-in-linkOrder tie-break.
-		minShare := math.Inf(1)
-		var bottleneck *linkState
-		for _, ls := range n.linkOrder {
-			if ls.iterCount <= 0 {
-				continue
-			}
-			if share := ls.residual / float64(ls.iterCount); share < minShare {
-				minShare = share
-				bottleneck = ls
-			}
-		}
-		// Record every arg-min link, applied or not: its share bounded this
-		// iteration's demand comparisons, so the incremental path must treat
-		// it as binding.
-		if bottleneck != nil {
-			bottleneck.bottleneck = true
-		}
-		// Freeze demand-limited flows first.
-		frozeAny := false
-		for _, f := range active {
-			if !f.frozen && f.demandBps <= minShare {
-				freeze(f, f.demandBps, nil)
-				frozeAny = true
-			}
-		}
-		if frozeAny {
-			continue
-		}
-		if bottleneck == nil {
-			// No constrained links remain; all remaining flows get demand.
-			for _, f := range active {
-				if !f.frozen {
-					freeze(f, f.demandBps, nil)
-				}
-			}
-			break
-		}
-		// Freeze every unfrozen flow crossing the bottleneck at the share.
-		for _, f := range active {
-			if f.frozen {
-				continue
-			}
-			for _, ls := range f.linkPath {
-				if ls == bottleneck {
-					freeze(f, minShare, bottleneck)
-					break
-				}
-			}
-		}
+	if n.sh != nil {
+		n.waterFill(active, remaining, n.sh.argMin)
+	} else {
+		n.waterFill(active, remaining, n.serialArgMin)
 	}
 
 	// Reschedule transfer completions at the new rates. Completion callbacks
@@ -1168,6 +1143,122 @@ func (n *Network) fullReallocate() {
 		f.completionEv = n.eng.At(now+eta, func() { n.completeTransfer(id) })
 		f.hasEvent = true
 	}
+}
+
+// freezeFlow pins a flow's rate for the rest of the pass and withdraws it
+// from every link it crosses. by is the bottleneck that bound it (nil when
+// demand-limited). Both water-fill drivers share it, so a freeze performs the
+// identical float operations regardless of how the flow was selected.
+func (n *Network) freezeFlow(f *flow, rate float64, by *linkState) {
+	if rate < 0 {
+		rate = 0
+	}
+	f.rateBps = rate
+	f.frozen = true
+	f.frozenBy = by
+	f.demandLimited = by == nil
+	for _, ls := range f.linkPath {
+		ls.residual -= rate
+		if ls.residual < 0 {
+			ls.residual = 0
+		}
+		ls.iterCount--
+	}
+}
+
+// serialArgMin scans every constrained link for the minimum fair share, with
+// a first-in-linkOrder strict-< tie-break. The sharded driver replaces this
+// with per-shard scans and a lexicographic reduce that picks the same winner;
+// everything else in the round loop is shared code.
+func (n *Network) serialArgMin() (float64, *linkState) {
+	minShare := math.Inf(1)
+	var bottleneck *linkState
+	for _, ls := range n.linkOrder {
+		if ls.iterCount <= 0 {
+			continue
+		}
+		if share := ls.residual / float64(ls.iterCount); share < minShare {
+			minShare = share
+			bottleneck = ls
+		}
+	}
+	return minShare, bottleneck
+}
+
+func (n *Network) waterFillSerial(active []*flow, remaining int) {
+	n.waterFill(active, remaining, n.serialArgMin)
+}
+
+// waterFill is the progressive-filling round loop with demand caps, shared by
+// the single-shard and sharded drivers — only the arg-min scan differs.
+//
+// Two indices keep the loop near-linear in the flow count where a naive
+// rescan-every-round formulation is quadratic (the difference between minutes
+// and seconds per pass at city scale), without changing a single freeze:
+//
+//   - a demand-sorted view of the active set with a monotone cursor. A flow
+//     freezes demand-limited in the first round whose min share reaches its
+//     demand, so every flow past the cursor has demand above every share seen
+//     so far and flows behind it are already frozen — each round's batch is
+//     exactly the flows the full rescan would have caught, collected in
+//     amortized O(1). Batches are re-sorted by FlowID before freezing, which
+//     is the active-list order the rescan froze in.
+//   - per-link crossing lists (linkState.flows, FlowID-ascending by
+//     construction). A bottleneck round freezes straight off the bottleneck's
+//     own list — the same flows, in the same order, the full path-membership
+//     scan selected.
+func (n *Network) waterFill(active []*flow, remaining int, argMin func() (float64, *linkState)) {
+	byDemand := append(n.byDemandScratch[:0], active...)
+	sort.Slice(byDemand, func(i, j int) bool { return byDemand[i].demandBps < byDemand[j].demandBps })
+	n.byDemandScratch = byDemand
+	cursor := 0
+	batch := n.batchScratch[:0]
+	for remaining > 0 {
+		minShare, bottleneck := argMin()
+		// Record every arg-min link, applied or not: its share bounded this
+		// iteration's demand comparisons, so the incremental path must treat
+		// it as binding.
+		if bottleneck != nil {
+			bottleneck.bottleneck = true
+		}
+		// Freeze demand-limited flows first, in FlowID order.
+		batch = batch[:0]
+		for cursor < len(byDemand) && byDemand[cursor].demandBps <= minShare {
+			if f := byDemand[cursor]; !f.frozen {
+				batch = append(batch, f)
+			}
+			cursor++
+		}
+		if len(batch) > 0 {
+			if len(batch) > 1 {
+				sort.Slice(batch, func(i, j int) bool { return batch[i].id < batch[j].id })
+			}
+			for _, f := range batch {
+				n.freezeFlow(f, f.demandBps, nil)
+			}
+			remaining -= len(batch)
+			continue
+		}
+		if bottleneck == nil {
+			// No constrained links remain; all remaining flows get demand.
+			for _, f := range active {
+				if !f.frozen {
+					n.freezeFlow(f, f.demandBps, nil)
+					remaining--
+				}
+			}
+			break
+		}
+		// Freeze every unfrozen flow crossing the bottleneck at the share.
+		for _, f := range bottleneck.flows {
+			if f.frozen {
+				continue
+			}
+			n.freezeFlow(f, minShare, bottleneck)
+			remaining--
+		}
+	}
+	n.batchScratch = batch
 }
 
 func (n *Network) completeTransfer(id FlowID) {

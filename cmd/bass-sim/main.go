@@ -23,6 +23,7 @@
 //	  "scheduler": "bfs" | "longest-path" | "k3s",
 //	  "horizonSec": 600, "seed": 42,
 //	  "migration": true, "monitorIntervalSec": 30,
+//	  "reconcile": true,
 //	  "shards": 4,
 //	  "rps": 50, "clientNode": "node1",
 //	  "participantsPerNode": 3, "publishMbps": 0.5,
@@ -34,6 +35,11 @@
 // "faults" lists explicit fault events; "chaos" arms the seeded generator
 // (rates per hour, durations in seconds) over the run horizon. Either — or
 // both — add a recovery report (detections, failovers, MTTR) to the output.
+// Explicit fault lists are window-validated before generated chaos is merged
+// on top; a schedule with overlapping windows on one element, an unmatched
+// recovery, or an event at or past the horizon is rejected before anything
+// runs. "reconcile" (or the -reconcile flag) hands failure handling to the
+// declarative reconciliation loop and appends its convergence summary.
 package main
 
 import (
@@ -76,6 +82,10 @@ type scenario struct {
 	Seed               int64 `json:"seed"`
 	Migration          bool  `json:"migration"`
 	MonitorIntervalSec int   `json:"monitorIntervalSec,omitempty"`
+	// Reconcile enables the declarative reconciliation loop: desired-state
+	// specs, drift detection, idempotent convergence with the degraded-mode
+	// ladder. The recovery summary gains a reconcile line.
+	Reconcile bool `json:"reconcile,omitempty"`
 	// PollingNet switches the simulated network to the legacy once-per-second
 	// polling driver; output is bit-identical to the default event-driven
 	// driver (the equivalence the trace-smoke CI job asserts).
@@ -114,14 +124,21 @@ type chaosConfig struct {
 }
 
 // buildSchedule assembles the scenario's fault schedule, nil when the
-// scenario declares no faults.
-func buildSchedule(sc scenario, topo *mesh.Topology, horizon time.Duration) *faults.Schedule {
+// scenario declares no faults. The explicit fault list is window-validated
+// against the horizon BEFORE generated chaos is merged on top: the generator
+// never overlaps windows on one element by construction, but a merged
+// schedule legitimately stacks explicit and generated windows, so post-merge
+// validation would reject working scenarios.
+func buildSchedule(sc scenario, topo *mesh.Topology, horizon time.Duration) (*faults.Schedule, error) {
 	if len(sc.Faults) == 0 && sc.Chaos == nil {
-		return nil
+		return nil, nil
 	}
 	sched := &faults.Schedule{Events: append([]faults.Event(nil), sc.Faults...)}
+	if err := sched.ValidateWindows(horizon); err != nil {
+		return nil, err
+	}
 	if c := sc.Chaos; c != nil {
-		gen := faults.Generate(topo, faults.GeneratorConfig{
+		gcfg := faults.GeneratorConfig{
 			Seed:                    sc.Seed,
 			Horizon:                 horizon,
 			NodeCrashesPerHour:      c.NodeCrashesPerHour,
@@ -131,11 +148,14 @@ func buildSchedule(sc scenario, topo *mesh.Topology, horizon time.Duration) *fau
 			ProbeLossWindowsPerHour: c.ProbeLossWindowsPerHour,
 			MeanProbeLossWindow:     time.Duration(c.MeanProbeLossWindowSec * float64(time.Second)),
 			Protected:               c.Protected,
-		})
-		sched.Events = append(sched.Events, gen.Events...)
+		}
+		if err := gcfg.Validate(); err != nil {
+			return nil, fmt.Errorf("chaos: %w", err)
+		}
+		sched.Events = append(sched.Events, faults.Generate(topo, gcfg).Events...)
 	}
 	sched.Sort()
-	return sched
+	return sched, nil
 }
 
 func exampleScenario() scenario {
@@ -190,6 +210,7 @@ func run(args []string, stdout io.Writer) error {
 	metricsOut := fs.String("metrics-out", "", "write the collected metric series as JSON to this path (\".NNN\" run index inserted when running multiple scenarios)")
 	traceOut := fs.String("trace-out", "", "write the decision journal as Chrome trace-event JSON (Perfetto-loadable) to this path (\".NNN\" run index inserted when running multiple scenarios)")
 	polling := fs.Bool("polling", false, "force the legacy polling network driver for every scenario (output stays bit-identical to event-driven)")
+	reconcile := fs.Bool("reconcile", false, "force the declarative reconciliation loop for every scenario (equivalent to \"reconcile\": true)")
 	shards := fs.Int("shards", 0, "force this mesh shard count for every scenario (0 = scenario value; output stays byte-identical at any count)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -226,6 +247,9 @@ func run(args []string, stdout io.Writer) error {
 			replica.Seed = sc.Seed + int64(s)
 			if *polling {
 				replica.PollingNet = true
+			}
+			if *reconcile {
+				replica.Reconcile = true
 			}
 			if *shards > 0 {
 				replica.Shards = *shards
@@ -319,6 +343,7 @@ func executeObserved(sc scenario, out io.Writer, eventsPath, metricsPath, traceP
 	cfg := core.Config{
 		Policy:          policy,
 		EnableMigration: sc.Migration,
+		EnableReconcile: sc.Reconcile,
 		ReservedCPU:     1,
 		PollingNet:      sc.PollingNet,
 		Shards:          sc.Shards,
@@ -344,7 +369,10 @@ func executeObserved(sc scenario, out io.Writer, eventsPath, metricsPath, traceP
 		sim.AttachObservability(journal, store)
 	}
 
-	sched := buildSchedule(sc, topo, horizon)
+	sched, err := buildSchedule(sc, topo, horizon)
+	if err != nil {
+		return err
+	}
 	if sched != nil {
 		if _, err := sim.InjectFaults(sched); err != nil {
 			return err
@@ -370,6 +398,11 @@ func executeObserved(sc scenario, out io.Writer, eventsPath, metricsPath, traceP
 		stats.FullProbes, stats.HeadroomProbes, stats.OverheadMbits)
 	if sched != nil {
 		reportRecovery(sim, sched, out)
+	}
+	if rec := sim.Orch.Reconciler(); rec != nil {
+		fmt.Fprintf(out, "reconcile: converged=%t drift=%d drifts=%d actions=%d sheds=%d restores=%d episodes=%d\n",
+			rec.Converged(), rec.OutstandingDrift(), rec.DriftsSeen(),
+			rec.ActionsTotal(), rec.Sheds(), rec.Restores(), len(rec.Converges()))
 	}
 	if journal != nil && eventsPath != "" {
 		if err := writeJournal(journal, eventsPath); err != nil {

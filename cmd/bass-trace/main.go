@@ -7,17 +7,22 @@
 //	bass-trace explain -component b journal.jsonl
 //	bass-trace convert journal.jsonl -o trace.json   # Chrome trace-event / Perfetto export
 //	bass-trace check trace.json                 # validate an exported trace's schema
+//	bass-trace check journal.jsonl              # validate reconcile drift cause chains
 //
-// explain walks every decision event (schedule, migration, failover, and
-// their rejections) back to root cause through Cause spans — typically a
-// concrete probe sample — and renders the candidate scoreboard the scheduler
-// evaluated, one row per node with its score terms and typed rejection.
-// convert produces the same Chrome trace JSON as bass-sim -trace-out. check
-// verifies an exported trace parses and every entry carries the required
-// name/ph/ts fields — the schema gate the CI trace-smoke job runs.
+// explain walks every decision event (schedule, migration, failover,
+// reconcile drift/action/converged, and their rejections) back to root cause
+// through Cause spans — typically a concrete probe sample — and renders the
+// candidate scoreboard the scheduler evaluated, one row per node with its
+// score terms and typed rejection. convert produces the same Chrome trace
+// JSON as bass-sim -trace-out. check verifies an exported trace parses and
+// every entry carries the required name/ph/ts fields — the schema gate the CI
+// trace-smoke job runs; handed a JSONL journal instead, it verifies every
+// reconcile_drift event's cause chain resolves to a concrete probe sample or
+// an injected fault.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -69,11 +74,17 @@ func readJournal(path string) ([]obs.Event, error) {
 
 // decisionTypes are the event types explain narrates, in journal order.
 var decisionTypes = map[obs.EventType]bool{
-	obs.EventSchedule:          true,
-	obs.EventMigration:         true,
-	obs.EventMigrationRejected: true,
-	obs.EventFailover:          true,
-	obs.EventFailoverQueued:    true,
+	obs.EventSchedule:           true,
+	obs.EventMigration:          true,
+	obs.EventMigrationRejected:  true,
+	obs.EventFailover:           true,
+	obs.EventFailoverQueued:     true,
+	obs.EventReconcileDrift:     true,
+	obs.EventReconcileAction:    true,
+	obs.EventReconcileDegraded:  true,
+	obs.EventReconcileShed:      true,
+	obs.EventReconcileRestore:   true,
+	obs.EventReconcileConverged: true,
 }
 
 func runExplain(args []string, stdout io.Writer) error {
@@ -193,7 +204,7 @@ func runCheck(args []string, stdout io.Writer) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: bass-trace check <trace.json>")
+		return fmt.Errorf("usage: bass-trace check <trace.json | journal.jsonl>")
 	}
 	raw, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -208,8 +219,17 @@ func runCheck(args []string, stdout io.Writer) error {
 			Pid  *int     `json:"pid"`
 		} `json:"traceEvents"`
 	}
-	if err := json.Unmarshal(raw, &trace); err != nil {
-		return fmt.Errorf("%s: not valid trace JSON: %w", fs.Arg(0), err)
+	if err := json.Unmarshal(raw, &trace); err != nil || len(trace.TraceEvents) == 0 {
+		// Not a Chrome trace export: try journal mode, which validates the
+		// reconcile causal contract instead of the trace schema.
+		events, jerr := obs.ReadJSONL(bytes.NewReader(raw))
+		if jerr != nil || len(events) == 0 {
+			if err == nil {
+				err = fmt.Errorf("no trace events")
+			}
+			return fmt.Errorf("%s: neither trace JSON (%v) nor journal JSONL (%v)", fs.Arg(0), err, jerr)
+		}
+		return checkJournal(fs.Arg(0), events, stdout)
 	}
 	counts := map[string]int{}
 	for i, te := range trace.TraceEvents {
@@ -230,5 +250,37 @@ func runCheck(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "ok: %d trace events (%d slices, %d flow links)\n",
 		len(trace.TraceEvents), counts["X"], counts["s"]+counts["f"])
+	return nil
+}
+
+// checkJournal validates a decision journal's reconcile causal contract:
+// every reconcile_drift event must carry a cause chain that resolves to
+// ground truth — a concrete probe sample or an injected fault. A drift with
+// no cause, an unresolvable cause span, or a chain rooted anywhere else fails
+// the check.
+func checkJournal(path string, events []obs.Event, stdout io.Writer) error {
+	drifts, chained := 0, 0
+	for _, ev := range events {
+		if ev.Type != obs.EventReconcileDrift {
+			continue
+		}
+		drifts++
+		subject := fmt.Sprintf("%s: t=%.0fs drift %s/%s", path, ev.At.Seconds(), ev.App, ev.Component)
+		if ev.Cause == 0 {
+			return fmt.Errorf("%s has no cause", subject)
+		}
+		chain := obs.CauseChain(events, ev.Span)
+		if len(chain) < 2 {
+			return fmt.Errorf("%s: cause span %d not in journal", subject, ev.Cause)
+		}
+		root := chain[len(chain)-1]
+		if !root.IsProbeSample() && root.Type != obs.EventFault {
+			return fmt.Errorf("%s: chain roots at %q, want a probe sample or fault injection",
+				subject, root.Type)
+		}
+		chained++
+	}
+	fmt.Fprintf(stdout, "ok: %d journal events, %d/%d drift events resolve to probe samples or faults\n",
+		len(events), chained, drifts)
 	return nil
 }

@@ -286,6 +286,19 @@ func (c *Cluster) Placements() []Placement {
 	return out
 }
 
+// AppComponents returns every placed component of app, sorted — the
+// reconciler's observed-state view of one application.
+func (c *Cluster) AppComponents(app string) []string {
+	var out []string
+	for _, p := range c.placements {
+		if p.App == app {
+			out = append(out, p.Component)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // ComponentsOn returns the components of app placed on node, sorted.
 func (c *Cluster) ComponentsOn(app, node string) []string {
 	var out []string

@@ -17,6 +17,7 @@ import (
 	"bass/internal/metricstore"
 	"bass/internal/netmon"
 	"bass/internal/obs"
+	"bass/internal/reconcile"
 	"bass/internal/scheduler"
 	"bass/internal/sim"
 	"bass/internal/simnet"
@@ -41,6 +42,14 @@ type Workload interface {
 	// unavailable for the downtime window starting now; the workload must
 	// re-route its traffic accordingly.
 	OnMigration(env *Env, component, fromNode, toNode string, downtime time.Duration)
+}
+
+// Prioritized lets a workload declare its shedding priority for the
+// reconciler's degraded-mode ladder: higher values are shed later. Workloads
+// that do not implement it are prioritized by deployment order (earlier
+// deployments rank higher).
+type Prioritized interface {
+	Priority() int
 }
 
 // Env is the execution environment handed to workloads.
@@ -110,6 +119,19 @@ type Config struct {
 	FailoverBackoffBase time.Duration
 	// FailoverBackoffMax caps the retry delay (default 2 min).
 	FailoverBackoffMax time.Duration
+	// FailoverBackoffJitter spreads each retry delay by ±frac, drawn from the
+	// engine's seeded RNG so equal seeds stay byte-identical (default 0.2;
+	// negative disables jitter).
+	FailoverBackoffJitter float64
+	// EnableReconcile replaces the reactive failover path with the
+	// declarative reconciliation loop: deployments register desired-state
+	// specs, and a reconciler diffs desired vs. observed placement each
+	// epoch, converging through idempotent, bounded actions (see
+	// internal/reconcile).
+	EnableReconcile bool
+	// Reconcile tunes the reconciliation loop (zero fields take reconcile
+	// package defaults; a zero Epoch follows MonitorInterval).
+	Reconcile reconcile.Config
 	// PollingNet drives the simulated network with the legacy once-per-second
 	// capacity polling loop instead of event-driven change-point scheduling.
 	// Both drivers produce bit-identical experiment output (the equivalence
@@ -150,6 +172,23 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FailoverBackoffMax == 0 {
 		c.FailoverBackoffMax = 2 * time.Minute
+	}
+	if c.FailoverBackoffJitter == 0 {
+		c.FailoverBackoffJitter = 0.2
+	} else if c.FailoverBackoffJitter < 0 {
+		c.FailoverBackoffJitter = 0
+	}
+	if c.Reconcile.Epoch == 0 {
+		c.Reconcile.Epoch = c.MonitorInterval
+	}
+	if c.Reconcile.BackoffBase == 0 {
+		c.Reconcile.BackoffBase = c.FailoverBackoffBase
+	}
+	if c.Reconcile.BackoffMax == 0 {
+		c.Reconcile.BackoffMax = c.FailoverBackoffMax
+	}
+	if c.Reconcile.JitterFrac == 0 {
+		c.Reconcile.JitterFrac = c.FailoverBackoffJitter
 	}
 	return c
 }
@@ -202,6 +241,13 @@ type Orchestrator struct {
 	mttrs         []time.Duration
 	failoverQueue []*pendingFailover
 
+	// Reconciliation state (see reconcile_host.go); rec is nil unless
+	// Config.EnableReconcile. nodeDownSpan remembers the verdict span of each
+	// currently-dead node so self-detected drift stays causally explainable.
+	rec           *reconcile.Reconciler
+	stopReconcile func()
+	nodeDownSpan  map[string]uint64
+
 	// plane is the observability plane shared with the monitor and
 	// controller; nil (the default) records nothing at no cost.
 	plane *obs.Plane
@@ -221,6 +267,10 @@ func New(eng *sim.Engine, topo *mesh.Topology, net *simnet.Network, clus *cluste
 	}
 	o.monitor = netmon.New(topo, net.Prober(), cfg.Monitor, eng.Now)
 	o.ctrl = controller.New(o.monitor, cfg.Controller, eng.Now)
+	if cfg.EnableReconcile {
+		o.rec = reconcile.New(cfg.Reconcile, reconcileHost{o})
+		o.nodeDownSpan = make(map[string]uint64)
+	}
 	return o
 }
 
@@ -235,6 +285,7 @@ func (o *Orchestrator) AttachObservability(journal *obs.Journal, store *metricst
 	o.monitor.SetObserver(o.plane)
 	o.ctrl.SetObserver(o.plane)
 	o.net.SetObserver(o.plane)
+	o.rec.SetObserver(o.plane)
 	return o.plane
 }
 
@@ -302,16 +353,31 @@ func (o *Orchestrator) Bootstrap() error {
 	if o.cfg.EnableMigration && o.stopMonitor == nil {
 		o.stopMonitor = o.eng.Every(o.cfg.MonitorInterval, o.controlCycle)
 	}
+	if o.rec != nil && o.stopReconcile == nil {
+		// The epoch tick is the reconciler's heartbeat; topology changes
+		// (injected faults) additionally kick an eager same-time pass so
+		// drift converges without waiting out the epoch.
+		o.stopReconcile = o.eng.Every(o.rec.Config().Epoch, o.rec.Tick)
+		o.net.OnTopologyApplied(o.rec.Kick)
+	}
 	return nil
 }
 
-// Stop halts the controller loop.
+// Stop halts the controller and reconciler loops.
 func (o *Orchestrator) Stop() {
 	if o.stopMonitor != nil {
 		o.stopMonitor()
 		o.stopMonitor = nil
 	}
+	if o.stopReconcile != nil {
+		o.stopReconcile()
+		o.stopReconcile = nil
+		o.net.OnTopologyApplied(nil)
+	}
 }
+
+// Reconciler exposes the reconciliation loop (nil unless EnableReconcile).
+func (o *Orchestrator) Reconciler() *reconcile.Reconciler { return o.rec }
 
 // nodeInfos builds the scheduler's view of the cluster.
 func (o *Orchestrator) nodeInfos() []scheduler.NodeInfo {
@@ -406,6 +472,26 @@ func (o *Orchestrator) DeployAt(name string, w Workload, overrides scheduler.Ass
 	o.net.SetCause(0)
 	if err != nil {
 		return nil, fmt.Errorf("core: start workload %q: %w", name, err)
+	}
+	if o.rec != nil {
+		// The DAG + policy become the app's desired state: every component
+		// placed on a healthy node. Priority defaults to deployment order
+		// (earlier = higher) unless the workload declares its own.
+		prio := -(len(o.appOrder) - 1)
+		if p, ok := w.(Prioritized); ok {
+			prio = p.Priority()
+		}
+		spec := reconcile.Spec{App: name, Priority: prio}
+		for _, cname := range g.Components() {
+			c, cerr := g.Component(cname)
+			if cerr != nil {
+				continue
+			}
+			spec.Components = append(spec.Components, reconcile.ComponentSpec{
+				Name: cname, CPU: c.CPU, MemoryMB: c.MemoryMB,
+			})
+		}
+		o.rec.SetSpec(spec)
 	}
 	return assignment, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"bass/internal/cluster"
 	"bass/internal/obs"
+	"bass/internal/reconcile"
 	"bass/internal/scheduler"
 	"bass/internal/simnet"
 )
@@ -96,6 +97,17 @@ func (o *Orchestrator) handleNodeDown(node string, cause uint64) {
 	o.detections = append(o.detections, DetectionRecord{
 		Node: node, DetectedAt: now, Components: len(stranded),
 	})
+	if o.rec != nil {
+		// Reconcile mode: the evacuation becomes drift. The reconciler owns
+		// re-placement — retry budgets, the degraded-mode ladder, and the
+		// convergence bookkeeping — so the one-shot retry path stays idle.
+		o.nodeDownSpan[node] = cause
+		for i := range stranded {
+			p := stranded[i]
+			o.rec.NoteDrift(p.app, p.component, reconcile.DriftDeadNode, p.fromNode, p.cause)
+		}
+		return
+	}
 	for i := range stranded {
 		p := stranded[i]
 		o.tryFailover(&p)
@@ -111,12 +123,21 @@ func (o *Orchestrator) handleNodeRecovered(node string, cause uint64) {
 	}
 	o.plane.Emit(obs.Event{Type: obs.EventUncordon, Node: node,
 		Cause: cause, Reason: "node recovered"})
+	if o.rec != nil {
+		// Returning capacity is what backed-off drift is waiting for: scan
+		// now instead of waiting out retry delays or the epoch.
+		delete(o.nodeDownSpan, node)
+		o.rec.Kick()
+		return
+	}
 	o.drainFailoverQueue()
 }
 
 // tryFailover attempts to re-place one stranded component. Placement failures
-// retry with exponential backoff (base × 2^attempt, capped) up to the
-// configured attempt budget, then park in the recovery queue.
+// retry with exponential backoff (base × 2^attempt, capped, jittered ±frac
+// from the engine's seeded RNG so retries de-synchronize without breaking the
+// equal-seeds-byte-identical contract) up to the configured attempt budget,
+// then park in the recovery queue.
 func (o *Orchestrator) tryFailover(p *pendingFailover) {
 	app, ok := o.apps[p.app]
 	if !ok {
@@ -134,11 +155,9 @@ func (o *Orchestrator) tryFailover(p *pendingFailover) {
 			Value:  float64(p.attempts)})
 		return
 	}
-	delay := o.cfg.FailoverBackoffBase << (p.attempts - 1)
-	if delay > o.cfg.FailoverBackoffMax {
-		delay = o.cfg.FailoverBackoffMax
-	}
-	o.eng.At(o.eng.Now()+delay, func() { o.tryFailover(p) })
+	delay := reconcile.Backoff(o.cfg.FailoverBackoffBase, o.cfg.FailoverBackoffMax,
+		o.cfg.FailoverBackoffJitter, p.attempts, o.eng.Rand())
+	o.eng.After(delay, func() { o.tryFailover(p) })
 }
 
 // placeFailover runs the failover target choice and commits the placement,
@@ -147,6 +166,12 @@ func (o *Orchestrator) placeFailover(app *deployedApp, p *pendingFailover) bool 
 	comp, err := app.graph.Component(p.component)
 	if err != nil {
 		return true // component no longer in the graph: drop silently
+	}
+	if o.clus.NodeOf(app.name, p.component) != "" {
+		// Already placed by another path — a queue drain racing a backoff
+		// retry, or the node recovering mid-evacuation. Treat as resolved:
+		// retrying would double-place and leak the pending record.
+		return true
 	}
 	assignment := make(scheduler.Assignment)
 	for _, c := range app.graph.Components() {

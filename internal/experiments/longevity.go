@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"bass/internal/apps/camera"
+	"bass/internal/cluster"
+	"bass/internal/core"
+	"bass/internal/faults"
+	"bass/internal/mesh"
+	"bass/internal/obs"
+	"bass/internal/scheduler"
+)
+
+// LongevityWave snapshots the reconciler just before a storm wave's quiet
+// period ends — the moment the system must have re-converged.
+type LongevityWave struct {
+	Wave int
+	// Converged and Outstanding are the reconciler's state at the snapshot.
+	Converged   bool
+	Outstanding int
+	// Actions is the cumulative reconcile action count at the snapshot; the
+	// per-wave delta bounds migration thrash.
+	Actions int
+}
+
+// LongevityResult summarises a multi-wave fault-storm soak: repeated seeded
+// storms separated by quiet periods, with the declarative reconciler (not the
+// one-shot retry path) responsible for driving observed placement back to the
+// desired spec after every wave — without ever restarting a component from
+// scratch.
+type LongevityResult struct {
+	Horizon time.Duration
+	// FaultEvents is the merged schedule's event count across all waves.
+	FaultEvents int
+	Waves       []LongevityWave
+	// FinalConverged and FinalOutstanding are the reconciler's state at the
+	// end of the run; a healthy soak ends converged with zero drift.
+	FinalConverged   bool
+	FinalOutstanding int
+	DriftsSeen       int
+	ActionsTotal     int
+	Sheds            int
+	Restores         int
+	// ConvergeEpisodes counts closed drift→converged episodes.
+	ConvergeEpisodes int
+	// MaxWaveActions is the largest per-wave action delta — the thrash bound.
+	MaxWaveActions int
+	Report         core.RecoveryReport
+	// JournalSummary rolls up the decision journal by event type; identical
+	// for equal seeds and across net drivers.
+	JournalSummary string
+}
+
+// RunLongevity executes the longevity soak: a camera pipeline plus an 8 Mbps
+// pair on a six-node full mesh, four storm waves of generated chaos each
+// clamped to the first half of its wave so the second half is quiet, and the
+// reconciler enabled. Equal seeds yield identical results.
+func RunLongevity(seed int64, horizon time.Duration) (LongevityResult, error) {
+	r, _, err := runLongevity(seed, horizon, false, 1)
+	return r, err
+}
+
+// longevityWaves is the number of storm waves a soak always runs.
+const longevityWaves = 4
+
+// runLongevity selects the network driver and shard count, and also returns
+// the raw decision journal so differential tests can compare drivers byte for
+// byte.
+func runLongevity(seed int64, horizon time.Duration, polling bool, shards int) (LongevityResult, []obs.Event, error) {
+	if horizon == 0 {
+		horizon = 80 * time.Minute
+	}
+	waveLen := horizon / longevityWaves
+	storm := waveLen / 2 // quiet second half: detection + re-convergence room
+
+	names := []string{"n1", "n2", "n3", "n4", "n5", "n6"}
+	topo := mesh.FullMesh(names, 25, 3*time.Millisecond, horizon+time.Minute)
+	nodes := make([]cluster.Node, len(names))
+	for i, n := range names {
+		nodes[i] = cluster.Node{Name: n, CPU: 16, MemoryMB: 16384}
+	}
+	sim, err := core.NewSimulation(topo, nodes, seed, core.Config{
+		Policy:            scheduler.NewBass(scheduler.HeuristicBFS),
+		EnableMigration:   true,
+		EnableReconcile:   true,
+		MonitorInterval:   30 * time.Second,
+		MigrationDowntime: 5 * time.Second,
+		PollingNet:        polling,
+		Shards:            shards,
+	})
+	if err != nil {
+		return LongevityResult{}, nil, err
+	}
+	defer sim.Close()
+	journal := obs.NewJournal(0)
+	sim.AttachObservability(journal, nil)
+
+	cam, err := camera.New(camera.Config{})
+	if err != nil {
+		return LongevityResult{}, nil, err
+	}
+	if _, err := sim.Orch.Deploy("camera", cam); err != nil {
+		return LongevityResult{}, nil, err
+	}
+	pair := newPairApp("pair", 8, "", 2)
+	if _, err := sim.Orch.Deploy("pair", pair); err != nil {
+		return LongevityResult{}, nil, err
+	}
+
+	// Each wave draws its own seeded storm over [0, storm) and is clamped so
+	// every window closes inside the storm — the wave's quiet half starts
+	// with all elements recovered. Clamped waves occupy disjoint time ranges,
+	// so the merged schedule still passes window validation.
+	combined := &faults.Schedule{}
+	for w := 0; w < longevityWaves; w++ {
+		g := faults.Generate(topo, faults.GeneratorConfig{
+			Seed:                    seed + int64(w+1)*1000,
+			Horizon:                 storm,
+			NodeCrashesPerHour:      8,
+			MeanNodeDowntime:        2 * time.Minute,
+			LinkFlapsPerHour:        6,
+			MeanLinkDowntime:        30 * time.Second,
+			ProbeLossWindowsPerHour: 2,
+			MeanProbeLossWindow:     time.Minute,
+		})
+		wave := g.Clamp(storm)
+		base := time.Duration(w) * waveLen
+		for i := range wave.Events {
+			wave.Events[i].AtSec += base.Seconds()
+		}
+		combined.Events = append(combined.Events, wave.Events...)
+	}
+	combined.Sort()
+	if err := combined.ValidateWindows(horizon); err != nil {
+		return LongevityResult{}, nil, fmt.Errorf("longevity: merged storm invalid: %w", err)
+	}
+	if _, err := sim.InjectFaults(combined); err != nil {
+		return LongevityResult{}, nil, err
+	}
+
+	rec := sim.Orch.Reconciler()
+	snaps := make([]LongevityWave, longevityWaves)
+	for w := 0; w < longevityWaves; w++ {
+		w := w
+		sim.Eng.At(time.Duration(w+1)*waveLen-time.Second, func() {
+			snaps[w] = LongevityWave{
+				Wave:        w + 1,
+				Converged:   rec.Converged(),
+				Outstanding: rec.OutstandingDrift(),
+				Actions:     rec.ActionsTotal(),
+			}
+		})
+	}
+	if err := sim.Run(horizon); err != nil {
+		return LongevityResult{}, nil, err
+	}
+
+	res := LongevityResult{
+		Horizon:          horizon,
+		FaultEvents:      len(combined.Events),
+		Waves:            snaps,
+		FinalConverged:   rec.Converged(),
+		FinalOutstanding: rec.OutstandingDrift(),
+		DriftsSeen:       rec.DriftsSeen(),
+		ActionsTotal:     rec.ActionsTotal(),
+		Sheds:            rec.Sheds(),
+		Restores:         rec.Restores(),
+		ConvergeEpisodes: len(rec.Converges()),
+		Report:           sim.Orch.RecoveryReport(),
+		JournalSummary:   obs.Summarize(journal.Events()),
+	}
+	prev := 0
+	for _, s := range snaps {
+		if d := s.Actions - prev; d > res.MaxWaveActions {
+			res.MaxWaveActions = d
+		}
+		prev = s.Actions
+	}
+	return res, journal.Events(), nil
+}
+
+// Table renders the soak's per-wave convergence and the run totals.
+func (r LongevityResult) Table() Table {
+	rows := [][]string{
+		{"fault events", fmt.Sprintf("%d over %d waves", r.FaultEvents, len(r.Waves))},
+	}
+	for _, w := range r.Waves {
+		rows = append(rows, []string{
+			fmt.Sprintf("wave %d converged", w.Wave),
+			fmt.Sprintf("%t (drift %d, actions %d)", w.Converged, w.Outstanding, w.Actions),
+		})
+	}
+	rows = append(rows,
+		[]string{"final converged", fmt.Sprintf("%t (drift %d)", r.FinalConverged, r.FinalOutstanding)},
+		[]string{"drift episodes", fmt.Sprintf("%d seen, %d converged", r.DriftsSeen, r.ConvergeEpisodes)},
+		[]string{"reconcile actions", fmt.Sprintf("%d total, %d max per wave", r.ActionsTotal, r.MaxWaveActions)},
+		[]string{"sheds/restores", fmt.Sprintf("%d/%d", r.Sheds, r.Restores)},
+		[]string{"node-down detections", fmt.Sprintf("%d", len(r.Report.Detections))},
+		[]string{"failovers", fmt.Sprintf("%d", len(r.Report.Failovers))},
+		[]string{"MTTR mean", fmt.Sprintf("%.1fs", r.Report.MTTRMean.Seconds())},
+		[]string{"journal", r.JournalSummary},
+	)
+	return Table{
+		Title: fmt.Sprintf("Longevity: %d reconcile-driven storm waves over %s (storm half, quiet half per wave)",
+			len(r.Waves), r.Horizon),
+		Header: []string{"metric", "value"},
+		Rows:   rows,
+	}
+}
+
+func init() {
+	register("longevity", func(p Params) ([]Table, error) {
+		r, _, err := runLongevity(p.Seed, p.Horizon(80*time.Minute), false, p.ShardCount())
+		if err != nil {
+			return nil, err
+		}
+		return []Table{r.Table()}, nil
+	})
+}

@@ -36,6 +36,24 @@ const (
 // ErrInvalidSchedule wraps schedule validation failures.
 var ErrInvalidSchedule = errors.New("faults: invalid schedule")
 
+// Typed validation failures, all wrapping ErrInvalidSchedule so existing
+// errors.Is(err, ErrInvalidSchedule) checks keep matching.
+var (
+	// ErrOverlappingWindows marks two down-windows on the same element that
+	// overlap (a crash before the previous recovery, a link going down twice).
+	ErrOverlappingWindows = fmt.Errorf("%w: overlapping windows", ErrInvalidSchedule)
+	// ErrBeyondHorizon marks a window-opening event scheduled at or past the
+	// simulation horizon: it would silently never fire.
+	ErrBeyondHorizon = fmt.Errorf("%w: event beyond horizon", ErrInvalidSchedule)
+	// ErrUnmatchedRecovery marks a recovery/up/end event with no prior
+	// matching window-opening event on the same element.
+	ErrUnmatchedRecovery = fmt.Errorf("%w: unmatched recovery", ErrInvalidSchedule)
+	// ErrInvalidGenerator marks a chaos-generator configuration that would
+	// silently produce nothing or loop badly (negative or non-finite rates,
+	// negative durations).
+	ErrInvalidGenerator = fmt.Errorf("%w: generator config", ErrInvalidSchedule)
+)
+
 // Event is one scheduled fault. Node events set Node; link and probe-loss
 // events set LinkA/LinkB (order-insensitive).
 type Event struct {
@@ -128,6 +146,108 @@ func (s *Schedule) Validate(topo *mesh.Topology) error {
 		}
 	}
 	return nil
+}
+
+// windowKey reports the element key a window event is tracked under and
+// whether it opens or closes a down-window. Node, link, and probe-loss
+// windows live in separate namespaces: probe loss on a link legitimately
+// overlaps an outage of the same link.
+func (e Event) windowKey() (key string, opens, closes bool) {
+	switch e.Type {
+	case NodeCrash:
+		return "node:" + e.Node, true, false
+	case NodeRecover:
+		return "node:" + e.Node, false, true
+	case LinkDown:
+		return "link:" + e.Link().String(), true, false
+	case LinkUp:
+		return "link:" + e.Link().String(), false, true
+	case ProbeLossStart:
+		return "probe:" + e.Link().String(), true, false
+	case ProbeLossEnd:
+		return "probe:" + e.Link().String(), false, true
+	}
+	return "", false, false
+}
+
+// ValidateWindows checks the schedule's window structure: down-windows on the
+// same element must not overlap (a second crash before the recovery), every
+// recovery must close a window that was opened, and — when horizon > 0 — no
+// window may open at or past the horizon (it would silently never fire).
+// Windows left open at the end of the schedule are legal (the outage persists
+// to the end of the run), as are recoveries past the horizon (same effect).
+// The schedule is inspected in sorted order without being mutated. Returns
+// typed errors wrapping ErrInvalidSchedule.
+//
+// Apply this to hand-written schedules before merging generated chaos on top:
+// the generator never overlaps windows on one element by construction, but a
+// merged schedule legitimately stacks explicit and generated windows, so
+// post-merge validation would reject working scenarios.
+func (s *Schedule) ValidateWindows(horizon time.Duration) error {
+	sorted := &Schedule{Events: append([]Event(nil), s.Events...)}
+	sorted.Sort()
+	open := make(map[string]Event)
+	for _, e := range sorted.Events {
+		key, opens, closes := e.windowKey()
+		switch {
+		case opens:
+			if prev, isOpen := open[key]; isOpen {
+				return fmt.Errorf("%w: %s while %s still open", ErrOverlappingWindows, e, prev)
+			}
+			if horizon > 0 && e.At() >= horizon {
+				return fmt.Errorf("%w: %s at or past horizon %s", ErrBeyondHorizon, e, horizon)
+			}
+			open[key] = e
+		case closes:
+			if _, isOpen := open[key]; !isOpen {
+				return fmt.Errorf("%w: %s closes nothing", ErrUnmatchedRecovery, e)
+			}
+			delete(open, key)
+		}
+	}
+	return nil
+}
+
+// Clamp returns a sorted copy keeping only complete down-windows that close
+// by the horizon; windows that would open past it, stay open across it, or
+// close without opening are dropped. The result always passes
+// ValidateWindows(horizon) when the receiver's windows do not overlap — the
+// tool for composing storm waves that each end fully recovered.
+func (s *Schedule) Clamp(horizon time.Duration) *Schedule {
+	sorted := &Schedule{Events: append([]Event(nil), s.Events...)}
+	sorted.Sort()
+	type openEntry struct {
+		ev  Event
+		idx int
+	}
+	open := make(map[string]openEntry)
+	keep := make([]bool, len(sorted.Events))
+	for i, e := range sorted.Events {
+		key, opens, closes := e.windowKey()
+		switch {
+		case opens:
+			open[key] = openEntry{ev: e, idx: i}
+		case closes:
+			entry, isOpen := open[key]
+			if !isOpen {
+				continue // unmatched recovery: drop
+			}
+			delete(open, key)
+			if entry.ev.At() < horizon && e.At() <= horizon {
+				keep[entry.idx] = true
+				keep[i] = true
+			}
+		default:
+			keep[i] = true // non-window event types pass through untouched
+		}
+	}
+	out := &Schedule{}
+	for i, e := range sorted.Events {
+		if keep[i] {
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out
 }
 
 // Counts tallies events by type, sorted by type name — a compact schedule

@@ -1,6 +1,8 @@
 package faults
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -52,6 +54,41 @@ func (c GeneratorConfig) withDefaults() GeneratorConfig {
 		c.MeanProbeLossWindow = time.Minute
 	}
 	return c
+}
+
+// Validate rejects configurations the generator would otherwise consume
+// silently: negative or non-finite rates (a zero rate is legal and means
+// "none of this fault kind"), negative mean downtimes, and a negative
+// horizon. Errors wrap ErrInvalidGenerator (and thus ErrInvalidSchedule).
+func (c GeneratorConfig) Validate() error {
+	rates := []struct {
+		name string
+		v    float64
+	}{
+		{"nodeCrashesPerHour", c.NodeCrashesPerHour},
+		{"linkFlapsPerHour", c.LinkFlapsPerHour},
+		{"probeLossWindowsPerHour", c.ProbeLossWindowsPerHour},
+	}
+	for _, r := range rates {
+		if r.v < 0 || math.IsNaN(r.v) || math.IsInf(r.v, 0) {
+			return fmt.Errorf("%w: %s = %v", ErrInvalidGenerator, r.name, r.v)
+		}
+	}
+	durs := []struct {
+		name string
+		v    time.Duration
+	}{
+		{"meanNodeDowntime", c.MeanNodeDowntime},
+		{"meanLinkDowntime", c.MeanLinkDowntime},
+		{"meanProbeLossWindow", c.MeanProbeLossWindow},
+		{"horizon", c.Horizon},
+	}
+	for _, d := range durs {
+		if d.v < 0 {
+			return fmt.Errorf("%w: %s = %v", ErrInvalidGenerator, d.name, d.v)
+		}
+	}
+	return nil
 }
 
 // Generate draws a fault schedule over the topology. Nodes are visited in

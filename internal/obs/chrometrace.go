@@ -59,13 +59,14 @@ func trackOf(t EventType) int {
 	switch t {
 	case EventProbeFull, EventProbeHeadroom, EventProbeError, EventHeadroomViolation:
 		return trackProbes
-	case EventMigrationCandidate, EventNodeDown, EventNodeRecovered:
+	case EventMigrationCandidate, EventNodeDown, EventNodeRecovered,
+		EventReconcileDrift:
 		return trackVerdicts
 	case EventDeploy, EventSchedule, EventSchedCandidate:
 		return trackScheduler
 	case EventFault, EventFlowParked, EventFlowResumed, EventTransferFailed:
 		return trackNetwork
-	default: // migration, cordon, evacuate, failover, ...
+	default: // migration, cordon, evacuate, failover, reconcile actions, ...
 		return trackActions
 	}
 }

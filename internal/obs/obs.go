@@ -91,6 +91,26 @@ const (
 	// EventTransferFailed is a transfer aborted because a fault left its
 	// endpoints unreachable.
 	EventTransferFailed EventType = "transfer_failed"
+	// EventReconcileDrift is the reconciler observing that a component's
+	// placement diverged from its spec (Reason = drift kind; Cause = the
+	// probe sample or fault injection that explains it).
+	EventReconcileDrift EventType = "reconcile_drift"
+	// EventReconcileAction is one bounded convergence action (Reason = the
+	// rung it ran on, Value = cumulative attempts for this drift).
+	EventReconcileAction EventType = "reconcile_action"
+	// EventReconcileDegraded is the reconciler escalating a drift to the next
+	// rung of the degraded-mode ladder after its retry budget ran out
+	// (Reason = new rung, Value = rung index).
+	EventReconcileDegraded EventType = "reconcile_degraded"
+	// EventReconcileShed is a whole application shed — its placements removed
+	// and its flows dropped — to free capacity for a higher-priority drift.
+	EventReconcileShed EventType = "reconcile_shed"
+	// EventReconcileRestore is a previously-shed application re-admitted once
+	// the mesh re-converged and the restore cooldown passed.
+	EventReconcileRestore EventType = "reconcile_restore"
+	// EventReconcileConverged closes a drift episode: observed placement
+	// equals desired placement again (Value = episode length in seconds).
+	EventReconcileConverged EventType = "reconcile_converged"
 )
 
 // Metric names shared by the simulated and live paths — one schema, whichever
@@ -101,6 +121,17 @@ const (
 	MetricDepGoodput   = "dependency_goodput_frac"
 	MetricMigrations   = "migrations_total"
 	MetricFailoverMTTR = "failover_mttr_seconds"
+	// MetricReconcileDrift gauges drift outstanding at the end of each
+	// reconcile pass — zero means observed placement matches every spec.
+	MetricReconcileDrift = "reconcile_drift_total"
+	// MetricReconcileConverge records, per converged episode, the seconds
+	// from first drift detection to observed == desired.
+	MetricReconcileConverge = "reconcile_converge_seconds"
+	// MetricReconcileActions counts convergence actions attempted.
+	MetricReconcileActions = "reconcile_actions_total"
+	// MetricDegradedMode gauges the worst active ladder rung (0 = migrate …
+	// 3 = park); zero with no drift means fully healthy.
+	MetricDegradedMode = "degraded_mode"
 )
 
 // Event is one journal entry. Fields are fixed and typed (never a map) so

@@ -537,3 +537,69 @@ func ChooseFailoverTargetExplained(
 	}
 	return chosen, nil
 }
+
+// ErrNoFeasibleNode is returned by ChooseFailoverTargetStrict when nodes have
+// the CPU and memory but none can also carry the component's bandwidth — the
+// caller should escalate (re-route, shed) rather than accept a placement the
+// data plane cannot serve.
+var ErrNoFeasibleNode = errors.New("scheduler: no bandwidth-feasible node for component")
+
+// ChooseFailoverTargetStrict is ChooseFailoverTargetExplained restricted to
+// bandwidth-feasible winners: it refuses the partially-feasible fallback and
+// returns ErrNoFeasibleNode instead. The reconciler's first ladder rung uses
+// it so a clean migration is only claimed when the network can actually carry
+// the result; subsequent rungs fall back to the lenient chooser.
+func ChooseFailoverTargetStrict(
+	g *dag.Graph,
+	component string,
+	assignment Assignment,
+	nodes []NodeInfo,
+	pathAvail PathQuery,
+	cfg MigrationConfig,
+	rec Recorder,
+) (string, error) {
+	comp, err := g.Component(component)
+	if err != nil {
+		return "", err
+	}
+	if comp.Pinned() {
+		// Pinned components have exactly one legal home; strictness adds
+		// nothing beyond the lenient path's fits() check.
+		return ChooseFailoverTargetExplained(g, component, assignment, nodes, pathAvail, cfg, rec)
+	}
+	neighbors := g.Neighbors(component)
+	var cands []candidate
+	var skipped []CandidateScore
+	for _, n := range nodes {
+		if !fits(n, comp) {
+			if rec != nil {
+				skipped = append(skipped, CandidateScore{Node: n.Name, Rejection: RejectNoCapacity})
+			}
+			continue
+		}
+		c := scoreCandidate(g, neighbors, assignment, n.Name, pathAvail, cfg.HeadroomMbps)
+		c.node = n
+		cands = append(cands, c)
+	}
+	if len(cands) == 0 {
+		explain(rec, Explanation{Kind: ChoiceFailover, Component: component, Candidates: skipped})
+		return "", fmt.Errorf("%w: %q", ErrNoFailoverNode, component)
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return betterCandidate(cands[i], cands[j]) })
+	chosen := ""
+	if cands[0].feasible {
+		chosen = cands[0].node.Name
+	}
+	if rec != nil {
+		rec.RecordExplanation(Explanation{
+			Kind:       ChoiceFailover,
+			Component:  component,
+			Chosen:     chosen,
+			Candidates: explainScoreboard(cands, chosen, false, skipped),
+		})
+	}
+	if chosen == "" {
+		return "", fmt.Errorf("%w: %q", ErrNoFeasibleNode, component)
+	}
+	return chosen, nil
+}

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"time"
 
 	"bass/internal/mesh"
@@ -254,6 +255,10 @@ type Network struct {
 	// onto flows created and events emitted while it is in force.
 	plane     *obs.Plane
 	causeSpan uint64
+	// topoHook, when set, runs after every ApplyTopologyState — the
+	// reconciler's eager drift-scan trigger. Off the quiet path: it only
+	// fires on fault-driven availability changes.
+	topoHook func()
 
 	// Incremental-allocation state.
 	flowsDirty bool // flow set or a demand changed since the last full pass
@@ -704,6 +709,49 @@ func (n *Network) ApplyTopologyState() {
 	if n.started {
 		n.armChain() // availability flips change which links can fire next
 	}
+	if n.topoHook != nil {
+		n.topoHook()
+	}
+}
+
+// OnTopologyApplied registers fn to run after every ApplyTopologyState (nil
+// clears it). The orchestrator's reconciler hooks here so injected faults
+// trigger an eager drift scan instead of waiting out the epoch.
+func (n *Network) OnTopologyApplied(fn func()) { n.topoHook = fn }
+
+// ShedFlowsByTagPrefix removes every live flow whose tag starts with prefix —
+// the data-plane half of shedding an application. Streams are journaled as
+// parked-by-shedding then removed outright (the workload re-creates them on
+// restore, against whatever placement then holds); transfers fail through
+// their callbacks like any fault-severed transfer. Returns the number of
+// flows shed. The ambient cause span (SetCause) threads the shed decision
+// into each flow's disruption event.
+func (n *Network) ShedFlowsByTagPrefix(prefix string) int {
+	n.advanceProgress()
+	snapshot := make([]*flow, len(n.flowOrder))
+	copy(snapshot, n.flowOrder)
+	shed := 0
+	for _, f := range snapshot {
+		if f.gone || n.flows[f.id] != f || !strings.HasPrefix(f.tag, prefix) {
+			continue
+		}
+		shed++
+		if f.kind == KindTransfer {
+			n.failTransfer(f)
+			continue
+		}
+		n.plane.EmitSpan(obs.Event{Type: obs.EventFlowParked, Flow: f.tag,
+			Cause: n.eventCause(f), Reason: "application shed"})
+		if f.hasEvent {
+			n.eng.Cancel(f.completionEv)
+			f.hasEvent = false
+		}
+		n.removeFlow(f)
+	}
+	if shed > 0 {
+		n.reallocate()
+	}
+	return shed
 }
 
 // rerouteFlows recomputes every networked flow's route against the current

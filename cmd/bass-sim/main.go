@@ -24,7 +24,7 @@
 //	  "horizonSec": 600, "seed": 42,
 //	  "migration": true, "monitorIntervalSec": 30,
 //	  "reconcile": true,
-//	  "shards": 4,
+//	  "shards": 4, "evalWorkers": 4,
 //	  "rps": 50, "clientNode": "node1",
 //	  "participantsPerNode": 3, "publishMbps": 0.5,
 //	  "faults": [{"atSec": 120, "type": "node-crash", "node": "node2"}],
@@ -95,6 +95,11 @@ type scenario struct {
 	// journal, trace export — is byte-identical at every shard count (the
 	// equivalence the sharded seed-sweep CI test asserts).
 	Shards int `json:"shards,omitempty"`
+	// EvalWorkers fans the controller's per-app evaluation phase across this
+	// many workers; 0/1 = serial. Output — report, journal, trace export —
+	// is byte-identical at every worker count (the equivalence the
+	// parallel-eval CI test asserts).
+	EvalWorkers int `json:"evalWorkers,omitempty"`
 
 	// Social network.
 	RPS        float64 `json:"rps,omitempty"`
@@ -212,6 +217,7 @@ func run(args []string, stdout io.Writer) error {
 	polling := fs.Bool("polling", false, "force the legacy polling network driver for every scenario (output stays bit-identical to event-driven)")
 	reconcile := fs.Bool("reconcile", false, "force the declarative reconciliation loop for every scenario (equivalent to \"reconcile\": true)")
 	shards := fs.Int("shards", 0, "force this mesh shard count for every scenario (0 = scenario value; output stays byte-identical at any count)")
+	evalWorkers := fs.Int("eval-workers", 0, "force this controller eval-worker count for every scenario (0 = scenario value; output stays byte-identical at any count)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -253,6 +259,9 @@ func run(args []string, stdout io.Writer) error {
 			}
 			if *shards > 0 {
 				replica.Shards = *shards
+			}
+			if *evalWorkers > 0 {
+				replica.EvalWorkers = *evalWorkers
 			}
 			specs = append(specs, runSpec{
 				label: fmt.Sprintf("%s seed=%d", p, replica.Seed),
@@ -347,6 +356,7 @@ func executeObserved(sc scenario, out io.Writer, eventsPath, metricsPath, traceP
 		ReservedCPU:     1,
 		PollingNet:      sc.PollingNet,
 		Shards:          sc.Shards,
+		EvalWorkers:     sc.EvalWorkers,
 	}
 	if sc.MonitorIntervalSec > 0 {
 		cfg.MonitorInterval = time.Duration(sc.MonitorIntervalSec) * time.Second

@@ -544,3 +544,76 @@ func TestExecuteRejectsBadFaultSchedule(t *testing.T) {
 		t.Error("invalid fault target: want error")
 	}
 }
+
+// TestParallelEvalSeedSweepByteIdentical sweeps ten seeds of a faulted,
+// chaotic scenario through the CLI with the controller's per-app evaluation
+// phase serial and 4-way parallel, and demands byte-identical journal JSONL
+// and Chrome trace exports for every seed — the parallel-decision invariant,
+// end to end through the binary, on both network drivers (the check CI's
+// race job runs first).
+func TestParallelEvalSeedSweepByteIdentical(t *testing.T) {
+	base := scenario{
+		Topology:           "lan",
+		LANNodes:           4,
+		App:                "camera",
+		Scheduler:          "bfs",
+		HorizonSec:         120,
+		Seed:               9,
+		Migration:          true,
+		MonitorIntervalSec: 30,
+		Faults: []faults.Event{
+			{AtSec: 30, Type: faults.NodeCrash, Node: "node2"},
+			{AtSec: 90, Type: faults.NodeRecover, Node: "node2"},
+		},
+		Chaos: &chaosConfig{LinkFlapsPerHour: 30, MeanLinkDowntimeSec: 15},
+	}
+	const seeds = 10
+	for _, polling := range []bool{false, true} {
+		driver := "event-driven"
+		if polling {
+			driver = "polling"
+		}
+		t.Run(driver, func(t *testing.T) {
+			sc := base
+			sc.PollingNet = polling
+			path := writeScenario(t, sc)
+			sweep := func(workers int) string {
+				t.Helper()
+				dir := t.TempDir()
+				args := []string{
+					"-seeds", fmt.Sprint(seeds),
+					"-eval-workers", fmt.Sprint(workers),
+					"-events-out", filepath.Join(dir, "events.jsonl"),
+					"-trace-out", filepath.Join(dir, "trace.json"),
+					path,
+				}
+				if err := run(args, io.Discard); err != nil {
+					t.Fatal(err)
+				}
+				return dir
+			}
+			serial := sweep(1)
+			parallel := sweep(4)
+			for i := 0; i < seeds; i++ {
+				for _, name := range []string{"events.jsonl", "trace.json"} {
+					f := derivePath(name, i, seeds)
+					a, err := os.ReadFile(filepath.Join(serial, f))
+					if err != nil {
+						t.Fatal(err)
+					}
+					b, err := os.ReadFile(filepath.Join(parallel, f))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(a) == 0 {
+						t.Fatalf("seed %d: serial %s is empty", sc.Seed+int64(i), name)
+					}
+					if !bytes.Equal(a, b) {
+						t.Errorf("seed %d: %s differs between serial and 4-worker eval runs",
+							sc.Seed+int64(i), name)
+					}
+				}
+			}
+		})
+	}
+}

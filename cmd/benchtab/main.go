@@ -64,6 +64,7 @@ func run(args []string, stdout io.Writer) error {
 	scaleFlows := fs.Int("scale-flows", 5000, "scale sweep: concurrent streams")
 	scaleHorizon := fs.Duration("scale-horizon", time.Minute, "scale sweep: simulated horizon")
 	scaleShards := fs.String("scale-shards", "1,4,8", "scale sweep: comma-separated shard counts to measure")
+	schedOut := fs.String("sched-out", "", "run the control-plane benchmark sweep and write a BENCH_sched.json report to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -98,6 +99,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *scaleOut != "" {
 		return runScaleSweep(stdout, *scaleOut, *scaleNodes, *scaleFlows, *scaleHorizon, *scaleShards, *seed)
+	}
+	if *schedOut != "" {
+		return runSchedSweep(stdout, *schedOut, *seed, *quick)
 	}
 	names := fs.Args()
 	if len(names) == 0 {
@@ -178,6 +182,35 @@ func runScaleSweep(stdout io.Writer, outPath string, nodes, flows int, horizon t
 	}
 	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
 		return fmt.Errorf("scale report: %w", err)
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d entries)\n", outPath, len(report.Entries))
+	return nil
+}
+
+// runSchedSweep measures the control-plane decision loop across the
+// canonical mesh × density × load × mode grid and writes the
+// BENCH_sched.json report CI's sched-smoke job gates on. -quick selects the
+// reduced smoke subset.
+func runSchedSweep(stdout io.Writer, outPath string, seed int64, quick bool) error {
+	report := experiments.SchedReport{
+		Schema: experiments.SchedReportSchema,
+		Seed:   seed,
+	}
+	for _, opts := range experiments.SchedSweep(seed, quick) {
+		res, err := experiments.RunSched(opts)
+		if err != nil {
+			return fmt.Errorf("sched sweep (%d nodes, %d apps, %s): %w",
+				opts.Nodes, opts.Apps, opts.Mode, err)
+		}
+		report.Entries = append(report.Entries, res.Entry())
+		fmt.Fprintln(stdout, res.Table().String())
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("sched report: %w", err)
 	}
 	fmt.Fprintf(stdout, "wrote %s (%d entries)\n", outPath, len(report.Entries))
 	return nil

@@ -1,17 +1,27 @@
-// Command scalegate compares a freshly measured BENCH_scale.json against the
+// Command scalegate compares a freshly measured benchmark report against the
 // checked-in baseline and exits non-zero on a throughput regression — the CI
-// gate behind the scale-smoke job.
+// gate behind the scale-smoke and sched-smoke jobs.
 //
 // Usage:
 //
 //	scalegate -current BENCH_scale.json -baseline ci/BENCH_scale.baseline.json \
 //	          [-max-regress 0.20] [-min-realtime 1.0]
+//	scalegate -kind sched -current BENCH_sched.json -baseline ci/BENCH_sched.baseline.json \
+//	          [-max-regress 0.20] [-min-speedup 5]
 //
-// Entries are matched by shard count. For each baseline entry the current
-// run's events/sec must be at least (1 - max-regress) of the baseline's;
-// -min-realtime additionally demands every current entry simulate faster than
-// real time by that factor. Baselines are refreshed by regenerating the JSON
-// on a quiet machine and committing it (see README "Scale trajectory").
+// -kind scale (the default) gates BENCH_scale.json: entries are matched by
+// shard count and each current events/sec must be at least (1 - max-regress)
+// of the baseline's; -min-realtime additionally demands every current entry
+// simulate faster than real time by that factor.
+//
+// -kind sched gates BENCH_sched.json: entries are matched by (nodes, apps,
+// storm, mode) and compared on decisions/sec. -min-speedup additionally
+// requires the hot path to beat the legacy reference by that factor at the
+// largest storm configuration in the current report — the committed
+// artifact's headline claim, checked mechanically so it cannot rot.
+//
+// Baselines are refreshed by regenerating the JSON on a quiet machine and
+// committing it (see README "Scale trajectory").
 package main
 
 import (
@@ -33,21 +43,41 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("scalegate", flag.ContinueOnError)
-	curPath := fs.String("current", "BENCH_scale.json", "freshly measured scale report")
-	basePath := fs.String("baseline", "ci/BENCH_scale.baseline.json", "checked-in baseline report")
-	maxRegress := fs.Float64("max-regress", 0.20, "maximum allowed fractional events/sec drop vs baseline")
-	minRealtime := fs.Float64("min-realtime", 0, "minimum real-time factor every current entry must reach (0 = no floor)")
+	kind := fs.String("kind", "scale", "report kind to gate: scale (BENCH_scale.json) or sched (BENCH_sched.json)")
+	curPath := fs.String("current", "", "freshly measured report (default BENCH_<kind>.json)")
+	basePath := fs.String("baseline", "", "checked-in baseline report (default ci/BENCH_<kind>.baseline.json)")
+	maxRegress := fs.Float64("max-regress", 0.20, "maximum allowed fractional throughput drop vs baseline")
+	minRealtime := fs.Float64("min-realtime", 0, "scale: minimum real-time factor every current entry must reach (0 = no floor)")
+	minSpeedup := fs.Float64("min-speedup", 0, "sched: minimum parallel-vs-legacy decisions/sec ratio at the largest storm config (0 = no check)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *maxRegress < 0 || *maxRegress >= 1 {
 		return fmt.Errorf("-max-regress must be in [0, 1), got %g", *maxRegress)
 	}
-	cur, err := readReport(*curPath)
+	switch *kind {
+	case "scale", "sched":
+	default:
+		return fmt.Errorf("-kind must be scale or sched, got %q", *kind)
+	}
+	if *curPath == "" {
+		*curPath = "BENCH_" + *kind + ".json"
+	}
+	if *basePath == "" {
+		*basePath = "ci/BENCH_" + *kind + ".baseline.json"
+	}
+	if *kind == "sched" {
+		return runSchedGate(stdout, *curPath, *basePath, *maxRegress, *minSpeedup)
+	}
+	return runScaleGate(stdout, *curPath, *basePath, *maxRegress, *minRealtime)
+}
+
+func runScaleGate(stdout io.Writer, curPath, basePath string, maxRegress, minRealtime float64) error {
+	cur, err := readScaleReport(curPath)
 	if err != nil {
 		return err
 	}
-	base, err := readReport(*basePath)
+	base, err := readScaleReport(basePath)
 	if err != nil {
 		return err
 	}
@@ -67,22 +97,22 @@ func run(args []string, stdout io.Writer) error {
 			failures = append(failures, fmt.Sprintf("%d shard(s): missing from current report", b.Shards))
 			continue
 		}
-		floor := b.EventsPerSec * (1 - *maxRegress)
+		floor := b.EventsPerSec * (1 - maxRegress)
 		status := "ok"
 		if c.EventsPerSec < floor {
 			status = "REGRESSION"
 			failures = append(failures, fmt.Sprintf(
 				"%d shard(s): %.0f events/sec < floor %.0f (baseline %.0f, max regress %.0f%%)",
-				b.Shards, c.EventsPerSec, floor, b.EventsPerSec, *maxRegress*100))
+				b.Shards, c.EventsPerSec, floor, b.EventsPerSec, maxRegress*100))
 		}
 		fmt.Fprintf(stdout, "%d shard(s): %.0f events/sec (baseline %.0f, floor %.0f) realtime %.1fx — %s\n",
 			b.Shards, c.EventsPerSec, b.EventsPerSec, floor, c.RealTimeFactor, status)
 	}
-	if *minRealtime > 0 {
+	if minRealtime > 0 {
 		for _, e := range cur.Entries {
-			if e.RealTimeFactor < *minRealtime {
+			if e.RealTimeFactor < minRealtime {
 				failures = append(failures, fmt.Sprintf(
-					"%d shard(s): real-time factor %.2f below floor %.2f", e.Shards, e.RealTimeFactor, *minRealtime))
+					"%d shard(s): real-time factor %.2f below floor %.2f", e.Shards, e.RealTimeFactor, minRealtime))
 			}
 		}
 	}
@@ -90,13 +120,123 @@ func run(args []string, stdout io.Writer) error {
 		for _, f := range failures {
 			fmt.Fprintln(stdout, "FAIL:", f)
 		}
-		return fmt.Errorf("%d scale regression(s) vs %s", len(failures), *basePath)
+		return fmt.Errorf("%d scale regression(s) vs %s", len(failures), basePath)
 	}
 	fmt.Fprintln(stdout, "scale gate passed")
 	return nil
 }
 
-func readReport(path string) (experiments.ScaleReport, error) {
+// schedKey identifies one control-plane configuration across reports.
+type schedKey struct {
+	nodes, apps int
+	storm       bool
+	mode        string
+}
+
+func (k schedKey) String() string {
+	load := "quiet"
+	if k.storm {
+		load = "storm"
+	}
+	return fmt.Sprintf("%d nodes/%d apps/%s/%s", k.nodes, k.apps, load, k.mode)
+}
+
+func runSchedGate(stdout io.Writer, curPath, basePath string, maxRegress, minSpeedup float64) error {
+	cur, err := readSchedReport(curPath)
+	if err != nil {
+		return err
+	}
+	base, err := readSchedReport(basePath)
+	if err != nil {
+		return err
+	}
+
+	curBy := map[schedKey]experiments.SchedEntry{}
+	for _, e := range cur.Entries {
+		curBy[schedKey{e.Nodes, e.Apps, e.Storm, e.Mode}] = e
+	}
+	var failures []string
+	for _, b := range base.Entries {
+		k := schedKey{b.Nodes, b.Apps, b.Storm, b.Mode}
+		c, ok := curBy[k]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from current report", k))
+			continue
+		}
+		floor := b.DecisionsPerSec * (1 - maxRegress)
+		status := "ok"
+		if c.DecisionsPerSec < floor {
+			status = "REGRESSION"
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f decisions/sec < floor %.0f (baseline %.0f, max regress %.0f%%)",
+				k, c.DecisionsPerSec, floor, b.DecisionsPerSec, maxRegress*100))
+		}
+		fmt.Fprintf(stdout, "%s: %.0f decisions/sec (baseline %.0f, floor %.0f) — %s\n",
+			k, c.DecisionsPerSec, b.DecisionsPerSec, floor, status)
+	}
+	if minSpeedup > 0 {
+		if msg := checkSpeedup(stdout, cur.Entries, minSpeedup); msg != "" {
+			failures = append(failures, msg)
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(stdout, "FAIL:", f)
+		}
+		return fmt.Errorf("%d sched regression(s) vs %s", len(failures), basePath)
+	}
+	fmt.Fprintln(stdout, "sched gate passed")
+	return nil
+}
+
+// checkSpeedup verifies the headline hot-path claim on the current report: at
+// the largest storm configuration carrying both a legacy and a parallel
+// measurement, parallel decisions/sec must be at least minSpeedup × legacy's.
+// Returns a failure message, or "" when the claim holds.
+func checkSpeedup(stdout io.Writer, entries []experiments.SchedEntry, minSpeedup float64) string {
+	type pair struct{ legacy, parallel float64 }
+	pairs := map[schedKey]*pair{}
+	for _, e := range entries {
+		if !e.Storm {
+			continue
+		}
+		k := schedKey{nodes: e.Nodes, apps: e.Apps, storm: true} // mode-less group key
+		p := pairs[k]
+		if p == nil {
+			p = &pair{}
+			pairs[k] = p
+		}
+		switch e.Mode {
+		case "legacy":
+			p.legacy = e.DecisionsPerSec
+		case "parallel":
+			p.parallel = e.DecisionsPerSec
+		}
+	}
+	var best schedKey
+	var bestPair *pair
+	for k, p := range pairs {
+		if p.legacy <= 0 || p.parallel <= 0 {
+			continue
+		}
+		if bestPair == nil || k.nodes*k.apps > best.nodes*best.apps {
+			best, bestPair = k, p
+		}
+	}
+	if bestPair == nil {
+		return "speedup check: no storm config with both legacy and parallel entries"
+	}
+	speedup := bestPair.parallel / bestPair.legacy
+	fmt.Fprintf(stdout, "hot-path speedup at %d nodes/%d apps/storm: %.1fx (floor %.1fx)\n",
+		best.nodes, best.apps, speedup, minSpeedup)
+	if speedup < minSpeedup {
+		return fmt.Sprintf("%d nodes/%d apps/storm: parallel/legacy speedup %.2fx below floor %.2fx",
+			best.nodes, best.apps, speedup, minSpeedup)
+	}
+	return ""
+}
+
+func readScaleReport(path string) (experiments.ScaleReport, error) {
 	var r experiments.ScaleReport
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -107,6 +247,24 @@ func readReport(path string) (experiments.ScaleReport, error) {
 	}
 	if r.Schema != experiments.ScaleReportSchema {
 		return r, fmt.Errorf("%s: schema %q, want %q — regenerate with benchtab -scale-out", path, r.Schema, experiments.ScaleReportSchema)
+	}
+	if len(r.Entries) == 0 {
+		return r, fmt.Errorf("%s: no entries", path)
+	}
+	return r, nil
+}
+
+func readSchedReport(path string) (experiments.SchedReport, error) {
+	var r experiments.SchedReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != experiments.SchedReportSchema {
+		return r, fmt.Errorf("%s: schema %q, want %q — regenerate with benchtab -sched-out", path, r.Schema, experiments.SchedReportSchema)
 	}
 	if len(r.Entries) == 0 {
 		return r, fmt.Errorf("%s: no entries", path)

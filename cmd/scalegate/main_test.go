@@ -123,3 +123,111 @@ func TestGateRejectsMalformedInput(t *testing.T) {
 		t.Error("max-regress out of range: want error")
 	}
 }
+
+func writeSchedReport(t *testing.T, dir, name string, entries ...experiments.SchedEntry) string {
+	t.Helper()
+	data, err := json.Marshal(experiments.SchedReport{
+		Schema: experiments.SchedReportSchema, Seed: 42, Entries: entries,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSchedGateRegressionAndTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSchedReport(t, dir, "base.json",
+		experiments.SchedEntry{Nodes: 64, Apps: 80, Storm: true, Mode: "serial", DecisionsPerSec: 10000},
+		experiments.SchedEntry{Nodes: 64, Apps: 80, Storm: true, Mode: "parallel", DecisionsPerSec: 20000},
+	)
+	// 15% down: within the 20% tolerance.
+	cur := writeSchedReport(t, dir, "cur.json",
+		experiments.SchedEntry{Nodes: 64, Apps: 80, Storm: true, Mode: "serial", DecisionsPerSec: 8500},
+		experiments.SchedEntry{Nodes: 64, Apps: 80, Storm: true, Mode: "parallel", DecisionsPerSec: 17000},
+	)
+	var out strings.Builder
+	if err := run([]string{"-kind", "sched", "-current", cur, "-baseline", base}, &out); err != nil {
+		t.Fatalf("within tolerance, want pass: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "sched gate passed") {
+		t.Errorf("missing pass line:\n%s", out.String())
+	}
+	// 40% down on one entry: regression.
+	slow := writeSchedReport(t, dir, "slow.json",
+		experiments.SchedEntry{Nodes: 64, Apps: 80, Storm: true, Mode: "serial", DecisionsPerSec: 9900},
+		experiments.SchedEntry{Nodes: 64, Apps: 80, Storm: true, Mode: "parallel", DecisionsPerSec: 12000},
+	)
+	out.Reset()
+	if err := run([]string{"-kind", "sched", "-current", slow, "-baseline", base}, &out); err == nil {
+		t.Fatalf("40%% regression, want failure:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("missing REGRESSION marker:\n%s", out.String())
+	}
+	// Missing entry: failure.
+	missing := writeSchedReport(t, dir, "missing.json",
+		experiments.SchedEntry{Nodes: 64, Apps: 80, Storm: true, Mode: "serial", DecisionsPerSec: 10000},
+	)
+	if err := run([]string{"-kind", "sched", "-current", missing, "-baseline", base}, io.Discard); err == nil {
+		t.Error("missing parallel entry: want failure")
+	}
+}
+
+func TestSchedGateSpeedupFloor(t *testing.T) {
+	dir := t.TempDir()
+	// The largest storm config (196/1400) carries the speedup claim; the
+	// smaller one is below the floor but must not be consulted.
+	cur := writeSchedReport(t, dir, "cur.json",
+		experiments.SchedEntry{Nodes: 64, Apps: 80, Storm: true, Mode: "legacy", DecisionsPerSec: 9000},
+		experiments.SchedEntry{Nodes: 64, Apps: 80, Storm: true, Mode: "parallel", DecisionsPerSec: 18000},
+		experiments.SchedEntry{Nodes: 196, Apps: 1400, Storm: true, Mode: "legacy", DecisionsPerSec: 1000},
+		experiments.SchedEntry{Nodes: 196, Apps: 1400, Storm: true, Mode: "parallel", DecisionsPerSec: 8000},
+	)
+	var out strings.Builder
+	if err := run([]string{"-kind", "sched", "-current", cur, "-baseline", cur, "-min-speedup", "5"}, &out); err != nil {
+		t.Fatalf("8x speedup at largest config, want pass: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "hot-path speedup at 196 nodes/1400 apps") {
+		t.Errorf("speedup not measured at largest config:\n%s", out.String())
+	}
+	// Floor above the measured ratio: failure.
+	if err := run([]string{"-kind", "sched", "-current", cur, "-baseline", cur, "-min-speedup", "10"}, io.Discard); err == nil {
+		t.Error("8x speedup under 10x floor: want failure")
+	}
+	// No legacy entries at all: the check cannot pass vacuously.
+	noLegacy := writeSchedReport(t, dir, "nolegacy.json",
+		experiments.SchedEntry{Nodes: 64, Apps: 80, Storm: true, Mode: "parallel", DecisionsPerSec: 18000},
+	)
+	if err := run([]string{"-kind", "sched", "-current", noLegacy, "-baseline", noLegacy, "-min-speedup", "5"}, io.Discard); err == nil {
+		t.Error("no legacy entry: want failure, not a vacuous pass")
+	}
+}
+
+func TestSchedGateRejectsWrongSchemaAndKind(t *testing.T) {
+	dir := t.TempDir()
+	good := writeSchedReport(t, dir, "good.json",
+		experiments.SchedEntry{Nodes: 64, Apps: 80, Storm: true, Mode: "serial", DecisionsPerSec: 1},
+	)
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v9","entries":[{"nodes":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-kind", "sched", "-current", bad, "-baseline", good}, io.Discard); err == nil {
+		t.Error("wrong schema: want error")
+	}
+	// A scale report fed to the sched gate is a schema mismatch, not a panic.
+	scale := writeReport(t, dir, "scale.json", report(
+		experiments.ScaleEntry{Shards: 1, EventsPerSec: 1000},
+	))
+	if err := run([]string{"-kind", "sched", "-current", scale, "-baseline", good}, io.Discard); err == nil {
+		t.Error("scale report under -kind sched: want error")
+	}
+	if err := run([]string{"-kind", "bogus", "-current", good, "-baseline", good}, io.Discard); err == nil {
+		t.Error("unknown kind: want error")
+	}
+}

@@ -52,6 +52,11 @@ type Cluster struct {
 	usedCPU    map[string]float64
 	usedMem    map[string]float64
 	placements map[string]Placement // key: app/component
+	// byApp indexes placements as app → component → node so the hot-path
+	// NodeOf query is two map lookups with no key concatenation. The control
+	// loop calls NodeOf once per dependency edge per cycle; the string build
+	// in placementKey was a per-query allocation at city-scale density.
+	byApp map[string]map[string]string
 
 	// cordoned marks nodes temporarily closed to new placements (crashed or
 	// suspected down). Unlike Node.Unschedulable — a static property of
@@ -67,6 +72,7 @@ func New(nodes ...Node) (*Cluster, error) {
 		usedCPU:    make(map[string]float64, len(nodes)),
 		usedMem:    make(map[string]float64, len(nodes)),
 		placements: make(map[string]Placement),
+		byApp:      make(map[string]map[string]string),
 		cordoned:   make(map[string]bool),
 	}
 	for _, n := range nodes {
@@ -121,13 +127,19 @@ func (c *Cluster) Nodes() []string {
 // SchedulableNodes returns names of nodes that may run components, excluding
 // cordoned ones.
 func (c *Cluster) SchedulableNodes() []string {
-	var out []string
+	return c.SchedulableNodesInto(nil)
+}
+
+// SchedulableNodesInto appends schedulable node names to buf (reusing its
+// capacity) and returns it — the allocation-free variant of SchedulableNodes
+// for the controller's per-cycle node snapshot.
+func (c *Cluster) SchedulableNodesInto(buf []string) []string {
 	for _, name := range c.order {
 		if !c.nodes[name].Unschedulable && !c.cordoned[name] {
-			out = append(out, name)
+			buf = append(buf, name)
 		}
 	}
-	return out
+	return buf
 }
 
 // Cordon closes a node to new placements. Existing placements stay recorded
@@ -214,6 +226,12 @@ func (c *Cluster) Place(p Placement) error {
 	c.usedCPU[p.Node] += p.CPU
 	c.usedMem[p.Node] += p.MemoryMB
 	c.placements[key] = p
+	app := c.byApp[p.App]
+	if app == nil {
+		app = make(map[string]string)
+		c.byApp[p.App] = app
+	}
+	app[p.Component] = p.Node
 	return nil
 }
 
@@ -227,6 +245,12 @@ func (c *Cluster) Remove(app, component string) error {
 	c.usedCPU[p.Node] -= p.CPU
 	c.usedMem[p.Node] -= p.MemoryMB
 	delete(c.placements, key)
+	if app := c.byApp[p.App]; app != nil {
+		delete(app, component)
+		if len(app) == 0 {
+			delete(c.byApp, p.App)
+		}
+	}
 	return nil
 }
 
@@ -263,12 +287,9 @@ func (c *Cluster) PlacementOf(app, component string) (Placement, error) {
 }
 
 // NodeOf returns the node a component runs on, or "" if not placed.
+// Served from the per-app index: two lookups, no allocation.
 func (c *Cluster) NodeOf(app, component string) string {
-	p, ok := c.placements[placementKey(app, component)]
-	if !ok {
-		return ""
-	}
-	return p.Node
+	return c.byApp[app][component]
 }
 
 // Placements returns all placements sorted by (app, component).
@@ -345,6 +366,7 @@ func (c *Cluster) Clone() *Cluster {
 		usedCPU:    make(map[string]float64, len(c.usedCPU)),
 		usedMem:    make(map[string]float64, len(c.usedMem)),
 		placements: make(map[string]Placement, len(c.placements)),
+		byApp:      make(map[string]map[string]string, len(c.byApp)),
 		cordoned:   make(map[string]bool, len(c.cordoned)),
 	}
 	for k, v := range c.cordoned {
@@ -361,6 +383,13 @@ func (c *Cluster) Clone() *Cluster {
 	}
 	for k, v := range c.placements {
 		out.placements[k] = v
+	}
+	for app, comps := range c.byApp {
+		cc := make(map[string]string, len(comps))
+		for comp, node := range comps {
+			cc[comp] = node
+		}
+		out.byApp[app] = cc
 	}
 	return out
 }

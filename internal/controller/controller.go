@@ -100,6 +100,13 @@ type Controller struct {
 	// Decisions report transitions rather than repeating standing state.
 	deadNodes map[string]bool
 
+	// Per-cycle scratch, reused so a quiet cycle allocates nothing. exclude
+	// is the re-migration guard set built once in Observe; cycleCandidates
+	// accumulates every candidate seen by ResolveApp this cycle, so
+	// FinishCycle can expire the violation clocks that cleared.
+	exclude         map[string]bool
+	cycleCandidates map[string]bool
+
 	// plane journals verdicts (candidates entering cooldown, node liveness
 	// transitions) when observability is attached; nil costs nothing.
 	plane *obs.Plane
@@ -121,6 +128,8 @@ func New(monitor *netmon.Monitor, cfg Config, now func() time.Duration) *Control
 		firstViolationSpan: make(map[string]uint64),
 		lastMigration:      make(map[string]time.Duration),
 		deadNodes:          make(map[string]bool),
+		exclude:            make(map[string]bool),
+		cycleCandidates:    make(map[string]bool),
 	}
 }
 
@@ -133,14 +142,42 @@ func (c *Controller) SetObserver(p *obs.Plane) { c.plane = p }
 // Migrations reports the total number of migrations approved so far.
 func (c *Controller) Migrations() int { return c.migrations }
 
-// Evaluate runs one monitoring cycle: headroom-probe all links, refresh the
-// capacity estimates of links whose headroom changed, then select migration
-// candidates from dependency usages observed against the fresh measurements
-// (Algorithm 3), approving those whose violations persisted past the
-// cooldown. usagesFn runs after probing so decisions never lag the network
-// by a monitoring interval; fullProbe (optional) refreshes one link's cached
-// capacity.
-func (c *Controller) Evaluate(g *dag.Graph, usagesFn func() []scheduler.DependencyUsage, fullProbe func(mesh.LinkID) error) (Decision, error) {
+// CycleObservation is the application-independent half of one evaluation
+// cycle: the probe sweep, its derived liveness transitions, the cycle's
+// cause span, and the re-migration exclusion set. One Observe feeds every
+// application's ResolveApp that cycle; the orchestrator's parallel
+// evaluation phase reads it without synchronisation because Observe — the
+// only writer — runs strictly before the fan-out.
+type CycleObservation struct {
+	// FullProbeLinks are links whose headroom changed enough that the
+	// cached capacity was refreshed with a max-capacity probe.
+	FullProbeLinks []mesh.LinkID
+	// HeadroomEvents are the probe observations that feed this cycle.
+	HeadroomEvents []netmon.HeadroomEvent
+	// ProbeErrors are the links that could not be probed this cycle.
+	ProbeErrors []netmon.ProbeError
+	// NodesDown / NodesRecovered list this cycle's liveness transitions,
+	// with the spans of their journal verdicts.
+	NodesDown          []string
+	NodesRecovered     []string
+	NodeDownSpans      map[string]uint64
+	NodeRecoveredSpans map[string]uint64
+	// CycleCause is the probe evidence span this cycle's verdicts cite: the
+	// first violated headroom event, else the first probe observation.
+	CycleCause uint64
+	// Exclude marks components inside their re-migration guard; pass it to
+	// scheduler.FindMigrationCandidates. Valid until the next Observe.
+	Exclude map[string]bool
+
+	now time.Duration
+}
+
+// Observe runs the shared half of one monitoring cycle: headroom-probe all
+// links, refresh capacity estimates of links whose headroom changed, run
+// failure detection, and build the exclusion set. fullProbe (optional)
+// refreshes one link's cached capacity. All journal emissions happen here,
+// serially, in sorted link order.
+func (c *Controller) Observe(fullProbe func(mesh.LinkID) error) CycleObservation {
 	events, probeErrs := c.monitor.HeadroomProbeAll()
 	var probeLinks []mesh.LinkID
 	for _, ev := range events {
@@ -233,67 +270,113 @@ func (c *Controller) Evaluate(g *dag.Graph, usagesFn func() []scheduler.Dependen
 		}
 	}
 
-	usages := usagesFn()
-
 	// Components inside their re-migration guard cannot be candidates; their
 	// violating partners take their place (progressive relocation, Table 1).
 	now := c.now()
-	exclude := make(map[string]bool)
+	clear(c.exclude)
 	for name, last := range c.lastMigration {
 		if now-last < c.cfg.ReMigrationInterval {
-			exclude[name] = true
+			c.exclude[name] = true
 		}
 	}
-	report := scheduler.FindMigrationCandidates(g, usages, c.cfg.Migration, exclude)
 
-	candidateSet := make(map[string]bool, len(report.Candidates))
+	return CycleObservation{
+		FullProbeLinks:     probeLinks,
+		HeadroomEvents:     events,
+		ProbeErrors:        probeErrs,
+		NodesDown:          nodesDown,
+		NodesRecovered:     nodesRecovered,
+		NodeDownSpans:      nodeDownSpans,
+		NodeRecoveredSpans: nodeRecoveredSpans,
+		CycleCause:         cycleCause,
+		Exclude:            c.exclude,
+		now:                now,
+	}
+}
+
+// AppDecision is one application's share of a cycle's verdict: the
+// components whose violations survived the cooldown, and the spans of the
+// migration_candidate events that opened their violation windows.
+type AppDecision struct {
+	Migrate        []string
+	CandidateSpans map[string]uint64
+}
+
+// ResolveApp folds one application's Algorithm 3 report into the
+// controller's cooldown state: new candidates open violation windows (and
+// journal migration_candidate verdicts citing the cycle cause), candidates
+// past the cooldown are approved. Serial — it journals and mutates clocks;
+// the orchestrator calls it app by app in deterministic order during the
+// commit phase, after the parallel evaluation produced the reports. Call
+// FinishCycle once all apps of the cycle are resolved.
+func (c *Controller) ResolveApp(o *CycleObservation, report scheduler.MigrationReport) AppDecision {
+	now := o.now
 	for _, name := range report.Candidates {
-		candidateSet[name] = true
+		c.cycleCandidates[name] = true
 		if _, ok := c.firstViolation[name]; !ok {
 			c.firstViolation[name] = now
 			// Journal the moment a component enters the violation window —
 			// the cooldown clock that explains a later migration starts here.
 			span := c.plane.EmitSpan(obs.Event{Type: obs.EventMigrationCandidate, Component: name,
-				Cause: cycleCause, Reason: "bandwidth violation observed; cooldown started"})
+				Cause: o.CycleCause, Reason: "bandwidth violation observed; cooldown started"})
 			if span != 0 {
 				c.firstViolationSpan[name] = span
 			}
 		}
 	}
-	// Violations that cleared reset their cooldown clocks.
-	for name := range c.firstViolation {
-		if !candidateSet[name] {
-			delete(c.firstViolation, name)
-			delete(c.firstViolationSpan, name)
-		}
-	}
 
-	var migrate []string
-	var candidateSpans map[string]uint64
+	var dec AppDecision
 	for _, name := range report.Candidates {
 		if span, ok := c.firstViolationSpan[name]; ok {
-			if candidateSpans == nil {
-				candidateSpans = make(map[string]uint64, len(report.Candidates))
+			if dec.CandidateSpans == nil {
+				dec.CandidateSpans = make(map[string]uint64, len(report.Candidates))
 			}
-			candidateSpans[name] = span
+			dec.CandidateSpans[name] = span
 		}
 		if now-c.firstViolation[name] < c.cfg.Cooldown {
 			continue
 		}
-		migrate = append(migrate, name)
+		dec.Migrate = append(dec.Migrate, name)
 	}
+	return dec
+}
+
+// FinishCycle closes one evaluation cycle: violations that cleared — open
+// windows whose components were candidates of no application this cycle —
+// reset their cooldown clocks.
+func (c *Controller) FinishCycle() {
+	for name := range c.firstViolation {
+		if !c.cycleCandidates[name] {
+			delete(c.firstViolation, name)
+			delete(c.firstViolationSpan, name)
+		}
+	}
+	clear(c.cycleCandidates)
+}
+
+// Evaluate runs one complete single-application monitoring cycle: Observe,
+// then usages → Algorithm 3 → ResolveApp → FinishCycle. usagesFn runs after
+// probing so decisions never lag the network by a monitoring interval.
+// Multi-application orchestrators drive the pieces directly — one Observe,
+// then per-app candidate selection (parallelisable) and serial ResolveApp.
+func (c *Controller) Evaluate(g *dag.Graph, usagesFn func() []scheduler.DependencyUsage, fullProbe func(mesh.LinkID) error) (Decision, error) {
+	o := c.Observe(fullProbe)
+	usages := usagesFn()
+	report := scheduler.FindMigrationCandidates(g, usages, c.cfg.Migration, o.Exclude)
+	dec := c.ResolveApp(&o, report)
+	c.FinishCycle()
 
 	return Decision{
-		FullProbeLinks:     probeLinks,
-		Migrate:            migrate,
+		FullProbeLinks:     o.FullProbeLinks,
+		Migrate:            dec.Migrate,
 		Report:             report,
-		HeadroomEvents:     events,
-		ProbeErrors:        probeErrs,
-		NodesDown:          nodesDown,
-		NodesRecovered:     nodesRecovered,
-		CandidateSpans:     candidateSpans,
-		NodeDownSpans:      nodeDownSpans,
-		NodeRecoveredSpans: nodeRecoveredSpans,
+		HeadroomEvents:     o.HeadroomEvents,
+		ProbeErrors:        o.ProbeErrors,
+		NodesDown:          o.NodesDown,
+		NodesRecovered:     o.NodesRecovered,
+		CandidateSpans:     dec.CandidateSpans,
+		NodeDownSpans:      o.NodeDownSpans,
+		NodeRecoveredSpans: o.NodeRecoveredSpans,
 	}, nil
 }
 

@@ -146,6 +146,19 @@ type Config struct {
 	// setting trades wall-clock for nothing but worker overhead at small
 	// scales. NewSimulation fails when Shards exceeds the node count.
 	Shards int
+	// EvalWorkers sizes the worker pool for the controller's per-application
+	// evaluation fan-out and for chunked migration-candidate scoring. 0 or 1
+	// evaluates serially. Decisions are byte-identical at any worker count:
+	// the parallel phase only reads shared state, and every journal event,
+	// metric, and placement mutation is committed serially in deployment
+	// order afterwards.
+	EvalWorkers int
+	// LegacyControlLoop restores the pre-oracle control path: no path-metric
+	// cache, per-link headroom probes, per-app probe sweeps, fresh node and
+	// assignment snapshots on every migration. It exists as the reference
+	// side of the control-plane benchmarks; decisions are equivalent but the
+	// multi-app journal interleaving differs (probes repeat per app).
+	LegacyControlLoop bool
 }
 
 func (c Config) withDefaults() Config {
@@ -210,10 +223,12 @@ type EvaluationRecord struct {
 }
 
 type deployedApp struct {
-	name     string
-	workload Workload
-	graph    *dag.Graph
-	env      *Env
+	name      string
+	workload  Workload
+	graph     *dag.Graph
+	env       *Env
+	edgePeaks map[string]float64 // tag → peak observed Mbps (online profiling)
+	scratch   *appEvalScratch
 }
 
 // Orchestrator is the BASS control plane over a simulated mesh.
@@ -231,9 +246,26 @@ type Orchestrator struct {
 	migrations  []MigrationEvent
 	evaluations []EvaluationRecord
 	stopMonitor func()
-	schedLatNS  []float64          // per-component scheduling latencies (Table 3)
-	dagProcNS   []float64          // DAG processing times (Table 4)
-	edgePeaks   map[string]float64 // tag → peak observed Mbps (online profiling)
+	schedLat    ringF64 // per-component scheduling latencies (Table 3)
+	dagProc     ringF64 // DAG processing times (Table 4)
+
+	// Control-plane hot-path state (see hotpath.go). The scratch slices and
+	// prebuilt task closures let a quiet controller epoch run without
+	// allocating; the pool fans per-app evaluation out across workers.
+	evalPool        *sim.Pool
+	appScratch      []*appEvalScratch
+	evalTasks       []func()
+	cycleExclude    map[string]bool // controller's re-migration guard, set per cycle
+	cycleNodes      []scheduler.NodeInfo
+	cycleNodesDirty bool
+	schedNames      []string
+	fullProbeFn     func(mesh.LinkID) error
+	pathSpareFn     scheduler.PathQuery
+	pathQueryErrs   uint64
+	ctrlCycles      int
+	ctrlAppEvals    int
+	ctrlTargetScans int
+	ctrlWallNS      int64
 
 	// Failure-handling state (see failover.go).
 	detections    []DetectionRecord
@@ -256,17 +288,36 @@ type Orchestrator struct {
 // New wires an orchestrator over an engine, topology, network, and cluster.
 func New(eng *sim.Engine, topo *mesh.Topology, net *simnet.Network, clus *cluster.Cluster, cfg Config) *Orchestrator {
 	cfg = cfg.withDefaults()
+	if cfg.LegacyControlLoop {
+		cfg.Monitor.DisablePathCache = true
+		cfg.Monitor.DisableBatchProbe = true
+		cfg.EvalWorkers = 0
+	}
 	o := &Orchestrator{
-		cfg:       cfg,
-		eng:       eng,
-		topo:      topo,
-		net:       net,
-		clus:      clus,
-		apps:      make(map[string]*deployedApp),
-		edgePeaks: make(map[string]float64),
+		cfg:  cfg,
+		eng:  eng,
+		topo: topo,
+		net:  net,
+		clus: clus,
+		apps: make(map[string]*deployedApp),
 	}
 	o.monitor = netmon.New(topo, net.Prober(), cfg.Monitor, eng.Now)
 	o.ctrl = controller.New(o.monitor, cfg.Controller, eng.Now)
+	if cfg.EvalWorkers > 1 {
+		o.evalPool = sim.NewPool(cfg.EvalWorkers)
+	}
+	// Hoisted hot-path closures: allocated once here instead of per decision.
+	o.fullProbeFn = o.monitor.FullProbe
+	o.pathSpareFn = func(a, b string) float64 {
+		spare, networked, perr := o.monitor.PathSpareMbps(a, b)
+		if perr != nil {
+			return 0
+		}
+		if !networked {
+			return simnet.LocalMbps
+		}
+		return spare
+	}
 	if cfg.EnableReconcile {
 		o.rec = reconcile.New(cfg.Reconcile, reconcileHost{o})
 		o.nodeDownSpan = make(map[string]uint64)
@@ -363,7 +414,9 @@ func (o *Orchestrator) Bootstrap() error {
 	return nil
 }
 
-// Stop halts the controller and reconciler loops.
+// Stop halts the controller and reconciler loops and releases the evaluation
+// worker pool. Control cycles run after Stop fall back to serial evaluation —
+// decisions are byte-identical either way.
 func (o *Orchestrator) Stop() {
 	if o.stopMonitor != nil {
 		o.stopMonitor()
@@ -374,15 +427,27 @@ func (o *Orchestrator) Stop() {
 		o.stopReconcile = nil
 		o.net.OnTopologyApplied(nil)
 	}
+	if o.evalPool != nil {
+		o.evalPool.Close()
+		o.evalPool = nil
+		o.evalTasks = o.evalTasks[:0]
+	}
 }
 
 // Reconciler exposes the reconciliation loop (nil unless EnableReconcile).
 func (o *Orchestrator) Reconciler() *reconcile.Reconciler { return o.rec }
 
-// nodeInfos builds the scheduler's view of the cluster.
+// nodeInfos builds a fresh scheduler view of the cluster (deploy and
+// failover paths; the control cycle reuses a snapshot via cycleNodeInfos).
 func (o *Orchestrator) nodeInfos() []scheduler.NodeInfo {
-	var out []scheduler.NodeInfo
-	for _, name := range o.clus.SchedulableNodes() {
+	return o.appendNodeInfos(nil)
+}
+
+// appendNodeInfos appends the scheduler's view of every schedulable node to
+// out, reusing its capacity.
+func (o *Orchestrator) appendNodeInfos(out []scheduler.NodeInfo) []scheduler.NodeInfo {
+	o.schedNames = o.clus.SchedulableNodesInto(o.schedNames[:0])
+	for _, name := range o.schedNames {
 		n, err := o.clus.Node(name)
 		if err != nil {
 			continue
@@ -463,9 +528,13 @@ func (o *Orchestrator) DeployAt(name string, w Workload, overrides scheduler.Ass
 			To: node, Cause: deploySpan, Reason: reason})
 	}
 	env := &Env{app: name, orch: o}
-	app := &deployedApp{name: name, workload: w, graph: g, env: env}
+	app := &deployedApp{name: name, workload: w, graph: g, env: env,
+		edgePeaks: make(map[string]float64)}
 	o.apps[name] = app
 	o.appOrder = append(o.appOrder, name)
+	app.scratch = o.newAppScratch(app)
+	o.appScratch = append(o.appScratch, app.scratch)
+	o.rebuildEvalTasks()
 	// Flows the workload opens at startup cite the deploy as their cause.
 	o.net.SetCause(deploySpan)
 	err = w.Start(env)
@@ -513,28 +582,27 @@ func (o *Orchestrator) schedule(g *dag.Graph, rec scheduler.Recorder) (scheduler
 	if err != nil {
 		return nil, fmt.Errorf("core: schedule %q with %s: %w", g.AppName, o.cfg.Policy.Name(), err)
 	}
-	o.dagProcNS = append(o.dagProcNS, float64(elapsed.Nanoseconds()))
+	o.dagProc.push(float64(elapsed.Nanoseconds()))
 	if n := g.NumComponents(); n > 0 {
 		per := float64(elapsed.Nanoseconds()) / float64(n)
 		for i := 0; i < n; i++ {
-			o.schedLatNS = append(o.schedLatNS, per)
+			o.schedLat.push(per)
 		}
 	}
 	return assignment, nil
 }
 
 // SchedulingLatenciesNS returns per-component scheduling latencies (Table 3).
+// The buffer keeps the latest latencyRingCap samples; below that the output
+// is identical to an unbounded log.
 func (o *Orchestrator) SchedulingLatenciesNS() []float64 {
-	out := make([]float64, len(o.schedLatNS))
-	copy(out, o.schedLatNS)
-	return out
+	return o.schedLat.snapshot()
 }
 
-// DAGProcessingNS returns whole-DAG scheduling times (Table 4).
+// DAGProcessingNS returns whole-DAG scheduling times (Table 4), bounded like
+// SchedulingLatenciesNS.
 func (o *Orchestrator) DAGProcessingNS() []float64 {
-	out := make([]float64, len(o.dagProcNS))
-	copy(out, o.dagProcNS)
-	return out
+	return o.dagProc.snapshot()
 }
 
 // usages assembles the controller's view of every deployed, cross-node
@@ -550,10 +618,12 @@ func (o *Orchestrator) usages(app *deployedApp) []scheduler.DependencyUsage {
 		}
 		pathCap, _, err := o.monitor.PathCapacityMbps(fromNode, toNode)
 		if err != nil {
+			o.notePathQueryErrors(1)
 			continue
 		}
 		pathSpare, _, err := o.monitor.PathSpareMbps(fromNode, toNode)
 		if err != nil {
+			o.notePathQueryErrors(1)
 			continue
 		}
 		usage := scheduler.DependencyUsage{
@@ -580,13 +650,13 @@ func (o *Orchestrator) profileEdges(app *deployedApp) {
 	for _, e := range app.graph.Edges() {
 		tag := app.env.Tag(e.From, e.To)
 		rate := o.net.FlowRateByTag(tag)
-		if rate > o.edgePeaks[tag] {
-			o.edgePeaks[tag] = rate
+		if rate > app.edgePeaks[tag] {
+			app.edgePeaks[tag] = rate
 		}
 		if !o.cfg.OnlineProfiling {
 			continue
 		}
-		if want := o.edgePeaks[tag] * o.cfg.ProfilingPeakFactor; want > e.BandwidthMbps {
+		if want := app.edgePeaks[tag] * o.cfg.ProfilingPeakFactor; want > e.BandwidthMbps {
 			_ = app.graph.SetWeight(e.From, e.To, want)
 		}
 	}
@@ -598,14 +668,31 @@ func (o *Orchestrator) EdgePeakMbps(appName, from, to string) float64 {
 	if !ok {
 		return 0
 	}
-	return o.edgePeaks[app.env.Tag(from, to)]
+	return app.edgePeaks[app.env.Tag(from, to)]
 }
 
-// controlCycle runs one controller evaluation across all apps. Node
-// liveness transitions (verdicts and recoveries) surface on whichever app's
-// evaluation first observes them and are handled globally — failover
-// evacuates the dead node's components for every app, not just the observer.
+// controlCycle runs one controller evaluation across all apps, dispatching
+// to the hot path (hotpath.go) or the legacy reference loop, and accounts
+// the wall-clock the control plane spent.
 func (o *Orchestrator) controlCycle() {
+	start := time.Now()
+	if o.cfg.LegacyControlLoop {
+		o.legacyControlCycle()
+	} else {
+		o.fastControlCycle()
+	}
+	o.ctrlWallNS += time.Since(start).Nanoseconds()
+	o.ctrlCycles++
+	o.ctrlAppEvals += len(o.appOrder)
+}
+
+// legacyControlCycle is the pre-oracle control loop: each app runs a full
+// Evaluate — probe sweep included — in sequence. Node liveness transitions
+// (verdicts and recoveries) surface on whichever app's evaluation first
+// observes them and are handled globally — failover evacuates the dead
+// node's components for every app, not just the observer. Kept as the
+// reference side of the control-plane benchmarks.
+func (o *Orchestrator) legacyControlCycle() {
 	for _, name := range o.appOrder {
 		app := o.apps[name]
 		o.profileEdges(app)
@@ -643,6 +730,7 @@ func (o *Orchestrator) controlCycle() {
 // cause is the span of the migration_candidate verdict that approved the
 // move; every journal event the move produces chains back to it.
 func (o *Orchestrator) migrate(app *deployedApp, comp string, cause uint64) bool {
+	o.ctrlTargetScans++
 	assignment := make(scheduler.Assignment)
 	for _, c := range app.graph.Components() {
 		if node := o.clus.NodeOf(app.name, c); node != "" {
@@ -677,6 +765,14 @@ func (o *Orchestrator) migrate(app *deployedApp, comp string, cause uint64) bool
 			Component: comp, To: target, Cause: cause, Reason: "commit failed: " + err.Error()})
 		return false
 	}
+	o.cycleNodesDirty = true
+	o.commitMigration(app, comp, from, target, cause)
+	return true
+}
+
+// commitMigration records and journals a committed move and notifies the
+// workload — the shared tail of migrate and migrateFast.
+func (o *Orchestrator) commitMigration(app *deployedApp, comp, from, target string, cause uint64) {
 	o.ctrl.RecordMigration(comp)
 	o.migrations = append(o.migrations, MigrationEvent{
 		At:        o.eng.Now(),
@@ -694,7 +790,6 @@ func (o *Orchestrator) migrate(app *deployedApp, comp string, cause uint64) bool
 	o.net.SetCause(migSpan)
 	app.workload.OnMigration(app.env, comp, from, target, o.migrationDowntime(app, comp, from, target))
 	o.net.SetCause(0)
-	return true
 }
 
 // migrationDowntime charges the restart cost plus, for stateful components,

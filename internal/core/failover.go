@@ -75,6 +75,7 @@ func (o *Orchestrator) handleNodeDown(node string, cause uint64) {
 	if err := o.clus.Cordon(node); err != nil {
 		return // unknown to the cluster: nothing placed there
 	}
+	o.cycleNodesDirty = true // cordon + evacuations change the node snapshot
 	cordonSpan := o.plane.EmitSpan(obs.Event{Type: obs.EventCordon, Node: node,
 		Cause: cause, Reason: "node-down verdict"})
 	var stranded []pendingFailover
@@ -121,6 +122,7 @@ func (o *Orchestrator) handleNodeRecovered(node string, cause uint64) {
 	if err := o.clus.Uncordon(node); err != nil {
 		return
 	}
+	o.cycleNodesDirty = true
 	o.plane.Emit(obs.Event{Type: obs.EventUncordon, Node: node,
 		Cause: cause, Reason: "node recovered"})
 	if o.rec != nil {
@@ -206,6 +208,7 @@ func (o *Orchestrator) placeFailover(app *deployedApp, p *pendingFailover) bool 
 	}); err != nil {
 		return false
 	}
+	o.cycleNodesDirty = true
 	o.failovers = append(o.failovers, FailoverEvent{
 		At:        o.eng.Now(),
 		App:       app.name,

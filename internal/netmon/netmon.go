@@ -69,6 +69,15 @@ type Config struct {
 	// ChangeTolerance is the relative spare-capacity change that counts as
 	// "headroom changed" and triggers a full probe (default 0.25).
 	ChangeTolerance float64
+	// DisablePathCache bypasses the epoch-versioned path-metric oracle and
+	// recomputes every PathCapacityMbps/PathSpareMbps/PathMetrics query with
+	// a fresh route walk. It exists as a correctness escape hatch and as the
+	// reference side of the pre-oracle control-plane benchmark baseline.
+	DisablePathCache bool
+	// DisableBatchProbe forces HeadroomProbeAll back to one ProbeSpare call
+	// per link even when the prober supports the single-sweep batch form —
+	// the other half of the benchmark baseline.
+	DisableBatchProbe bool
 }
 
 // DefaultConfig mirrors the paper's settings.
@@ -171,6 +180,26 @@ type Monitor struct {
 	views map[mesh.LinkID]*LinkView
 	stats ProbeStats
 
+	// linkOrder is the probe-sweep iteration order (sorted link IDs), and
+	// nodeOrder/nodeLinks the per-node views, all frozen at construction so
+	// the per-cycle sweeps allocate nothing. The topology's shape is fixed
+	// after setup — only availability and capacities change — which is the
+	// same assumption views itself already makes.
+	linkOrder []*LinkView
+	nodeOrder []string
+	nodeLinks map[string][]*LinkView
+
+	// oracle memoises routed path metrics; nil when DisablePathCache.
+	oracle *pathOracle
+
+	// sweepEvents/sweepFails are HeadroomProbeAll's reused result buffers and
+	// sweepVisit its prebuilt batch visitor — per-sweep closures and result
+	// slices would otherwise be the only allocations of a quiet epoch. The
+	// returned slices are valid until the next sweep.
+	sweepEvents []HeadroomEvent
+	sweepFails  []ProbeError
+	sweepVisit  func(id mesh.LinkID, spareMbps float64, err error)
+
 	// plane records probe observations when observability is attached; the
 	// nil default costs nothing (see package obs).
 	plane *obs.Plane
@@ -187,7 +216,26 @@ func New(topo *mesh.Topology, prober Prober, cfg Config, now func() time.Duratio
 		views:  make(map[mesh.LinkID]*LinkView),
 	}
 	for _, l := range topo.Links() {
-		m.views[l.ID] = &LinkView{ID: l.ID, HeadroomOK: true}
+		v := &LinkView{ID: l.ID, HeadroomOK: true}
+		m.views[l.ID] = v
+		m.linkOrder = append(m.linkOrder, v)
+	}
+	m.nodeOrder = topo.Nodes()
+	m.nodeLinks = make(map[string][]*LinkView, len(m.nodeOrder))
+	for _, node := range m.nodeOrder {
+		for _, nb := range topo.Neighbors(node) {
+			if v, ok := m.views[mesh.MakeLinkID(node, nb)]; ok {
+				m.nodeLinks[node] = append(m.nodeLinks[node], v)
+			}
+		}
+	}
+	if !m.cfg.DisablePathCache {
+		m.oracle = newPathOracle(m.nodeOrder)
+		// Both invalidation sources the cache honours beyond probe refreshes:
+		// capacity-trace swaps (the view may be refreshed by the very next
+		// probe) and availability flips are folded in lazily through
+		// syncEpoch; the listener catches swaps that do not move the epoch.
+		topo.OnCapacityChange(func(mesh.LinkID) { m.oracle.bump() })
 	}
 	return m
 }
@@ -229,6 +277,9 @@ func (m *Monitor) FullProbe(id mesh.LinkID) error {
 	v.CapacityMbps = cap
 	v.HeadroomMbps = m.cfg.HeadroomFrac * cap
 	v.LastFullProbe = m.now()
+	if m.oracle != nil {
+		m.oracle.bump() // cached bottlenecks may include this link
+	}
 	m.stats.FullProbes++
 	// A full probe floods the link for ProbeDuration.
 	m.stats.OverheadMbits += cap * m.cfg.ProbeDuration.Seconds()
@@ -240,30 +291,62 @@ func (m *Monitor) FullProbe(id mesh.LinkID) error {
 	return nil
 }
 
+// SpareSweeper is an optional Prober extension: one call measures every
+// link's spare capacity in a single pass over the substrate's flow state
+// instead of one O(flows) scan per link. Implementations MUST visit links in
+// the topology's sorted link order — the monitor's probe bookkeeping and
+// journal emissions happen inside the visit callback, and their order is
+// part of the byte-identical output contract.
+type SpareSweeper interface {
+	ProbeSpareAll(visit func(id mesh.LinkID, spareMbps float64, err error))
+}
+
 // HeadroomProbeAll probes every link's spare capacity. It returns events for
 // links whose headroom is violated or materially changed, plus a probe error
 // per link that could not be measured this sweep. A failed probe does not
 // abort the sweep — in a mesh where links flap, stopping at the first dead
-// link would blind the monitor to every link after it.
+// link would blind the monitor to every link after it. When the prober
+// supports the single-sweep batch form the whole sweep costs one pass over
+// the flow table; per-link bookkeeping, events, and journal order are
+// identical either way. A quiet sweep (no changes, no failures) allocates
+// nothing: results land in reused monitor buffers, so the returned slices
+// are only valid until the next sweep.
 func (m *Monitor) HeadroomProbeAll() ([]HeadroomEvent, []ProbeError) {
-	var events []HeadroomEvent
-	var failures []ProbeError
-	for _, l := range m.topo.Links() {
-		ev, err := m.HeadroomProbe(l.ID)
-		if err != nil {
-			var pe ProbeError
-			if errors.As(err, &pe) {
-				failures = append(failures, pe)
-			} else {
-				failures = append(failures, ProbeError{Link: l.ID, Op: "headroom", Err: err})
+	m.sweepEvents = m.sweepEvents[:0]
+	m.sweepFails = m.sweepFails[:0]
+	if sw, ok := m.prober.(SpareSweeper); ok && !m.cfg.DisableBatchProbe {
+		if m.sweepVisit == nil {
+			m.sweepVisit = func(id mesh.LinkID, spare float64, perr error) {
+				v, vok := m.views[id]
+				if !vok {
+					return // link added behind the monitor's back: not tracked
+				}
+				m.collectSweep(m.applySpare(v, spare, perr))
 			}
-			continue
 		}
-		if ev.Violated || ev.Changed {
-			events = append(events, ev)
-		}
+		sw.ProbeSpareAll(m.sweepVisit)
+		return m.sweepEvents, m.sweepFails
 	}
-	return events, failures
+	for _, v := range m.linkOrder {
+		spare, err := m.prober.ProbeSpare(v.ID)
+		m.collectSweep(m.applySpare(v, spare, err))
+	}
+	return m.sweepEvents, m.sweepFails
+}
+
+// collectSweep folds one probed link into the sweep's result buffers.
+func (m *Monitor) collectSweep(ev HeadroomEvent, err error) {
+	if err != nil {
+		var pe ProbeError
+		if !errors.As(err, &pe) {
+			pe = ProbeError{Op: "headroom", Err: err}
+		}
+		m.sweepFails = append(m.sweepFails, pe)
+		return
+	}
+	if ev.Violated || ev.Changed {
+		m.sweepEvents = append(m.sweepEvents, ev)
+	}
 }
 
 // HeadroomProbe probes one link's spare capacity.
@@ -273,18 +356,30 @@ func (m *Monitor) HeadroomProbe(id mesh.LinkID) (HeadroomEvent, error) {
 		return HeadroomEvent{}, fmt.Errorf("%w: %s", ErrUnknownLink, id)
 	}
 	spare, err := m.prober.ProbeSpare(id)
+	return m.applySpare(v, spare, err)
+}
+
+// applySpare folds one spare measurement (or its failure) into the link view:
+// failure streaks, staleness stamps, overhead accounting, change/violation
+// detection, and the probe's journal events. It is the shared tail of the
+// per-link and batch sweep forms.
+func (m *Monitor) applySpare(v *LinkView, spare float64, err error) (HeadroomEvent, error) {
 	if err != nil {
 		v.ConsecutiveFailures++
 		var span uint64
 		if m.plane.Enabled() {
-			span = m.plane.EmitSpan(obs.Event{Type: obs.EventProbeError, Link: id.String(), Reason: "headroom: " + err.Error()})
+			span = m.plane.EmitSpan(obs.Event{Type: obs.EventProbeError, Link: v.ID.String(), Reason: "headroom: " + err.Error()})
 		}
-		return HeadroomEvent{}, ProbeError{Link: id, Op: "headroom", Err: err, Span: span}
+		return HeadroomEvent{}, ProbeError{Link: v.ID, Op: "headroom", Err: err, Span: span}
 	}
+	id := v.ID
 	v.ConsecutiveFailures = 0
 	prev := v.SpareMbps
 	v.SpareMbps = spare
 	v.LastHeadroomProbe = m.now()
+	if m.oracle != nil {
+		m.oracle.bump() // cached spare bottlenecks may include this link
+	}
 	m.stats.HeadroomProbes++
 	m.stats.OverheadMbits += v.CapacityMbps * m.cfg.ProbeRateFrac * m.cfg.ProbeDuration.Seconds()
 
@@ -365,11 +460,7 @@ func (m *Monitor) ConsecutiveFailures(id mesh.LinkID) int {
 // down by probing).
 func (m *Monitor) NodeFailureFloor(node string) int {
 	floor := -1
-	for _, nb := range m.topo.Neighbors(node) {
-		v, ok := m.views[mesh.MakeLinkID(node, nb)]
-		if !ok {
-			continue
-		}
+	for _, v := range m.nodeLinks[node] {
 		if floor < 0 || v.ConsecutiveFailures < floor {
 			floor = v.ConsecutiveFailures
 		}
@@ -381,52 +472,34 @@ func (m *Monitor) NodeFailureFloor(node string) int {
 }
 
 // Nodes lists the monitored topology's nodes, for failure-detection sweeps.
-func (m *Monitor) Nodes() []string { return m.topo.Nodes() }
+// The returned slice is the monitor's own frozen order — callers must treat
+// it as read-only (the controller walks it every cycle; copying it per sweep
+// was a measurable share of a quiet epoch's allocations).
+func (m *Monitor) Nodes() []string { return m.nodeOrder }
 
 // PathCapacityMbps estimates node-pair capacity as the bottleneck cached
 // capacity along the routed path (the paper's traceroute + per-link
 // bandwidth method). Co-located pairs report ok=false (no network involved).
+// Served from the path oracle unless Config.DisablePathCache.
 func (m *Monitor) PathCapacityMbps(src, dst string) (mbps float64, networked bool, err error) {
-	return m.pathMin(src, dst, func(v *LinkView) float64 { return v.CapacityMbps })
+	pm, err := m.PathMetrics(src, dst)
+	return pm.CapacityMbps, pm.Networked, err
 }
 
 // PathSpareMbps estimates spare node-pair capacity as the bottleneck cached
-// spare capacity along the routed path.
+// spare capacity along the routed path. Served from the path oracle unless
+// Config.DisablePathCache.
 func (m *Monitor) PathSpareMbps(src, dst string) (mbps float64, networked bool, err error) {
-	return m.pathMin(src, dst, func(v *LinkView) float64 { return v.SpareMbps })
-}
-
-func (m *Monitor) pathMin(src, dst string, metric func(*LinkView) float64) (float64, bool, error) {
-	path, err := m.topo.Route(src, dst)
-	if err != nil {
-		return 0, false, err
-	}
-	if len(path) < 2 {
-		return 0, false, nil
-	}
-	bottleneck := -1.0
-	for i := 0; i+1 < len(path); i++ {
-		id := mesh.MakeLinkID(path[i], path[i+1])
-		v, ok := m.views[id]
-		if !ok {
-			return 0, false, fmt.Errorf("%w: %s", ErrUnknownLink, id)
-		}
-		val := metric(v)
-		if bottleneck < 0 || val < bottleneck {
-			bottleneck = val
-		}
-	}
-	return bottleneck, true, nil
+	pm, err := m.PathMetrics(src, dst)
+	return pm.SpareMbps, pm.Networked, err
 }
 
 // NodeLinkCapacityMbps sums the cached capacities of a node's links — the
 // bandwidth term of the scheduler's node ranking.
 func (m *Monitor) NodeLinkCapacityMbps(node string) float64 {
 	var total float64
-	for _, nb := range m.topo.Neighbors(node) {
-		if v, ok := m.views[mesh.MakeLinkID(node, nb)]; ok {
-			total += v.CapacityMbps
-		}
+	for _, v := range m.nodeLinks[node] {
+		total += v.CapacityMbps
 	}
 	return total
 }

@@ -132,6 +132,9 @@ const (
 	// MetricDegradedMode gauges the worst active ladder rung (0 = migrate …
 	// 3 = park); zero with no drift means fully healthy.
 	MetricDegradedMode = "degraded_mode"
+	// MetricPathQueryErrors counts dependency edges dropped from controller
+	// evaluations because the monitor could not answer a path query (cumulative).
+	MetricPathQueryErrors = "path_query_errors_total"
 )
 
 // Event is one journal entry. Fields are fixed and typed (never a map) so

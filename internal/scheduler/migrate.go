@@ -142,6 +142,20 @@ type MigrationReport struct {
 // inside their re-migration guard window) cannot become candidates, letting
 // their violating partner be selected instead.
 func FindMigrationCandidates(g *dag.Graph, usages []DependencyUsage, cfg MigrationConfig, exclude map[string]bool) MigrationReport {
+	// Quiet-path early return: no violated pair means an empty report, and
+	// the control loop calls this every cycle for every application — the
+	// maps and sort below must not be paid when nothing is wrong.
+	anyViolated := false
+	for _, u := range usages {
+		if cfg.violated(u) {
+			anyViolated = true
+			break
+		}
+	}
+	if !anyViolated {
+		return MigrationReport{}
+	}
+
 	// Total bandwidth requirement per component (both directions), used for
 	// the descending sort.
 	bw := make(map[string]float64, g.NumComponents())
@@ -207,6 +221,112 @@ func FindMigrationCandidates(g *dag.Graph, usages []DependencyUsage, cfg Migrati
 // PathQuery reports the spare capacity (Mbps) available on the network path
 // between two nodes; co-located nodes report a very large value.
 type PathQuery func(fromNode, toNode string) float64
+
+// Parallel runs a batch of independent tasks, returning when all are done.
+// sim.Pool satisfies it structurally; nil means run serially. Candidate
+// scoring hands chunks of the node list to it — scoring is a pure read of
+// the graph, assignment, and path cache, so chunks race on nothing, and
+// every result lands in its node's slot so assembly order (and therefore
+// every scoreboard and journal byte) is independent of execution order.
+type Parallel interface {
+	Run(fns []func())
+}
+
+// parallelScoreMin is the node count below which chunked scoring is not
+// worth the task handoff.
+const parallelScoreMin = 64
+
+// nodeSlot is one node's scoring outcome, indexed by position in the node
+// list. A zero Rejection (RejectNone) marks a scored candidate.
+type nodeSlot struct {
+	c      candidate
+	reject Rejection
+}
+
+// scoreSlots evaluates every node into its slot — serially, or chunked on
+// pool when it pays. current skips that node (pass "" for failover-style
+// choices where every node competes).
+func scoreSlots(
+	g *dag.Graph,
+	comp *dag.Component,
+	neighbors map[string]float64,
+	assignment Assignment,
+	nodes []NodeInfo,
+	current string,
+	pathAvail PathQuery,
+	headroomMbps float64,
+	pool Parallel,
+	slots []nodeSlot,
+) []nodeSlot {
+	if cap(slots) < len(nodes) {
+		slots = make([]nodeSlot, len(nodes))
+	}
+	slots = slots[:len(nodes)]
+	eval := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			n := nodes[i]
+			switch {
+			case n.Name == current:
+				slots[i] = nodeSlot{reject: RejectCurrentNode}
+			case !fits(n, comp):
+				slots[i] = nodeSlot{reject: RejectNoCapacity}
+			default:
+				c := scoreCandidate(g, neighbors, assignment, n.Name, pathAvail, headroomMbps)
+				c.node = n
+				slots[i] = nodeSlot{c: c}
+			}
+		}
+	}
+	if pool == nil || len(nodes) < parallelScoreMin {
+		eval(0, len(nodes))
+		return slots
+	}
+	const maxChunks = 16
+	step := (len(nodes) + maxChunks - 1) / maxChunks
+	tasks := make([]func(), 0, maxChunks)
+	for lo := 0; lo < len(nodes); lo += step {
+		lo, hi := lo, lo+step
+		if hi > len(nodes) {
+			hi = len(nodes)
+		}
+		tasks = append(tasks, func() { eval(lo, hi) })
+	}
+	pool.Run(tasks)
+	return slots
+}
+
+// pooledScoreboard is the chunk-parallel scoring pass: every node scored
+// into its slot, then assembled in node order into the same cands/skipped
+// sequence the serial loop builds. Kept separate from the chooser body so
+// the serial path's neighbors map never escapes into the pool closures.
+func pooledScoreboard(
+	g *dag.Graph,
+	comp *dag.Component,
+	component string,
+	assignment Assignment,
+	nodes []NodeInfo,
+	current string,
+	pathAvail PathQuery,
+	headroomMbps float64,
+	pool Parallel,
+	wantSkipped bool,
+) ([]candidate, []CandidateScore) {
+	neighbors := g.Neighbors(component)
+	slots := scoreSlots(g, comp, neighbors, assignment, nodes, current, pathAvail, headroomMbps, pool, nil)
+	var cands []candidate
+	var skipped []CandidateScore
+	for i := range slots {
+		s := &slots[i]
+		if s.reject != RejectNone {
+			if wantSkipped {
+				skipped = append(skipped, CandidateScore{Node: nodes[i].Name, Rejection: s.reject})
+			}
+			continue
+		}
+		cands = append(cands, s.c)
+	}
+	return cands, skipped
+}
 
 // candidate is one node's evaluation during migration or failover target
 // choice.
@@ -361,6 +481,24 @@ func ChooseMigrationTargetExplained(
 	cfg MigrationConfig,
 	rec Recorder,
 ) (string, error) {
+	return ChooseMigrationTargetPooled(g, component, assignment, nodes, pathAvail, cfg, rec, nil)
+}
+
+// ChooseMigrationTargetPooled is ChooseMigrationTargetExplained with the
+// candidate-scoring pass chunked across pool (nil scores serially). Scoring
+// writes into per-node slots and the serial assembly below reads them in
+// node order, so the chosen target, every scoreboard row, and every journal
+// byte are identical whichever way the chunks execute.
+func ChooseMigrationTargetPooled(
+	g *dag.Graph,
+	component string,
+	assignment Assignment,
+	nodes []NodeInfo,
+	pathAvail PathQuery,
+	cfg MigrationConfig,
+	rec Recorder,
+	pool Parallel,
+) (string, error) {
 	comp, err := g.Component(component)
 	if err != nil {
 		return "", err
@@ -373,26 +511,29 @@ func ChooseMigrationTargetExplained(
 	if !ok {
 		return "", fmt.Errorf("scheduler: component %q not in assignment", component)
 	}
-	neighbors := g.Neighbors(component)
-
 	var cands []candidate
 	var skipped []CandidateScore
-	for _, n := range nodes {
-		if n.Name == current {
-			if rec != nil {
-				skipped = append(skipped, CandidateScore{Node: n.Name, Rejection: RejectCurrentNode})
+	if pool != nil && len(nodes) >= parallelScoreMin {
+		cands, skipped = pooledScoreboard(g, comp, component, assignment, nodes, current, pathAvail, cfg.HeadroomMbps, pool, rec != nil)
+	} else {
+		neighbors := g.Neighbors(component)
+		for _, n := range nodes {
+			if n.Name == current {
+				if rec != nil {
+					skipped = append(skipped, CandidateScore{Node: n.Name, Rejection: RejectCurrentNode})
+				}
+				continue
 			}
-			continue
-		}
-		if !fits(n, comp) {
-			if rec != nil {
-				skipped = append(skipped, CandidateScore{Node: n.Name, Rejection: RejectNoCapacity})
+			if !fits(n, comp) {
+				if rec != nil {
+					skipped = append(skipped, CandidateScore{Node: n.Name, Rejection: RejectNoCapacity})
+				}
+				continue
 			}
-			continue
+			c := scoreCandidate(g, neighbors, assignment, n.Name, pathAvail, cfg.HeadroomMbps)
+			c.node = n
+			cands = append(cands, c)
 		}
-		c := scoreCandidate(g, neighbors, assignment, n.Name, pathAvail, cfg.HeadroomMbps)
-		c.node = n
-		cands = append(cands, c)
 	}
 	if len(cands) == 0 {
 		explain(rec, Explanation{Kind: ChoiceMigration, Component: component, Current: current, Candidates: skipped})
@@ -413,7 +554,7 @@ func ChooseMigrationTargetExplained(
 		// partially-feasible node shifts the bottleneck onto edges whose
 		// endpoints are movable, unlocking the progressive relocation the
 		// paper observes in Table 1.
-		currentScore := scoreCandidate(g, neighbors, assignment, current, pathAvail, cfg.HeadroomMbps).score
+		currentScore := scoreCandidate(g, g.Neighbors(component), assignment, current, pathAvail, cfg.HeadroomMbps).score
 		if best.score > currentScore*1.05 {
 			chosen = best.node.Name
 		} else {

@@ -84,3 +84,54 @@ func (p *Prober) ProbeSpare(id mesh.LinkID) (float64, error) {
 	}
 	return sf, nil
 }
+
+// ProbeSpareAll probes the spare capacity of every link in one sweep,
+// visiting links in the topology's sorted order — the contract of
+// netmon's SpareSweeper. Per-link ProbeSpare costs O(flows × path) per
+// direction because statsOf rescans every flow; the sweep instead makes one
+// pass over all flows, accumulating each direction's allocation into
+// per-link scratch, then visits each link with the bottleneck of its two
+// directions. Per-link the additions happen in ascending-FlowID order —
+// exactly statsOf's summation order — and the spare arithmetic mirrors
+// ProbeSpare term for term, so reported values are bit-identical to N
+// individual probes.
+func (p *Prober) ProbeSpareAll(visit func(id mesh.LinkID, spareMbps float64, err error)) {
+	n := p.n
+	for _, ls := range n.linkOrder {
+		ls.probeAllocBps = 0
+	}
+	for _, f := range n.flowOrder {
+		if f.gone {
+			continue
+		}
+		for _, ls := range f.linkPath {
+			ls.probeAllocBps += f.rateBps
+		}
+	}
+	spare := func(ls *linkState) float64 {
+		v := ls.capacityBps/1e6 - ls.probeAllocBps/1e6
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	for _, l := range n.topo.Links() {
+		id := l.ID
+		fwd, ok1 := n.links[dhop{from: id.A, to: id.B}]
+		rev, ok2 := n.links[dhop{from: id.B, to: id.A}]
+		switch {
+		case !ok1 || !ok2:
+			visit(id, 0, fmt.Errorf("simnet: probe unknown link %s", id))
+		case !n.topo.LinkAvailable(id):
+			visit(id, 0, fmt.Errorf("probe %s: %w", id, ErrLinkUnreachable))
+		case n.probeLoss[id]:
+			visit(id, 0, fmt.Errorf("probe %s: %w", id, ErrProbeTimeout))
+		default:
+			sf, sr := spare(fwd), spare(rev)
+			if sr < sf {
+				sf = sr
+			}
+			visit(id, sf, nil)
+		}
+	}
+}

@@ -189,6 +189,9 @@ type linkState struct {
 	// Water-filling scratch state, valid only inside a full pass.
 	residual  float64
 	iterCount int
+	// probeAllocBps is batch-probe scratch: the direction's summed flow
+	// allocations, valid only inside one ProbeSpareAll sweep.
+	probeAllocBps float64
 	// flows lists the pass's active flows crossing this direction, ascending
 	// FlowID (built alongside iterCount). A bottleneck round freezes from this
 	// list directly instead of rescanning every active flow — at city scale
@@ -221,10 +224,15 @@ type Network struct {
 	eng  *sim.Engine
 	topo *mesh.Topology
 
-	nextID      FlowID
-	flows       map[FlowID]*flow
-	flowOrder   []*flow // ascending FlowID; the deterministic iteration order
-	deadFlows   int     // tombstoned entries in flowOrder
+	nextID    FlowID
+	flows     map[FlowID]*flow
+	flowOrder []*flow // ascending FlowID; the deterministic iteration order
+	deadFlows int     // tombstoned entries in flowOrder
+	// tagFlows indexes live flows by accounting tag, each list ascending
+	// FlowID like flowOrder, so per-tag rate queries — the control plane
+	// issues one per deployed edge per cycle — cost O(flows-with-tag)
+	// instead of a scan over every flow in the network.
+	tagFlows map[string][]*flow
 	links       map[dhop]*linkState
 	linkOrder   []*linkState // sorted by (from, to); deterministic iteration order
 	lastAdvance time.Duration
@@ -287,6 +295,7 @@ func New(eng *sim.Engine, topo *mesh.Topology) *Network {
 		eng:            eng,
 		topo:           topo,
 		flows:          make(map[FlowID]*flow),
+		tagFlows:       make(map[string][]*flow),
 		links:          make(map[dhop]*linkState),
 		bytesByTag:     make(map[string]float64),
 		probeLoss:      make(map[mesh.LinkID]bool),
@@ -644,6 +653,7 @@ func (n *Network) addFlow(f *flow) {
 	}
 	n.flows[f.id] = f
 	n.flowOrder = append(n.flowOrder, f) // ids are assigned in increasing order
+	n.tagFlows[f.tag] = append(n.tagFlows[f.tag], f)
 	for _, ls := range f.linkPath {
 		ls.flowCount++
 	}
@@ -657,6 +667,23 @@ func (n *Network) removeFlow(f *flow) {
 	delete(n.flows, f.id)
 	f.gone = true
 	n.deadFlows++
+	// Splice the flow out of its tag list, preserving ascending-ID order so
+	// per-tag float summation keeps the exact order of the flowOrder scan it
+	// replaced. Tag lists are per application edge — a handful of flows — so
+	// the copy is cheap.
+	if byTag := n.tagFlows[f.tag]; len(byTag) > 0 {
+		for i, g := range byTag {
+			if g == f {
+				byTag = append(byTag[:i], byTag[i+1:]...)
+				break
+			}
+		}
+		if len(byTag) == 0 {
+			delete(n.tagFlows, f.tag)
+		} else {
+			n.tagFlows[f.tag] = byTag
+		}
+	}
 	for _, ls := range f.linkPath {
 		ls.flowCount--
 	}

@@ -237,12 +237,14 @@ func (n *Network) ActiveFlows() (streams, transfers int) {
 }
 
 // FlowRateByTag sums current allocations (Mbps) across flows with the tag.
+// Served from the per-tag index in ascending FlowID order — the same
+// summation order as the full-scan form it replaced, so results are
+// bit-identical. Safe for concurrent readers (the parallel evaluation phase
+// queries many tags at once); it mutates nothing.
 func (n *Network) FlowRateByTag(tag string) float64 {
 	var bps float64
-	for _, f := range n.flowOrder {
-		if !f.gone && f.tag == tag {
-			bps += f.rateBps
-		}
+	for _, f := range n.tagFlows[tag] {
+		bps += f.rateBps
 	}
 	return bps / 1e6
 }
@@ -250,10 +252,7 @@ func (n *Network) FlowRateByTag(tag string) float64 {
 // FlowDemandByTag sums current demands (Mbps) across flows with the tag.
 func (n *Network) FlowDemandByTag(tag string) float64 {
 	var bps float64
-	for _, f := range n.flowOrder {
-		if f.gone || f.tag != tag {
-			continue
-		}
+	for _, f := range n.tagFlows[tag] {
 		if f.demandBps >= unboundedBps {
 			continue
 		}

@@ -24,6 +24,7 @@
 //	  "horizonSec": 600, "seed": 42,
 //	  "migration": true, "monitorIntervalSec": 30,
 //	  "reconcile": true,
+//	  "batch": true, "batchBudget": 256, "batchK": 4,
 //	  "shards": 4, "evalWorkers": 4,
 //	  "rps": 50, "clientNode": "node1",
 //	  "participantsPerNode": 3, "publishMbps": 0.5,
@@ -40,6 +41,9 @@
 // recovery, or an event at or past the horizon is rejected before anything
 // runs. "reconcile" (or the -reconcile flag) hands failure handling to the
 // declarative reconciliation loop and appends its convergence summary.
+// "batch" (or the -batch flag) places each application DAG as one joint
+// decision, refined by the budgeted k-best search; "batchBudget" and "batchK"
+// (or -batch-budget / -batch-k) tune it.
 package main
 
 import (
@@ -86,6 +90,15 @@ type scenario struct {
 	// specs, drift detection, idempotent convergence with the degraded-mode
 	// ladder. The recovery summary gains a reconcile line.
 	Reconcile bool `json:"reconcile,omitempty"`
+	// Batch wraps the scheduler in the batch placement mode: each DAG is
+	// placed as one joint decision refined by a budgeted k-best local search
+	// over the greedy seed. BatchBudget bounds the search's joint-candidate
+	// evaluations per DAG (0 = the core default; negative = zero-move
+	// passthrough, byte-identical to the plain scheduler); BatchK sets the
+	// frontier width (0 = default).
+	Batch       bool `json:"batch,omitempty"`
+	BatchBudget int  `json:"batchBudget,omitempty"`
+	BatchK      int  `json:"batchK,omitempty"`
 	// PollingNet switches the simulated network to the legacy once-per-second
 	// polling driver; output is bit-identical to the default event-driven
 	// driver (the equivalence the trace-smoke CI job asserts).
@@ -216,6 +229,9 @@ func run(args []string, stdout io.Writer) error {
 	traceOut := fs.String("trace-out", "", "write the decision journal as Chrome trace-event JSON (Perfetto-loadable) to this path (\".NNN\" run index inserted when running multiple scenarios)")
 	polling := fs.Bool("polling", false, "force the legacy polling network driver for every scenario (output stays bit-identical to event-driven)")
 	reconcile := fs.Bool("reconcile", false, "force the declarative reconciliation loop for every scenario (equivalent to \"reconcile\": true)")
+	batch := fs.Bool("batch", false, "force the batch joint-placement mode for every scenario (equivalent to \"batch\": true)")
+	batchBudget := fs.Int("batch-budget", 0, "force this batch search move budget for every scenario (0 = scenario value)")
+	batchK := fs.Int("batch-k", 0, "force this batch search frontier width for every scenario (0 = scenario value)")
 	shards := fs.Int("shards", 0, "force this mesh shard count for every scenario (0 = scenario value; output stays byte-identical at any count)")
 	evalWorkers := fs.Int("eval-workers", 0, "force this controller eval-worker count for every scenario (0 = scenario value; output stays byte-identical at any count)")
 	if err := fs.Parse(args); err != nil {
@@ -256,6 +272,15 @@ func run(args []string, stdout io.Writer) error {
 			}
 			if *reconcile {
 				replica.Reconcile = true
+			}
+			if *batch {
+				replica.Batch = true
+			}
+			if *batchBudget != 0 {
+				replica.BatchBudget = *batchBudget
+			}
+			if *batchK != 0 {
+				replica.BatchK = *batchK
 			}
 			if *shards > 0 {
 				replica.Shards = *shards
@@ -357,6 +382,10 @@ func executeObserved(sc scenario, out io.Writer, eventsPath, metricsPath, traceP
 		PollingNet:      sc.PollingNet,
 		Shards:          sc.Shards,
 		EvalWorkers:     sc.EvalWorkers,
+	}
+	if sc.Batch {
+		cfg.BatchPlacement = true
+		cfg.Batch = scheduler.BatchConfig{MoveBudget: sc.BatchBudget, K: sc.BatchK}
 	}
 	if sc.MonitorIntervalSec > 0 {
 		cfg.MonitorInterval = time.Duration(sc.MonitorIntervalSec) * time.Second

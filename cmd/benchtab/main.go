@@ -8,6 +8,8 @@
 //	benchtab all
 //	benchtab -scale-out BENCH_scale.json [-scale-nodes N] [-scale-flows N]
 //	         [-scale-horizon D] [-scale-shards 1,4,8]
+//	benchtab -sched-out BENCH_sched.json [-quick]
+//	benchtab -batch-out BENCH_batch.json [-quick]
 //
 // Experiments: fig2 fig4 fig5 fig6 fig8 fig10 fig11 fig12 fig13 table1
 // table2 fig14a fig14b fig14cd fig15a fig15b fig16 table3 table4 scale, plus
@@ -65,6 +67,7 @@ func run(args []string, stdout io.Writer) error {
 	scaleHorizon := fs.Duration("scale-horizon", time.Minute, "scale sweep: simulated horizon")
 	scaleShards := fs.String("scale-shards", "1,4,8", "scale sweep: comma-separated shard counts to measure")
 	schedOut := fs.String("sched-out", "", "run the control-plane benchmark sweep and write a BENCH_sched.json report to this file")
+	batchOut := fs.String("batch-out", "", "run the batch placement ablation sweep and write a BENCH_batch.json report to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -102,6 +105,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *schedOut != "" {
 		return runSchedSweep(stdout, *schedOut, *seed, *quick)
+	}
+	if *batchOut != "" {
+		return runBatchSweep(stdout, *batchOut, *seed, *quick)
 	}
 	names := fs.Args()
 	if len(names) == 0 {
@@ -211,6 +217,34 @@ func runSchedSweep(stdout io.Writer, outPath string, seed int64, quick bool) err
 	}
 	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
 		return fmt.Errorf("sched report: %w", err)
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d entries)\n", outPath, len(report.Entries))
+	return nil
+}
+
+// runBatchSweep runs the greedy-vs-batch placement ablation across the
+// canonical mesh × density grid and writes the BENCH_batch.json report CI's
+// batch-smoke job gates on. -quick selects the reduced smoke subset.
+func runBatchSweep(stdout io.Writer, outPath string, seed int64, quick bool) error {
+	report := experiments.BatchReport{
+		Schema: experiments.BatchReportSchema,
+		Seed:   seed,
+	}
+	for _, opts := range experiments.BatchSweep(seed, quick) {
+		entry, err := experiments.RunBatchPair(opts)
+		if err != nil {
+			return fmt.Errorf("batch sweep (%d nodes, %d apps, %d×): %w",
+				opts.Nodes, opts.Apps, opts.Density, err)
+		}
+		report.Entries = append(report.Entries, entry)
+	}
+	fmt.Fprintln(stdout, experiments.BatchAblationTable(report.Entries).String())
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("batch report: %w", err)
 	}
 	fmt.Fprintf(stdout, "wrote %s (%d entries)\n", outPath, len(report.Entries))
 	return nil

@@ -8,6 +8,8 @@
 //	          [-max-regress 0.20] [-min-realtime 1.0]
 //	scalegate -kind sched -current BENCH_sched.json -baseline ci/BENCH_sched.baseline.json \
 //	          [-max-regress 0.20] [-min-speedup 5]
+//	scalegate -kind batch -current BENCH_batch.json -baseline ci/BENCH_batch.baseline.json \
+//	          [-max-regress 0.20]
 //
 // -kind scale (the default) gates BENCH_scale.json: entries are matched by
 // shard count and each current events/sec must be at least (1 - max-regress)
@@ -19,6 +21,12 @@
 // requires the hot path to beat the legacy reference by that factor at the
 // largest storm configuration in the current report — the committed
 // artifact's headline claim, checked mechanically so it cannot rot.
+//
+// -kind batch gates BENCH_batch.json: entries are matched by (nodes, apps)
+// and compared on batch goodput vs the baseline; independently of the
+// baseline, every current entry at density >= 10 must show batch goodput no
+// worse than greedy's — the ablation's headline claim, checked mechanically
+// so it cannot rot.
 //
 // Baselines are refreshed by regenerating the JSON on a quiet machine and
 // committing it (see README "Scale trajectory").
@@ -43,7 +51,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("scalegate", flag.ContinueOnError)
-	kind := fs.String("kind", "scale", "report kind to gate: scale (BENCH_scale.json) or sched (BENCH_sched.json)")
+	kind := fs.String("kind", "scale", "report kind to gate: scale (BENCH_scale.json), sched (BENCH_sched.json), or batch (BENCH_batch.json)")
 	curPath := fs.String("current", "", "freshly measured report (default BENCH_<kind>.json)")
 	basePath := fs.String("baseline", "", "checked-in baseline report (default ci/BENCH_<kind>.baseline.json)")
 	maxRegress := fs.Float64("max-regress", 0.20, "maximum allowed fractional throughput drop vs baseline")
@@ -56,9 +64,9 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-max-regress must be in [0, 1), got %g", *maxRegress)
 	}
 	switch *kind {
-	case "scale", "sched":
+	case "scale", "sched", "batch":
 	default:
-		return fmt.Errorf("-kind must be scale or sched, got %q", *kind)
+		return fmt.Errorf("-kind must be scale, sched, or batch, got %q", *kind)
 	}
 	if *curPath == "" {
 		*curPath = "BENCH_" + *kind + ".json"
@@ -66,8 +74,11 @@ func run(args []string, stdout io.Writer) error {
 	if *basePath == "" {
 		*basePath = "ci/BENCH_" + *kind + ".baseline.json"
 	}
-	if *kind == "sched" {
+	switch *kind {
+	case "sched":
 		return runSchedGate(stdout, *curPath, *basePath, *maxRegress, *minSpeedup)
+	case "batch":
+		return runBatchGate(stdout, *curPath, *basePath, *maxRegress)
 	}
 	return runScaleGate(stdout, *curPath, *basePath, *maxRegress, *minRealtime)
 }
@@ -236,6 +247,67 @@ func checkSpeedup(stdout io.Writer, entries []experiments.SchedEntry, minSpeedup
 	return ""
 }
 
+// batchEps absorbs float formatting jitter when comparing goodput fractions.
+const batchEps = 1e-9
+
+// runBatchGate gates the placement ablation: batch goodput must not regress
+// vs the baseline at any matched configuration, and — independently of the
+// baseline — every current contended entry (density >= 10) must keep batch at
+// least as good as greedy.
+func runBatchGate(stdout io.Writer, curPath, basePath string, maxRegress float64) error {
+	cur, err := readBatchReport(curPath)
+	if err != nil {
+		return err
+	}
+	base, err := readBatchReport(basePath)
+	if err != nil {
+		return err
+	}
+
+	type batchKey struct{ nodes, apps int }
+	curBy := map[batchKey]experiments.BatchEntry{}
+	for _, e := range cur.Entries {
+		curBy[batchKey{e.Nodes, e.Apps}] = e
+	}
+	var failures []string
+	for _, b := range base.Entries {
+		k := batchKey{b.Nodes, b.Apps}
+		c, ok := curBy[k]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%d nodes/%d apps: missing from current report", k.nodes, k.apps))
+			continue
+		}
+		floor := b.BatchGoodput * (1 - maxRegress)
+		status := "ok"
+		if c.BatchGoodput < floor {
+			status = "REGRESSION"
+			failures = append(failures, fmt.Sprintf(
+				"%d nodes/%d apps: batch goodput %.4f < floor %.4f (baseline %.4f, max regress %.0f%%)",
+				k.nodes, k.apps, c.BatchGoodput, floor, b.BatchGoodput, maxRegress*100))
+		}
+		fmt.Fprintf(stdout, "%d nodes/%d apps/%d×: batch goodput %.4f (baseline %.4f, floor %.4f) gain %+.1f%% — %s\n",
+			k.nodes, k.apps, c.Density, c.BatchGoodput, b.BatchGoodput, floor, 100*c.GainFrac, status)
+	}
+	for _, e := range cur.Entries {
+		if e.Density < 10 {
+			continue
+		}
+		if e.BatchGoodput < e.GreedyGoodput-batchEps {
+			failures = append(failures, fmt.Sprintf(
+				"%d nodes/%d apps/%d×: batch goodput %.4f below greedy %.4f — joint search lost to its own seed",
+				e.Nodes, e.Apps, e.Density, e.BatchGoodput, e.GreedyGoodput))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(stdout, "FAIL:", f)
+		}
+		return fmt.Errorf("%d batch regression(s) vs %s", len(failures), basePath)
+	}
+	fmt.Fprintln(stdout, "batch gate passed")
+	return nil
+}
+
 func readScaleReport(path string) (experiments.ScaleReport, error) {
 	var r experiments.ScaleReport
 	data, err := os.ReadFile(path)
@@ -265,6 +337,24 @@ func readSchedReport(path string) (experiments.SchedReport, error) {
 	}
 	if r.Schema != experiments.SchedReportSchema {
 		return r, fmt.Errorf("%s: schema %q, want %q — regenerate with benchtab -sched-out", path, r.Schema, experiments.SchedReportSchema)
+	}
+	if len(r.Entries) == 0 {
+		return r, fmt.Errorf("%s: no entries", path)
+	}
+	return r, nil
+}
+
+func readBatchReport(path string) (experiments.BatchReport, error) {
+	var r experiments.BatchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != experiments.BatchReportSchema {
+		return r, fmt.Errorf("%s: schema %q, want %q — regenerate with benchtab -batch-out", path, r.Schema, experiments.BatchReportSchema)
 	}
 	if len(r.Entries) == 0 {
 		return r, fmt.Errorf("%s: no entries", path)

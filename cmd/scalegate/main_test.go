@@ -231,3 +231,101 @@ func TestSchedGateRejectsWrongSchemaAndKind(t *testing.T) {
 		t.Error("unknown kind: want error")
 	}
 }
+
+func writeBatchReport(t *testing.T, dir, name string, entries ...experiments.BatchEntry) string {
+	t.Helper()
+	data, err := json.Marshal(experiments.BatchReport{
+		Schema: experiments.BatchReportSchema, Seed: 42, Entries: entries,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBatchGateRegressionAndTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBatchReport(t, dir, "base.json",
+		experiments.BatchEntry{Nodes: 64, Apps: 80, Density: 10, GreedyGoodput: 0.78, BatchGoodput: 0.86},
+		experiments.BatchEntry{Nodes: 196, Apps: 140, Density: 10, GreedyGoodput: 0.79, BatchGoodput: 0.90},
+	)
+	// 10% down on batch goodput: within the 20% tolerance, batch still >= greedy.
+	cur := writeBatchReport(t, dir, "cur.json",
+		experiments.BatchEntry{Nodes: 64, Apps: 80, Density: 10, GreedyGoodput: 0.75, BatchGoodput: 0.774},
+		experiments.BatchEntry{Nodes: 196, Apps: 140, Density: 10, GreedyGoodput: 0.78, BatchGoodput: 0.81},
+	)
+	var out strings.Builder
+	if err := run([]string{"-kind", "batch", "-current", cur, "-baseline", base}, &out); err != nil {
+		t.Fatalf("within tolerance, want pass: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "batch gate passed") {
+		t.Errorf("missing pass line:\n%s", out.String())
+	}
+	// 40% down: regression.
+	slow := writeBatchReport(t, dir, "slow.json",
+		experiments.BatchEntry{Nodes: 64, Apps: 80, Density: 10, GreedyGoodput: 0.50, BatchGoodput: 0.52},
+		experiments.BatchEntry{Nodes: 196, Apps: 140, Density: 10, GreedyGoodput: 0.78, BatchGoodput: 0.89},
+	)
+	out.Reset()
+	if err := run([]string{"-kind", "batch", "-current", slow, "-baseline", base}, &out); err == nil {
+		t.Fatalf("40%% regression, want failure:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("missing REGRESSION marker:\n%s", out.String())
+	}
+	// Missing configuration: failure.
+	missing := writeBatchReport(t, dir, "missing.json",
+		experiments.BatchEntry{Nodes: 64, Apps: 80, Density: 10, GreedyGoodput: 0.78, BatchGoodput: 0.86},
+	)
+	if err := run([]string{"-kind", "batch", "-current", missing, "-baseline", base}, io.Discard); err == nil {
+		t.Error("missing city entry: want failure")
+	}
+}
+
+func TestBatchGateEnforcesBatchBeatsGreedy(t *testing.T) {
+	dir := t.TempDir()
+	// Batch lost to its own greedy seed at a contended density: failure even
+	// though the baseline comparison would pass.
+	lost := writeBatchReport(t, dir, "lost.json",
+		experiments.BatchEntry{Nodes: 64, Apps: 80, Density: 10, GreedyGoodput: 0.90, BatchGoodput: 0.85},
+	)
+	var out strings.Builder
+	if err := run([]string{"-kind", "batch", "-current", lost, "-baseline", lost}, &out); err == nil {
+		t.Fatalf("batch below greedy at 10x, want failure:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "lost to its own seed") {
+		t.Errorf("missing batch-vs-greedy failure:\n%s", out.String())
+	}
+	// The same shortfall at 1x density is tolerated: quiet meshes are ties.
+	quiet := writeBatchReport(t, dir, "quiet.json",
+		experiments.BatchEntry{Nodes: 64, Apps: 8, Density: 1, GreedyGoodput: 0.90, BatchGoodput: 0.85},
+	)
+	if err := run([]string{"-kind", "batch", "-current", quiet, "-baseline", quiet}, io.Discard); err != nil {
+		t.Errorf("density 1 shortfall should pass, got %v", err)
+	}
+}
+
+func TestBatchGateRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	good := writeBatchReport(t, dir, "good.json",
+		experiments.BatchEntry{Nodes: 64, Apps: 80, Density: 10, GreedyGoodput: 0.5, BatchGoodput: 0.6},
+	)
+	// A sched report fed to the batch gate is a schema mismatch, not a panic.
+	sched := writeSchedReport(t, dir, "sched.json",
+		experiments.SchedEntry{Nodes: 64, Apps: 80, Storm: true, Mode: "serial", DecisionsPerSec: 1},
+	)
+	if err := run([]string{"-kind", "batch", "-current", sched, "-baseline", good}, io.Discard); err == nil {
+		t.Error("sched report under -kind batch: want error")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"schema":"bass/bench-batch/v1","entries":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-kind", "batch", "-current", empty, "-baseline", good}, io.Discard); err == nil {
+		t.Error("empty entries: want error")
+	}
+}

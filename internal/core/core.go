@@ -159,7 +159,24 @@ type Config struct {
 	// side of the control-plane benchmarks; decisions are equivalent but the
 	// multi-app journal interleaving differs (probes repeat per app).
 	LegacyControlLoop bool
+	// BatchPlacement wraps Policy in the batch joint search: each deployed
+	// DAG is first placed by the greedy seed policy, then improved by a
+	// budgeted k-best local search scored against the path oracle (see
+	// scheduler.Batch). Orthogonal to migration — it changes only where
+	// components start.
+	BatchPlacement bool
+	// Batch tunes the batch search. A zero MoveBudget defaults to
+	// DefaultBatchMoveBudget; a negative one disables the search outright,
+	// making the run byte-identical to the plain greedy policy (the
+	// differential tests pin this). A zero Seed follows the engine seed.
+	Batch scheduler.BatchConfig
 }
+
+// DefaultBatchMoveBudget is the joint-candidate evaluation budget used when
+// BatchPlacement is on and Config.Batch.MoveBudget is zero. Solve time grows
+// linearly in the budget; 256 keeps per-DAG scheduling well under the
+// millisecond scale the scheduler benchmarks gate.
+const DefaultBatchMoveBudget = 256
 
 func (c Config) withDefaults() Config {
 	if c.Policy == nil {
@@ -317,6 +334,18 @@ func New(eng *sim.Engine, topo *mesh.Topology, net *simnet.Network, clus *cluste
 			return simnet.LocalMbps
 		}
 		return spare
+	}
+	if cfg.BatchPlacement {
+		bcfg := o.cfg.Batch
+		if bcfg.MoveBudget == 0 {
+			bcfg.MoveBudget = DefaultBatchMoveBudget
+		}
+		if bcfg.Seed == 0 {
+			bcfg.Seed = eng.Seed()
+		}
+		batch := scheduler.NewBatch(o.cfg.Policy, bcfg)
+		batch.SetPathQuery(o.pathSpareFn)
+		o.cfg.Policy = batch
 	}
 	if cfg.EnableReconcile {
 		o.rec = reconcile.New(cfg.Reconcile, reconcileHost{o})

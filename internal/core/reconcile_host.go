@@ -156,6 +156,9 @@ func (h reconcileHost) Shed(appName string, cause uint64) {
 		}
 	}
 	o.net.SetCause(cause)
-	o.net.ShedFlowsByTagPrefix(appName + "/")
+	// Matching is boundary-aware in simnet: the bare app name sheds "app" and
+	// "app/..." tags but never a sibling like "app10" — no trailing "/" is
+	// needed here to stay collision-safe.
+	o.net.ShedFlowsByTagPrefix(appName)
 	o.net.SetCause(0)
 }

@@ -1,0 +1,416 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bass/internal/cluster"
+	"bass/internal/core"
+	"bass/internal/dag"
+	"bass/internal/mesh"
+	"bass/internal/scheduler"
+	"bass/internal/simnet"
+)
+
+// Batch placement ablation (ROADMAP: "Optimization-based placement baselines
+// and batch scheduling"): the greedy per-component heuristics against the
+// batch joint search, on the same meshes and app densities the control-plane
+// sweep uses. Migration is disabled so the comparison isolates initial
+// placement: whatever goodput a mode reaches, it reached by choosing nodes,
+// not by repairing choices later.
+
+// BatchAblationOptions sizes one placement-ablation run.
+type BatchAblationOptions struct {
+	Nodes   int // grid node target (rounded up to Rows×Cols)
+	Apps    int // pipeline applications deployed
+	Density int // informational: the app-density multiplier this config represents
+	// Batch turns the joint search on; Budget and K pass through to
+	// scheduler.BatchConfig (zero Budget takes core.DefaultBatchMoveBudget).
+	Batch  bool
+	Budget int
+	K      int
+	Seed   int64
+}
+
+func (o BatchAblationOptions) withDefaults() BatchAblationOptions {
+	if o.Nodes == 0 {
+		o.Nodes = 64
+	}
+	if o.Apps == 0 {
+		o.Apps = 8
+	}
+	if o.Density == 0 {
+		o.Density = 1
+	}
+	if o.Budget == 0 {
+		o.Budget = core.DefaultBatchMoveBudget
+	}
+	return o
+}
+
+func (o BatchAblationOptions) dims() (rows, cols int) {
+	rows = 1
+	for rows*rows < o.Nodes {
+		rows++
+	}
+	cols = (o.Nodes + rows - 1) / rows
+	return rows, cols
+}
+
+// BatchAblationResult reports one mode's run. Goodput is the headline: the
+// fraction of the population's total required edge bandwidth the data plane
+// actually delivers at the end of the horizon.
+type BatchAblationResult struct {
+	Nodes, Links, Apps, Density int
+	Batch                       bool
+	Budget                      int
+
+	Goodput    float64 // Σ min(achieved, required) / Σ required over all edges
+	CrossEdges int     // DAG edges whose endpoints landed on different nodes
+	SolveMS    float64 // Σ DAG scheduling wall-clock, ms (not deterministic)
+}
+
+// pipeApp is the ablation workload: a five-component pipeline
+// in→f1→f2→f3→out with two skip edges (in→f2, f2→out at 40% of the main
+// demand), endpoints pinned, middles movable, one stream per edge. The skip
+// edges give the joint search real trade-offs: no single chain ordering
+// satisfies every edge, so placement quality — not ordering luck — decides
+// goodput.
+type pipeApp struct {
+	graph  *dag.Graph
+	comps  [5]string
+	edges  [6][2]int // index pairs into comps
+	demand [6]float64
+
+	env     *core.Env
+	streams [6]simnet.FlowID
+	live    [6]bool
+}
+
+var _ core.Workload = (*pipeApp)(nil)
+
+func newPipeApp(app string, demandMbps float64, pinSrc, pinDst string) *pipeApp {
+	g := dag.NewGraph(app)
+	p := &pipeApp{graph: g}
+	p.comps = [5]string{"in-" + app, "f1-" + app, "f2-" + app, "f3-" + app, "out-" + app}
+	// The pinned endpoints are ingress/egress taps — where the user's traffic
+	// enters and leaves the mesh — and consume no orchestrated compute, so a
+	// pin can never fail to fit. All capacity pressure lives on the movable
+	// middle stages: the placement decision actually under ablation.
+	g.MustAddComponent(dag.Component{Name: p.comps[0], Labels: dag.Pin(pinSrc)})
+	g.MustAddComponent(dag.Component{Name: p.comps[1], CPU: 0.25})
+	g.MustAddComponent(dag.Component{Name: p.comps[2], CPU: 0.25})
+	g.MustAddComponent(dag.Component{Name: p.comps[3], CPU: 0.25})
+	g.MustAddComponent(dag.Component{Name: p.comps[4], Labels: dag.Pin(pinDst)})
+	p.edges = [6][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 2}, {2, 4}}
+	p.demand = [6]float64{demandMbps, demandMbps, demandMbps, demandMbps, 0.4 * demandMbps, 0.4 * demandMbps}
+	for i, e := range p.edges {
+		g.MustAddEdge(p.comps[e[0]], p.comps[e[1]], p.demand[i])
+	}
+	return p
+}
+
+func (p *pipeApp) Graph() *dag.Graph { return p.graph }
+
+func (p *pipeApp) attach(i int) {
+	from, to := p.comps[p.edges[i][0]], p.comps[p.edges[i][1]]
+	id, err := p.env.Net().AddStream(p.env.Tag(from, to),
+		p.env.NodeOf(from), p.env.NodeOf(to), p.demand[i])
+	if err != nil {
+		return
+	}
+	p.streams[i], p.live[i] = id, true
+}
+
+func (p *pipeApp) Start(env *core.Env) error {
+	p.env = env
+	for i := range p.edges {
+		p.attach(i)
+	}
+	return nil
+}
+
+func (p *pipeApp) OnMigration(env *core.Env, component, fromNode, toNode string, downtime time.Duration) {
+	for i := range p.edges {
+		from, to := p.comps[p.edges[i][0]], p.comps[p.edges[i][1]]
+		if component != from && component != to {
+			continue
+		}
+		if p.live[i] {
+			_ = env.Net().RemoveStream(p.streams[i])
+			p.live[i] = false
+		}
+		i := i
+		env.Engine().After(downtime, func() {
+			if !p.live[i] {
+				p.attach(i)
+			}
+		})
+	}
+}
+
+// measure reports (achieved, required) bandwidth over the app's edges and how
+// many of them cross nodes under the final placement.
+func (p *pipeApp) measure() (achieved, required float64, cross int) {
+	for i := range p.edges {
+		required += p.demand[i]
+		if p.live[i] {
+			if rate, err := p.env.Net().StreamRate(p.streams[i]); err == nil {
+				if rate > p.demand[i] {
+					rate = p.demand[i]
+				}
+				achieved += rate
+			}
+		}
+		if p.env.NodeOf(p.comps[p.edges[i][0]]) != p.env.NodeOf(p.comps[p.edges[i][1]]) {
+			cross++
+		}
+	}
+	return achieved, required, cross
+}
+
+// RunBatchAblation deploys the pipeline population over a grid mesh with the
+// chosen placement mode and measures delivered goodput after the horizon.
+func RunBatchAblation(opts BatchAblationOptions) (BatchAblationResult, error) {
+	opts = opts.withDefaults()
+	rows, cols := opts.dims()
+	horizon := time.Minute
+	topo, err := mesh.Grid(mesh.GridOptions{
+		Rows:     rows,
+		Cols:     cols,
+		Seed:     opts.Seed,
+		Duration: horizon + time.Minute,
+	})
+	if err != nil {
+		return BatchAblationResult{}, err
+	}
+
+	// CPU sized with only 50% aggregate headroom (0.75 CPU per app). The
+	// tightness is deliberate: at contended densities no node can absorb
+	// every app's middle stages, so the modes must actually choose relay
+	// nodes — the regime where joint search can beat per-component greedy.
+	// The floor of 1 keeps sparse configs schedulable under pin skew.
+	n := rows * cols
+	cpuPerNode := float64(opts.Apps) * 0.75 / float64(n) * 1.5
+	if cpuPerNode < 1 {
+		cpuPerNode = 1
+	}
+	nodes := make([]cluster.Node, 0, n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			nodes = append(nodes, cluster.Node{
+				Name: mesh.GridNodeName(r, c), CPU: cpuPerNode, MemoryMB: 16384,
+			})
+		}
+	}
+
+	cfg := core.Config{
+		// Migration off: the ablation isolates initial placement quality.
+		EnableMigration: false,
+		MonitorInterval: 30 * time.Second,
+	}
+	if opts.Batch {
+		cfg.BatchPlacement = true
+		cfg.Batch = scheduler.BatchConfig{MoveBudget: opts.Budget, K: opts.K}
+	}
+	s, err := core.NewSimulation(topo, nodes, opts.Seed, cfg)
+	if err != nil {
+		return BatchAblationResult{}, err
+	}
+	defer s.Close()
+
+	// Pipelines demand 4.8×12 ≈ 58 Mbps across six edges on jittered ~25 Mbps
+	// links, so any edge left crossing the mesh is a real cost: quiet at 1×
+	// density, contended at 10×, oversubscribed at 100×. Pins follow the
+	// scale workload's population: 90% near-local pairs, the rest
+	// city-crossing.
+	const demand = 12.0
+	rng := rand.New(rand.NewSource(opts.Seed * 31))
+	apps := make([]*pipeApp, 0, opts.Apps)
+	for i := 0; i < opts.Apps; i++ {
+		sr, sc := rng.Intn(rows), rng.Intn(cols)
+		var dr, dc int
+		if rng.Float64() < 0.9 {
+			dr = clamp(sr+rng.Intn(5)-2, rows)
+			dc = clamp(sc+rng.Intn(5)-2, cols)
+		} else {
+			dr, dc = rng.Intn(rows), rng.Intn(cols)
+		}
+		if dr == sr && dc == sc {
+			dc = clamp(dc+1, cols)
+			if dc == sc {
+				dr = clamp(dr+1, rows)
+			}
+		}
+		d := demand * (0.8 + 0.4*rng.Float64())
+		name := fmt.Sprintf("pipe-%04d", i)
+		app := newPipeApp(name, d, mesh.GridNodeName(sr, sc), mesh.GridNodeName(dr, dc))
+		if _, err := s.Orch.Deploy(name, app); err != nil {
+			return BatchAblationResult{}, fmt.Errorf("batchablation: deploy %s: %w", name, err)
+		}
+		apps = append(apps, app)
+	}
+
+	if err := s.Run(horizon); err != nil {
+		return BatchAblationResult{}, err
+	}
+
+	var achieved, required float64
+	cross := 0
+	for _, app := range apps {
+		a, r, c := app.measure()
+		achieved += a
+		required += r
+		cross += c
+	}
+	var solveNS float64
+	for _, ns := range s.Orch.DAGProcessingNS() {
+		solveNS += ns
+	}
+	res := BatchAblationResult{
+		Nodes:      n,
+		Links:      len(topo.Links()),
+		Apps:       opts.Apps,
+		Density:    opts.Density,
+		Batch:      opts.Batch,
+		Budget:     opts.Budget,
+		CrossEdges: cross,
+		SolveMS:    solveNS / 1e6,
+	}
+	if required > 0 {
+		res.Goodput = achieved / required
+	}
+	return res, nil
+}
+
+// BatchSweep is the canonical BENCH_batch.json sweep: town/city mesh ×
+// 1×/10×/100× app density. Each returned config is run twice — greedy and
+// batch — and paired into one BatchEntry. quick is the CI smoke subset: town
+// mesh only, 1×/10×.
+func BatchSweep(seed int64, quick bool) []BatchAblationOptions {
+	type meshSize struct{ nodes, baseApps int }
+	meshes := []meshSize{{64, 8}, {196, 14}}
+	densities := []int{1, 10, 100}
+	if quick {
+		meshes = meshes[:1]
+		densities = densities[:2]
+	}
+	var sweep []BatchAblationOptions
+	for _, m := range meshes {
+		for _, d := range densities {
+			sweep = append(sweep, BatchAblationOptions{
+				Nodes: m.nodes, Apps: m.baseApps * d, Density: d, Seed: seed,
+			})
+		}
+	}
+	return sweep
+}
+
+// BatchReportSchema identifies the BENCH_batch.json layout; bump on any
+// incompatible field change so cmd/scalegate can reject stale baselines.
+const BatchReportSchema = "bass/bench-batch/v1"
+
+// BatchReport is the BENCH_batch.json document: the placement ablation
+// (mesh size × app density, greedy vs batch). cmd/benchtab -batch-out writes
+// it; cmd/scalegate -kind batch compares it against the checked-in baseline
+// in ci/ and enforces batch ≥ greedy at contended densities.
+type BatchReport struct {
+	Schema  string       `json:"schema"`
+	Seed    int64        `json:"seed"`
+	Entries []BatchEntry `json:"entries"`
+}
+
+// BatchEntry pairs the two modes' measurements for one configuration.
+// Entries are matched across runs by (Nodes, Apps). The SolveMS fields are
+// wall-clock and therefore NOT deterministic — CI's double-run diff strips
+// them.
+type BatchEntry struct {
+	Nodes         int     `json:"nodes"`
+	Apps          int     `json:"apps"`
+	Density       int     `json:"density"`
+	Budget        int     `json:"budget"`
+	GreedyGoodput float64 `json:"greedyGoodput"`
+	BatchGoodput  float64 `json:"batchGoodput"`
+	GainFrac      float64 `json:"gainFrac"` // (batch − greedy) / greedy
+	GreedyCross   int     `json:"greedyCross"`
+	BatchCross    int     `json:"batchCross"`
+	GreedySolveMS float64 `json:"greedySolveMS"`
+	BatchSolveMS  float64 `json:"batchSolveMS"`
+}
+
+// BatchPairEntry folds a greedy run and a batch run of the same
+// configuration into one report entry.
+func BatchPairEntry(greedy, batch BatchAblationResult) BatchEntry {
+	e := BatchEntry{
+		Nodes:         greedy.Nodes,
+		Apps:          greedy.Apps,
+		Density:       greedy.Density,
+		Budget:        batch.Budget,
+		GreedyGoodput: greedy.Goodput,
+		BatchGoodput:  batch.Goodput,
+		GreedyCross:   greedy.CrossEdges,
+		BatchCross:    batch.CrossEdges,
+		GreedySolveMS: greedy.SolveMS,
+		BatchSolveMS:  batch.SolveMS,
+	}
+	if greedy.Goodput > 0 {
+		e.GainFrac = (batch.Goodput - greedy.Goodput) / greedy.Goodput
+	}
+	return e
+}
+
+// BatchAblationTable renders paired entries as the ROADMAP's ablation table.
+func BatchAblationTable(entries []BatchEntry) Table {
+	t := Table{
+		Title: "Batch placement ablation: greedy vs budgeted joint search",
+		Header: []string{"nodes", "apps", "density", "budget",
+			"greedy goodput", "batch goodput", "gain", "greedy ms", "batch ms"},
+	}
+	for _, e := range entries {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", e.Nodes),
+			fmt.Sprintf("%d", e.Apps),
+			fmt.Sprintf("%d×", e.Density),
+			fmt.Sprintf("%d", e.Budget),
+			f(e.GreedyGoodput),
+			f(e.BatchGoodput),
+			fmt.Sprintf("%+.1f%%", 100*e.GainFrac),
+			f(e.GreedySolveMS),
+			f(e.BatchSolveMS),
+		})
+	}
+	return t
+}
+
+// RunBatchPair runs one configuration in both modes and pairs the results.
+func RunBatchPair(opts BatchAblationOptions) (BatchEntry, error) {
+	greedyOpts := opts
+	greedyOpts.Batch = false
+	greedy, err := RunBatchAblation(greedyOpts)
+	if err != nil {
+		return BatchEntry{}, err
+	}
+	batchOpts := opts
+	batchOpts.Batch = true
+	batch, err := RunBatchAblation(batchOpts)
+	if err != nil {
+		return BatchEntry{}, err
+	}
+	return BatchPairEntry(greedy, batch), nil
+}
+
+func init() {
+	register("batchablation", func(p Params) ([]Table, error) {
+		sweep := BatchSweep(p.Seed, p.Quick)
+		entries := make([]BatchEntry, 0, len(sweep))
+		for _, opts := range sweep {
+			e, err := RunBatchPair(opts)
+			if err != nil {
+				return nil, err
+			}
+			entries = append(entries, e)
+		}
+		return []Table{BatchAblationTable(entries)}, nil
+	})
+}

@@ -18,6 +18,10 @@ const (
 	ChoiceMigration Choice = "migration"
 	// ChoiceFailover is a re-placement after the host died.
 	ChoiceFailover Choice = "failover"
+	// ChoiceBatch is a joint whole-DAG decision made by the batch placement
+	// search: per-component relocation scans, swap probes, and the final
+	// greedy-vs-batch verdict all carry this kind.
+	ChoiceBatch Choice = "batch"
 )
 
 // Rejection is the typed reason a candidate node was not chosen. The winner

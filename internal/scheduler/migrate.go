@@ -38,9 +38,12 @@ type DependencyUsage struct {
 
 // UtilizationFrac reports achieved/path-capacity: the pair's "link
 // utilization" that §6.3.2/§6.3.3 set migration thresholds against (25-95%).
+// A path with no capacity left is fully utilized by definition: it reports 1,
+// not 0 — returning 0 made a dead path read as perfectly healthy and scenario
+// 1 migration never fired for it.
 func (d DependencyUsage) UtilizationFrac() float64 {
 	if d.PathCapacityMbps <= 0 {
-		return 0
+		return 1
 	}
 	return d.AchievedMbps / d.PathCapacityMbps
 }
@@ -83,10 +86,11 @@ func DefaultMigrationConfig() MigrationConfig {
 // PathUtilizationFrac reports the aggregate utilization of the pair's path
 // bottleneck: (capacity − available) / capacity. Several pairs sharing one
 // link can saturate it while each pair's own share stays small; the
-// aggregate view catches that (§6.3.2's "link utilization").
+// aggregate view catches that (§6.3.2's "link utilization"). A zero-capacity
+// path is saturated by definition and reports 1 (see UtilizationFrac).
 func (d DependencyUsage) PathUtilizationFrac() float64 {
 	if d.PathCapacityMbps <= 0 {
-		return 0
+		return 1
 	}
 	u := (d.PathCapacityMbps - d.PathAvailableMbps) / d.PathCapacityMbps
 	if u < 0 {
@@ -98,10 +102,21 @@ func (d DependencyUsage) PathUtilizationFrac() float64 {
 // violated reports whether a dependency pair needs migration under the
 // config.
 func (cfg MigrationConfig) violated(d DependencyUsage) bool {
+	// A dead path — bottleneck capacity degraded to zero — cannot carry the
+	// pair at all. It is violated outright whenever migration is enabled and
+	// the pair actually needs bandwidth; the fraction-based scenarios below
+	// also see it as fully utilized (UtilizationFrac pins at 1), but this
+	// clause keeps the decision independent of where the thresholds sit.
+	if (cfg.UtilizationThreshold > 0 || cfg.GoodputFloor > 0) &&
+		d.PathCapacityMbps <= 0 && d.RequiredMbps > 0 {
+		return true
+	}
 	// Scenario 1 (§3.2.2, Algorithm 3): the pair's traffic consumes more
 	// than the threshold fraction of the link while the link cannot also
-	// hold the required headroom.
-	if cfg.UtilizationThreshold > 0 &&
+	// hold the required headroom. A pair that requires no bandwidth is never
+	// violated — without the guard, UtilizationFrac saturating at 1 on a
+	// dead path would flag even requirement-free pairs.
+	if cfg.UtilizationThreshold > 0 && d.RequiredMbps > 0 &&
 		d.UtilizationFrac() > cfg.UtilizationThreshold &&
 		d.PathAvailableMbps < cfg.HeadroomMbps {
 		return true

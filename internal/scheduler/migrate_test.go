@@ -75,6 +75,111 @@ func TestFindMigrationCandidatesHealthyPair(t *testing.T) {
 	}
 }
 
+// TestDeadPathReportsViolated pins the degraded-to-zero regression: a path
+// whose bottleneck capacity collapsed to (or below) zero used to score
+// UtilizationFrac 0 — perfectly healthy — so scenario-1 migration never
+// fired even though the pair could move nothing at all.
+func TestDeadPathReportsViolated(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  MigrationConfig
+		d    DependencyUsage
+		want bool
+	}{
+		{
+			name: "zero capacity, scenario-1-only config",
+			cfg:  MigrationConfig{UtilizationThreshold: 0.5, GoodputFloor: 0, HeadroomMbps: 4},
+			d: DependencyUsage{RequiredMbps: 8, AchievedMbps: 0,
+				PathCapacityMbps: 0, PathAvailableMbps: 0},
+			want: true,
+		},
+		{
+			name: "capacity degraded below zero by probe noise",
+			cfg:  MigrationConfig{UtilizationThreshold: 0.5, GoodputFloor: 0, HeadroomMbps: 4},
+			d: DependencyUsage{RequiredMbps: 8, AchievedMbps: 0,
+				PathCapacityMbps: -0.5, PathAvailableMbps: 0},
+			want: true,
+		},
+		{
+			name: "zero capacity, goodput-floor-only config",
+			cfg:  MigrationConfig{UtilizationThreshold: 0, GoodputFloor: 0.5, HeadroomMbps: 4},
+			d: DependencyUsage{RequiredMbps: 8, AchievedMbps: 0,
+				PathCapacityMbps: 0, PathAvailableMbps: 0},
+			want: true,
+		},
+		{
+			name: "zero capacity but pair needs no bandwidth",
+			cfg:  DefaultMigrationConfig(),
+			d: DependencyUsage{RequiredMbps: 0, AchievedMbps: 0,
+				PathCapacityMbps: 0, PathAvailableMbps: 0},
+			want: false,
+		},
+		{
+			name: "zero capacity with migration disabled",
+			cfg:  MigrationConfig{UtilizationThreshold: 0, GoodputFloor: 0, HeadroomMbps: 4},
+			d: DependencyUsage{RequiredMbps: 8, AchievedMbps: 0,
+				PathCapacityMbps: 0, PathAvailableMbps: 0},
+			want: false,
+		},
+		{
+			name: "healthy path stays healthy",
+			cfg:  DefaultMigrationConfig(),
+			d: DependencyUsage{RequiredMbps: 8, AchievedMbps: 7.5,
+				PathCapacityMbps: 25, PathAvailableMbps: 15},
+			want: false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.cfg.violated(tt.d); got != tt.want {
+				t.Errorf("violated(%+v) = %v, want %v", tt.d, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestDeadPathFracsSaturate pins the helper semantics the fix introduced: a
+// path with no capacity is fully utilized (1), not idle (0).
+func TestDeadPathFracsSaturate(t *testing.T) {
+	d := DependencyUsage{RequiredMbps: 8, PathCapacityMbps: 0, PathAvailableMbps: 0}
+	if got := d.UtilizationFrac(); got != 1 {
+		t.Errorf("UtilizationFrac on dead path = %v, want 1", got)
+	}
+	if got := d.PathUtilizationFrac(); got != 1 {
+		t.Errorf("PathUtilizationFrac on dead path = %v, want 1", got)
+	}
+	healthy := DependencyUsage{RequiredMbps: 8, AchievedMbps: 4, PathCapacityMbps: 16, PathAvailableMbps: 8}
+	if got := healthy.UtilizationFrac(); got != 0.25 {
+		t.Errorf("UtilizationFrac = %v, want 0.25", got)
+	}
+	if got := healthy.PathUtilizationFrac(); got != 0.5 {
+		t.Errorf("PathUtilizationFrac = %v, want 0.5", got)
+	}
+}
+
+// TestFindMigrationCandidatesDeadPath runs the degraded-to-zero case through
+// the full Algorithm 3 pass: the pair must surface as violating and produce
+// a migration candidate under a scenario-1-only config.
+func TestFindMigrationCandidatesDeadPath(t *testing.T) {
+	g := pairGraph(t)
+	cfg := MigrationConfig{UtilizationThreshold: 0.5, GoodputFloor: 0, HeadroomMbps: 4}
+	usages := []DependencyUsage{{
+		Component:         "producer",
+		Dep:               "consumer",
+		RequiredMbps:      8,
+		AchievedMbps:      0,
+		PathCapacityMbps:  0,
+		PathAvailableMbps: 0,
+	}}
+	report := FindMigrationCandidates(g, usages, cfg, nil)
+	if len(report.Candidates) != 1 {
+		t.Fatalf("candidates = %v, want one (dead path must trigger migration)", report.Candidates)
+	}
+	if len(report.Violating) != 2 {
+		t.Errorf("violating = %v, want both endpoints", report.Violating)
+	}
+}
+
 // TestFindMigrationCandidatesDeduplicatesPairs reproduces the paper's
 // Table 1 observation: two communicating components both violate, but only
 // one of the pair is migrated, avoiding cascading effects.

@@ -17,10 +17,18 @@ package scheduler
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"bass/internal/dag"
 )
+
+// weightEps is the relative tolerance under which two path-weight sums count
+// as equal. Path weights are sums of float64 BandwidthMbps values, so equally
+// heavy paths can differ in the last ULPs depending on the order edges were
+// accumulated; treating that noise as a strict ordering made chain extraction
+// platform- and insertion-order-sensitive.
+const weightEps = 1e-9
 
 // Heuristic selects a component-ordering strategy.
 type Heuristic int
@@ -247,10 +255,25 @@ func longestPathFrom(g *dag.Graph, topo []string, topoPos map[string]int, start 
 				continue
 			}
 			cand := dist[name] + e.BandwidthMbps
-			better := cand > dist[e.To]
-			// Deterministic tie-break: earlier-topo parent wins.
-			if cand == dist[e.To] {
-				if p, ok := parent[e.To]; ok && topoPos[name] < topoPos[p] {
+			// Distances are sums of BandwidthMbps, so two equally-heavy paths
+			// can differ in the last few ULPs depending on summation order.
+			// Compare with a relative epsilon: clearly heavier wins, and
+			// anything inside the band is a tie resolved by the documented
+			// earlier-topo-parent rule — including when the incumbent has no
+			// recorded parent yet. Exact float equality here made "ties"
+			// platform- and order-sensitive and skipped parentless incumbents.
+			delta := cand - dist[e.To]
+			scale := math.Abs(cand)
+			if a := math.Abs(dist[e.To]); a > scale {
+				scale = a
+			}
+			if scale < 1 {
+				scale = 1
+			}
+			better := delta > weightEps*scale
+			if !better && delta >= -weightEps*scale {
+				// Tie: earlier-topo parent wins.
+				if p, ok := parent[e.To]; !ok || topoPos[name] < topoPos[p] {
 					better = true
 				}
 			}

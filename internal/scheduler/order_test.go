@@ -140,6 +140,97 @@ func TestLongestPathPrefersHeavierChain(t *testing.T) {
 	}
 }
 
+func TestLongestPathTieBreakEarlierTopoParent(t *testing.T) {
+	// Diamond with exactly tied path weights: s->a->t and s->b->t both sum
+	// to 10. The documented rule is that the earlier-topo parent wins, so the
+	// extracted chain must run through a regardless of edge insertion order.
+	build := func(edges [][2]string) *dag.Graph {
+		g := dag.NewGraph("diamond")
+		for _, c := range []string{"s", "a", "b", "t"} {
+			g.MustAddComponent(dag.Component{Name: c, CPU: 1})
+		}
+		for _, e := range edges {
+			g.MustAddEdge(e[0], e[1], 5)
+		}
+		return g
+	}
+	orders := [][][2]string{
+		{{"s", "a"}, {"s", "b"}, {"a", "t"}, {"b", "t"}},
+		{{"s", "b"}, {"s", "a"}, {"b", "t"}, {"a", "t"}},
+	}
+	for i, edges := range orders {
+		chains, err := LongestPathChains(build(edges))
+		if err != nil {
+			t.Fatalf("insertion order %d: %v", i, err)
+		}
+		want := []string{"s", "a", "t"}
+		if !reflect.DeepEqual(chains[0], want) {
+			t.Errorf("insertion order %d: first chain = %v, want %v (earlier-topo parent)", i, chains[0], want)
+		}
+	}
+}
+
+func TestLongestPathTieBreakSurvivesFloatNoise(t *testing.T) {
+	// Two two-hop paths with equal intended weight 0.3: via a it accumulates
+	// as 0.15+0.15 (exactly 0.3 in float64), via b as 0.1+0.2
+	// (0.30000000000000004). Exact float comparison saw b's path as strictly
+	// heavier and flipped the parent to the later-topo b; the epsilon-aware
+	// comparison must treat the paths as tied and keep the earlier-topo
+	// parent a.
+	g := dag.NewGraph("fp")
+	for _, c := range []string{"s", "a", "b", "t"} {
+		g.MustAddComponent(dag.Component{Name: c, CPU: 1})
+	}
+	g.MustAddEdge("s", "a", 0.15)
+	g.MustAddEdge("a", "t", 0.15) // sums to exactly 0.3
+	g.MustAddEdge("s", "b", 0.1)
+	g.MustAddEdge("b", "t", 0.2) // sums to 0.30000000000000004
+	chains, err := LongestPathChains(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"s", "a", "t"}
+	if !reflect.DeepEqual(chains[0], want) {
+		t.Errorf("first chain = %v, want %v (FP noise must not decide the tie)", chains[0], want)
+	}
+}
+
+func TestLongestPathTiedWeightChainsDeterministic(t *testing.T) {
+	// A wider fan of identical-weight chains: r->(x1|x2|x3)->l. Every path
+	// ties, so extraction must deterministically follow the earliest-topo
+	// branch, then the next, independent of map iteration or edge order.
+	g := dag.NewGraph("fan")
+	for _, c := range []string{"r", "x3", "x1", "x2", "l"} {
+		g.MustAddComponent(dag.Component{Name: c, CPU: 1})
+	}
+	for _, mid := range []string{"x3", "x1", "x2"} {
+		g.MustAddEdge("r", mid, 7)
+		g.MustAddEdge(mid, "l", 7)
+	}
+	topo, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The earliest mid in topological order must carry the first chain.
+	firstMid := ""
+	for _, name := range topo {
+		if name != "r" && name != "l" {
+			firstMid = name
+			break
+		}
+	}
+	for run := 0; run < 10; run++ {
+		chains, err := LongestPathChains(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"r", firstMid, "l"}
+		if !reflect.DeepEqual(chains[0], want) {
+			t.Fatalf("run %d: first chain = %v, want %v", run, chains[0], want)
+		}
+	}
+}
+
 func TestOrderUnknownHeuristic(t *testing.T) {
 	g := fig6Graph(t)
 	if _, err := Order(g, Heuristic(99)); err == nil {

@@ -746,20 +746,24 @@ func (n *Network) ApplyTopologyState() {
 // trigger an eager drift scan instead of waiting out the epoch.
 func (n *Network) OnTopologyApplied(fn func()) { n.topoHook = fn }
 
-// ShedFlowsByTagPrefix removes every live flow whose tag starts with prefix —
-// the data-plane half of shedding an application. Streams are journaled as
-// parked-by-shedding then removed outright (the workload re-creates them on
-// restore, against whatever placement then holds); transfers fail through
-// their callbacks like any fault-severed transfer. Returns the number of
-// flows shed. The ambient cause span (SetCause) threads the shed decision
-// into each flow's disruption event.
+// ShedFlowsByTagPrefix removes every live flow whose tag matches prefix at a
+// "/" boundary — the data-plane half of shedding an application. A flow
+// matches when its tag equals prefix exactly or continues past it with the
+// "/" tag separator (a trailing "/" in prefix counts as that separator), so
+// shedding "app1" touches "app1" and "app1/..." but never "app10/..." or
+// "app1x/..." — raw HasPrefix matching shed those sibling applications too.
+// Streams are journaled as parked-by-shedding then removed outright (the
+// workload re-creates them on restore, against whatever placement then
+// holds); transfers fail through their callbacks like any fault-severed
+// transfer. Returns the number of flows shed. The ambient cause span
+// (SetCause) threads the shed decision into each flow's disruption event.
 func (n *Network) ShedFlowsByTagPrefix(prefix string) int {
 	n.advanceProgress()
 	snapshot := make([]*flow, len(n.flowOrder))
 	copy(snapshot, n.flowOrder)
 	shed := 0
 	for _, f := range snapshot {
-		if f.gone || n.flows[f.id] != f || !strings.HasPrefix(f.tag, prefix) {
+		if f.gone || n.flows[f.id] != f || !tagMatchesPrefix(f.tag, prefix) {
 			continue
 		}
 		shed++
@@ -779,6 +783,20 @@ func (n *Network) ShedFlowsByTagPrefix(prefix string) int {
 		n.reallocate()
 	}
 	return shed
+}
+
+// tagMatchesPrefix reports whether tag belongs to the application named by
+// prefix: equal outright, or prefix followed by the "/" separator flow tags
+// use between the application name and the edge description. A prefix that
+// already ends in "/" needs no further separator.
+func tagMatchesPrefix(tag, prefix string) bool {
+	if !strings.HasPrefix(tag, prefix) {
+		return false
+	}
+	if len(tag) == len(prefix) || strings.HasSuffix(prefix, "/") {
+		return true
+	}
+	return tag[len(prefix)] == '/'
 }
 
 // rerouteFlows recomputes every networked flow's route against the current

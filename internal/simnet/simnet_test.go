@@ -517,3 +517,75 @@ func BenchmarkReallocate20Streams(b *testing.B) {
 		net.reallocate()
 	}
 }
+
+// TestShedFlowsByTagPrefixBoundaryAware pins the tag-collision regression:
+// shedding "app1" must not also shed sibling applications whose names merely
+// start with the same characters ("app10", "app1x").
+func TestShedFlowsByTagPrefixBoundaryAware(t *testing.T) {
+	_, net := lineNet(t, 1000)
+	mk := func(tag string) FlowID {
+		id, err := net.AddStream(tag, "a", "b", 5)
+		if err != nil {
+			t.Fatalf("AddStream(%q): %v", tag, err)
+		}
+		return id
+	}
+	app1Edge := mk("app1/a->b")
+	app1Bare := mk("app1")
+	app10 := mk("app10/a->b")
+	app1x := mk("app1x/a->b")
+
+	if shed := net.ShedFlowsByTagPrefix("app1"); shed != 2 {
+		t.Fatalf("ShedFlowsByTagPrefix(\"app1\") shed %d flows, want 2 (app1 and app1/...)", shed)
+	}
+	if _, err := net.StreamRate(app1Edge); err == nil {
+		t.Error("app1/a->b survived shedding app1")
+	}
+	if _, err := net.StreamRate(app1Bare); err == nil {
+		t.Error("bare app1 tag survived shedding app1")
+	}
+	if _, err := net.StreamRate(app10); err != nil {
+		t.Errorf("app10 flow was shed by the app1 prefix: %v", err)
+	}
+	if _, err := net.StreamRate(app1x); err != nil {
+		t.Errorf("app1x flow was shed by the app1 prefix: %v", err)
+	}
+}
+
+// TestShedFlowsByTagPrefixTrailingSlash pins that an explicit trailing
+// separator behaves as before the boundary fix: it matches the same "app1/…"
+// flows and still never touches siblings.
+func TestShedFlowsByTagPrefixTrailingSlash(t *testing.T) {
+	_, net := lineNet(t, 1000)
+	if _, err := net.AddStream("app1/a->b", "a", "b", 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddStream("app10/a->b", "a", "b", 5); err != nil {
+		t.Fatal(err)
+	}
+	if shed := net.ShedFlowsByTagPrefix("app1/"); shed != 1 {
+		t.Errorf("ShedFlowsByTagPrefix(\"app1/\") shed %d flows, want 1", shed)
+	}
+}
+
+func TestTagMatchesPrefix(t *testing.T) {
+	tests := []struct {
+		tag, prefix string
+		want        bool
+	}{
+		{"app1/a->b", "app1", true},
+		{"app1", "app1", true},
+		{"app10/a->b", "app1", false},
+		{"app1x/a->b", "app1", false},
+		{"app1/a->b", "app1/", true},
+		{"app10/a->b", "app1/", false},
+		{"app1/a->b", "app1/a->b", true},
+		{"app1", "app1/", false},
+		{"other", "app1", false},
+	}
+	for _, tt := range tests {
+		if got := tagMatchesPrefix(tt.tag, tt.prefix); got != tt.want {
+			t.Errorf("tagMatchesPrefix(%q, %q) = %v, want %v", tt.tag, tt.prefix, got, tt.want)
+		}
+	}
+}

@@ -23,7 +23,7 @@
 //	  "scheduler": "bfs" | "longest-path" | "k3s",
 //	  "horizonSec": 600, "seed": 42,
 //	  "migration": true, "monitorIntervalSec": 30,
-//	  "reconcile": true,
+//	  "reconcile": true, "slo": true,
 //	  "batch": true, "batchBudget": 256, "batchK": 4,
 //	  "shards": 4, "evalWorkers": 4,
 //	  "rps": 50, "clientNode": "node1",
@@ -43,7 +43,10 @@
 // declarative reconciliation loop and appends its convergence summary.
 // "batch" (or the -batch flag) places each application DAG as one joint
 // decision, refined by the budgeted k-best search; "batchBudget" and "batchK"
-// (or -batch-budget / -batch-k) tune it.
+// (or -batch-budget / -batch-k) tune it. "slo" (or the -slo flag) runs the
+// burn-rate SLO evaluator over the run — mesh headroom, control-loop cadence,
+// and per-app goodput specs — and appends a budget/alert summary; pair it
+// with -events-out to capture the alert journal for bass-trace.
 package main
 
 import (
@@ -69,6 +72,7 @@ import (
 	"bass/internal/metricstore"
 	"bass/internal/obs"
 	"bass/internal/scheduler"
+	"bass/internal/slo"
 	"bass/internal/workload"
 )
 
@@ -90,6 +94,11 @@ type scenario struct {
 	// specs, drift detection, idempotent convergence with the degraded-mode
 	// ladder. The recovery summary gains a reconcile line.
 	Reconcile bool `json:"reconcile,omitempty"`
+	// SLO runs the burn-rate SLO evaluator each control epoch (mesh
+	// headroom, control-loop cadence, per-app dependency goodput) and
+	// appends a budget/alert summary line. A metric store is attached
+	// automatically — the evaluator reads SLIs from it.
+	SLO bool `json:"slo,omitempty"`
 	// Batch wraps the scheduler in the batch placement mode: each DAG is
 	// placed as one joint decision refined by a budgeted k-best local search
 	// over the greedy seed. BatchBudget bounds the search's joint-candidate
@@ -229,6 +238,7 @@ func run(args []string, stdout io.Writer) error {
 	traceOut := fs.String("trace-out", "", "write the decision journal as Chrome trace-event JSON (Perfetto-loadable) to this path (\".NNN\" run index inserted when running multiple scenarios)")
 	polling := fs.Bool("polling", false, "force the legacy polling network driver for every scenario (output stays bit-identical to event-driven)")
 	reconcile := fs.Bool("reconcile", false, "force the declarative reconciliation loop for every scenario (equivalent to \"reconcile\": true)")
+	sloFlag := fs.Bool("slo", false, "force the burn-rate SLO evaluator for every scenario (equivalent to \"slo\": true)")
 	batch := fs.Bool("batch", false, "force the batch joint-placement mode for every scenario (equivalent to \"batch\": true)")
 	batchBudget := fs.Int("batch-budget", 0, "force this batch search move budget for every scenario (0 = scenario value)")
 	batchK := fs.Int("batch-k", 0, "force this batch search frontier width for every scenario (0 = scenario value)")
@@ -272,6 +282,9 @@ func run(args []string, stdout io.Writer) error {
 			}
 			if *reconcile {
 				replica.Reconcile = true
+			}
+			if *sloFlag {
+				replica.SLO = true
 			}
 			if *batch {
 				replica.Batch = true
@@ -378,6 +391,7 @@ func executeObserved(sc scenario, out io.Writer, eventsPath, metricsPath, traceP
 		Policy:          policy,
 		EnableMigration: sc.Migration,
 		EnableReconcile: sc.Reconcile,
+		EnableSLO:       sc.SLO,
 		ReservedCPU:     1,
 		PollingNet:      sc.PollingNet,
 		Shards:          sc.Shards,
@@ -398,11 +412,13 @@ func executeObserved(sc scenario, out io.Writer, eventsPath, metricsPath, traceP
 
 	var journal *obs.Journal
 	var store *metricstore.Store
-	if eventsPath != "" || metricsPath != "" || tracePath != "" {
+	if eventsPath != "" || metricsPath != "" || tracePath != "" || sc.SLO {
 		if eventsPath != "" || tracePath != "" {
 			journal = obs.NewJournal(0)
 		}
-		if metricsPath != "" {
+		if metricsPath != "" || sc.SLO {
+			// The SLO evaluator reads its SLIs back from the store, so "slo"
+			// attaches one even when no -metrics-out dump was requested.
 			store = metricstore.New(0)
 		}
 		sim.AttachObservability(journal, store)
@@ -443,6 +459,9 @@ func executeObserved(sc scenario, out io.Writer, eventsPath, metricsPath, traceP
 			rec.Converged(), rec.OutstandingDrift(), rec.DriftsSeen(),
 			rec.ActionsTotal(), rec.Sheds(), rec.Restores(), len(rec.Converges()))
 	}
+	if ev := sim.Orch.SLO(); ev != nil {
+		reportSLO(ev, out)
+	}
 	if journal != nil && eventsPath != "" {
 		if err := writeJournal(journal, eventsPath); err != nil {
 			return err
@@ -456,7 +475,7 @@ func executeObserved(sc scenario, out io.Writer, eventsPath, metricsPath, traceP
 		}
 		fmt.Fprintf(out, "trace: %d events -> %s\n", journal.Len(), tracePath)
 	}
-	if store != nil {
+	if store != nil && metricsPath != "" {
 		if err := writeMetrics(store, metricsPath); err != nil {
 			return err
 		}
@@ -506,6 +525,29 @@ func writeMetrics(store *metricstore.Store, path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// reportSLO prints the end-of-run SLO scoreboard: one summary line, then one
+// line per spec with its verdict and error budget remaining.
+func reportSLO(ev *slo.Evaluator, out io.Writer) {
+	specs := ev.Snapshot()
+	good := 0
+	for _, s := range specs {
+		if s.Good {
+			good++
+		}
+	}
+	fmt.Fprintf(out, "slo: specs=%d good=%d firing=%d\n", len(specs), good, ev.Firing())
+	for _, s := range specs {
+		verdict := "good"
+		switch {
+		case !s.HasData:
+			verdict = "no-data"
+		case !s.Good:
+			verdict = "bad"
+		}
+		fmt.Fprintf(out, "  %-20s %-7s budget=%.1f%%\n", s.Name, verdict, 100*s.Budget)
+	}
 }
 
 // reportRecovery prints the failure-handling summary for runs with faults.

@@ -65,6 +65,55 @@ func TestExecuteVideoconf(t *testing.T) {
 	}
 }
 
+// TestExecuteWithSLO checks the -slo path end to end: the evaluator attaches
+// its own store, the summary lists the auto-registered specs, and on an
+// uncongested full-mesh LAN a fault-free continuous-flow run keeps every
+// budget intact. (Videoconf, not camera: the goodput SLI compares live flow
+// rate to declared demand, so intermittent frame transfers read as bad.)
+func TestExecuteWithSLO(t *testing.T) {
+	sc := scenario{
+		Topology:            "lan",
+		LANNodes:            3,
+		App:                 "videoconf",
+		Scheduler:           "bfs",
+		HorizonSec:          300,
+		Seed:                42,
+		Migration:           true,
+		SLO:                 true,
+		ParticipantsPerNode: 2,
+	}
+	var out bytes.Buffer
+	if err := execute(sc, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"slo: specs=3 good=3 firing=0",
+		"mesh/headroom", "control/loop", "goodput/videoconf",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "budget=0.0%") || strings.Contains(got, "no-data") {
+		t.Errorf("fault-free run burned a budget or lost data:\n%s", got)
+	}
+}
+
+// TestRunSLOFlagForcesEvaluator checks the -slo flag reaches the scenario.
+func TestRunSLOFlagForcesEvaluator(t *testing.T) {
+	sc := exampleScenario()
+	sc.HorizonSec = 120
+	path := writeScenario(t, sc)
+	var out bytes.Buffer
+	if err := run([]string{"-slo", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "slo: specs=3") {
+		t.Errorf("-slo flag did not enable the evaluator:\n%s", out.String())
+	}
+}
+
 func TestExecuteErrors(t *testing.T) {
 	if err := execute(scenario{Topology: "moon"}, io.Discard); err == nil {
 		t.Error("unknown topology: want error")

@@ -1,0 +1,255 @@
+// Command bass-top is the live terminal dashboard for a running bassd: it
+// subscribes to the daemon's /stream SSE endpoint (internal/dash) and redraws
+// a top-style view every frame — SLO error budgets with burn-rate tiers,
+// firing alerts with their burn context, per-link probe headroom, and the
+// newest control-plane activity. Plain ANSI, no terminal library.
+//
+// Usage:
+//
+//	bass-top [-url http://127.0.0.1:9201] [-interval 1s] [-once] [-no-color]
+//
+// -once fetches a single frame and prints it without taking over the screen —
+// handy in scripts and CI smoke checks.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"bass/internal/dash"
+	"bass/internal/obs"
+	"bass/internal/slo"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bass-top:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bass-top", flag.ContinueOnError)
+	url := fs.String("url", "http://127.0.0.1:9201", "bassd HTTP base URL")
+	interval := fs.Duration("interval", time.Second, "frame refresh interval")
+	once := fs.Bool("once", false, "print one frame and exit (no screen takeover)")
+	noColor := fs.Bool("no-color", false, "disable ANSI colors")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	color := !*noColor
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	streamURL := fmt.Sprintf("%s/stream?interval=%s", strings.TrimRight(*url, "/"), *interval)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, streamURL, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s: %s", streamURL, resp.Status, strings.TrimSpace(string(body)))
+	}
+
+	if *once {
+		return dash.ReadFrames(resp.Body, func(f dash.Frame) bool {
+			fmt.Fprint(stdout, render(f, color))
+			return false
+		})
+	}
+
+	// Alternate screen, cursor hidden; restored on every exit path.
+	fmt.Fprint(stdout, "\x1b[?1049h\x1b[?25l")
+	defer fmt.Fprint(stdout, "\x1b[?25h\x1b[?1049l")
+	err = dash.ReadFrames(resp.Body, func(f dash.Frame) bool {
+		fmt.Fprint(stdout, "\x1b[H\x1b[2J")
+		fmt.Fprint(stdout, render(f, color))
+		return ctx.Err() == nil
+	})
+	if ctx.Err() != nil {
+		return nil // clean interrupt: the dropped connection is expected
+	}
+	return err
+}
+
+// ANSI styles, applied only when color is on.
+const (
+	sgrReset = "\x1b[0m"
+	sgrBold  = "\x1b[1m"
+	sgrDim   = "\x1b[2m"
+	sgrRed   = "\x1b[31m"
+	sgrGreen = "\x1b[32m"
+	sgrYell  = "\x1b[33m"
+)
+
+type styler bool
+
+func (s styler) wrap(code, text string) string {
+	if !s {
+		return text
+	}
+	return code + text + sgrReset
+}
+
+// render draws one frame as a full screen of text. Pure — all terminal state
+// handling stays in run — so tests can pin the layout.
+func render(f dash.Frame, color bool) string {
+	st := styler(color)
+	var b strings.Builder
+
+	at := time.UnixMilli(f.AtMs).Format("15:04:05")
+	head := fmt.Sprintf("bass-top  %s  sweeps %d  journal %d", at, f.Sweeps, f.JournalEvents)
+	if f.JournalDropped > 0 {
+		head += fmt.Sprintf(" (%d dropped)", f.JournalDropped)
+	}
+	firing := fmt.Sprintf("%d firing", f.Firing)
+	if f.Firing > 0 {
+		firing = st.wrap(sgrBold+sgrRed, firing)
+	} else {
+		firing = st.wrap(sgrGreen, firing)
+	}
+	fmt.Fprintf(&b, "%s  %s\n\n", st.wrap(sgrBold, head), firing)
+
+	fmt.Fprintf(&b, "%s\n", st.wrap(sgrBold, "SLOs"))
+	if len(f.SLOs) == 0 {
+		fmt.Fprintf(&b, "  %s\n", st.wrap(sgrDim, "(none registered)"))
+	}
+	for _, s := range f.SLOs {
+		fmt.Fprintf(&b, "  %s\n", renderSLO(s, st))
+	}
+
+	if len(f.Links) > 0 {
+		fmt.Fprintf(&b, "\n%s\n", st.wrap(sgrBold, "Links"))
+		for _, l := range f.Links {
+			fmt.Fprintf(&b, "  %s\n", renderLink(l, st))
+		}
+	}
+
+	if len(f.Alerts) > 0 {
+		fmt.Fprintf(&b, "\n%s\n", st.wrap(sgrBold, "Alerts"))
+		for _, ev := range f.Alerts {
+			fmt.Fprintf(&b, "  %s\n", renderAlert(ev, st))
+		}
+	}
+
+	if len(f.Activity) > 0 {
+		fmt.Fprintf(&b, "\n%s\n", st.wrap(sgrBold, "Activity"))
+		for _, ev := range f.Activity {
+			fmt.Fprintf(&b, "  %s\n", renderActivity(ev, st))
+		}
+	}
+	return b.String()
+}
+
+// renderSLO is one spec line: verdict, name, SLI value, budget bar, and the
+// hottest tier's burn rates.
+func renderSLO(s slo.SpecStatus, st styler) string {
+	verdict := st.wrap(sgrGreen, "good")
+	switch {
+	case !s.HasData:
+		verdict = st.wrap(sgrDim, "  — ")
+	case !s.Good:
+		verdict = st.wrap(sgrRed, " bad")
+	}
+	val := "no data"
+	if s.HasData {
+		switch s.Kind {
+		case slo.DependencyGoodput:
+			val = fmt.Sprintf("%.0f%% goodput", 100*s.Value)
+		case slo.LinkHeadroom:
+			val = fmt.Sprintf("%.1f Mbps headroom", s.Value)
+		default:
+			val = fmt.Sprintf("%.1fs gap", s.Value)
+		}
+	}
+	line := fmt.Sprintf("%s %-22s %-20s budget %s %5.1f%%",
+		verdict, s.Name, val, budgetBar(s.Budget, 20, st), 100*s.Budget)
+	for _, t := range s.Tiers {
+		if t.Firing {
+			line += "  " + st.wrap(sgrRed, fmt.Sprintf("%s FIRING %.1fx/%.1fx", t.Tier, t.BurnShort, t.BurnLong))
+		} else if t.BurnLong >= t.Threshold/2 {
+			line += "  " + st.wrap(sgrYell, fmt.Sprintf("%s warm %.1fx", t.Tier, t.BurnLong))
+		}
+	}
+	return line
+}
+
+// budgetBar renders the remaining error budget as a fixed-width meter.
+func budgetBar(frac float64, width int, st styler) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	fill := int(frac*float64(width) + 0.5)
+	bar := strings.Repeat("█", fill) + strings.Repeat("░", width-fill)
+	switch {
+	case frac < 0.25:
+		return st.wrap(sgrRed, bar)
+	case frac < 0.5:
+		return st.wrap(sgrYell, bar)
+	}
+	return st.wrap(sgrGreen, bar)
+}
+
+// renderLink is one peer line: headroom against capacity with reading age.
+func renderLink(l dash.LinkStat, st styler) string {
+	capTxt := ""
+	if l.CapacityMbps > 0 {
+		capTxt = fmt.Sprintf(" / %.1f cap", l.CapacityMbps)
+	}
+	line := fmt.Sprintf("%-24s %7.1f Mbps headroom%s", l.Link, l.HeadroomMbps, capTxt)
+	if l.AgeSec > 0 {
+		line += st.wrap(sgrDim, fmt.Sprintf("  (%.0fs ago)", l.AgeSec))
+	}
+	return line
+}
+
+// renderAlert is one alert event with its burn context: which SLO, which
+// tier/windows (the reason string), the SLI sample that tripped it, and the
+// budget left when it fired.
+func renderAlert(ev obs.Event, st styler) string {
+	at := fmtAt(ev.At)
+	if ev.Type == obs.EventAlertResolved {
+		return fmt.Sprintf("%s %s %s %s  %s", at,
+			st.wrap(sgrGreen, "resolved"), ev.SLO, st.wrap(sgrDim, ev.Reason),
+			st.wrap(sgrDim, fmt.Sprintf("budget %.1f%%", 100*ev.Budget)))
+	}
+	return fmt.Sprintf("%s %s %s %s  sli %.2f (want %.2f)  budget %.1f%%", at,
+		st.wrap(sgrBold+sgrRed, "FIRED"), ev.SLO, ev.Reason, ev.Value, ev.Want, 100*ev.Budget)
+}
+
+// renderActivity is one control-plane event line.
+func renderActivity(ev obs.Event, st styler) string {
+	parts := []string{fmtAt(ev.At), string(ev.Type)}
+	if ev.App != "" {
+		parts = append(parts, ev.App)
+	}
+	if ev.Link != "" {
+		parts = append(parts, ev.Link)
+	}
+	if ev.Reason != "" {
+		parts = append(parts, st.wrap(sgrDim, ev.Reason))
+	}
+	return strings.Join(parts, " ")
+}
+
+// fmtAt formats an event's virtual/daemon timestamp compactly.
+func fmtAt(at time.Duration) string {
+	return fmt.Sprintf("[%8s]", at.Truncate(100*time.Millisecond))
+}

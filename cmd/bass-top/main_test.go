@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bass/internal/dash"
+	"bass/internal/obs"
+	"bass/internal/slo"
+)
+
+func sampleFrame() dash.Frame {
+	return dash.Frame{
+		AtMs:   90_000,
+		Sweeps: 3,
+		Firing: 1,
+		SLOs: []slo.SpecStatus{
+			{Name: "mesh/headroom", Kind: slo.LinkHeadroom, Target: 0.99,
+				Good: false, HasData: true, Value: 1.2, Budget: 0.4,
+				Tiers: []slo.TierStatus{
+					{Tier: "page", BurnShort: 20, BurnLong: 15, Threshold: 14.4, Firing: true},
+					{Tier: "ticket", BurnShort: 4, BurnLong: 2, Threshold: 6},
+				}},
+			{Name: "monitor/loop", Kind: slo.ControlLatency, Target: 0.99,
+				Good: true, HasData: true, Value: 30.1, Budget: 1,
+				Tiers: []slo.TierStatus{{Tier: "page", Threshold: 14.4}, {Tier: "ticket", Threshold: 6}}},
+			{Name: "app/goodput", Kind: slo.DependencyGoodput, App: "cam", Target: 0.99,
+				Tiers: []slo.TierStatus{{Tier: "page", Threshold: 14.4}}},
+		},
+		Links: []dash.LinkStat{
+			{Link: "127.0.0.1:9101", HeadroomMbps: 1.2, CapacityMbps: 24.5, AgeSec: 2},
+		},
+		Alerts: []obs.Event{
+			{At: 61 * time.Second, Type: obs.EventAlertFired, SLO: "mesh/headroom",
+				Reason: "page 1m0s/5m0s", Value: 1.2, Want: 5, Budget: 0.4},
+			{At: 80 * time.Second, Type: obs.EventAlertResolved, SLO: "mesh/headroom",
+				Reason: "page 1m0s/5m0s", Budget: 0.38},
+		},
+		Activity: []obs.Event{
+			{At: 65 * time.Second, Type: obs.EventMigration, App: "cam", Reason: "headroom"},
+		},
+		JournalEvents:  42,
+		JournalDropped: 1,
+	}
+}
+
+// TestRenderLayout pins the dashboard's plain-text layout: every pane
+// present, every SLO state legible without color.
+func TestRenderLayout(t *testing.T) {
+	out := render(sampleFrame(), false)
+	for _, want := range []string{
+		"bass-top", "sweeps 3", "journal 42 (1 dropped)", "1 firing",
+		"SLOs",
+		"bad mesh/headroom", "1.2 Mbps headroom", "40.0%", "page FIRING 20.0x/15.0x",
+		"good monitor/loop", "30.1s gap", "100.0%",
+		"app/goodput", "no data",
+		"Links", "127.0.0.1:9101", "/ 24.5 cap", "(2s ago)",
+		"Alerts",
+		"FIRED mesh/headroom page 1m0s/5m0s  sli 1.20 (want 5.00)  budget 40.0%",
+		"resolved mesh/headroom page 1m0s/5m0s  budget 38.0%",
+		"Activity", "migration cam headroom",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Error("color disabled but output contains ANSI escapes")
+	}
+}
+
+func TestRenderColorTogglesEscapes(t *testing.T) {
+	out := render(sampleFrame(), true)
+	if !strings.Contains(out, "\x1b[31m") || !strings.Contains(out, "\x1b[32m") {
+		t.Error("color enabled but no red/green escapes in output")
+	}
+}
+
+func TestBudgetBar(t *testing.T) {
+	for _, tc := range []struct {
+		frac float64
+		fill int
+	}{{1, 10}, {0.5, 5}, {0, 0}, {-0.3, 0}, {2, 10}} {
+		bar := budgetBar(tc.frac, 10, styler(false))
+		if got := strings.Count(bar, "█"); got != tc.fill {
+			t.Errorf("budgetBar(%v) fill = %d, want %d", tc.frac, got, tc.fill)
+		}
+		if len([]rune(bar)) != 10 {
+			t.Errorf("budgetBar(%v) width = %d runes, want 10", tc.frac, len([]rune(bar)))
+		}
+	}
+}
+
+// TestRunOnce drives the full client path against a fake bassd: -once must
+// print exactly one rendered frame and exit.
+func TestRunOnce(t *testing.T) {
+	frame := sampleFrame()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/stream" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		// Two frames on the wire; -once must stop after the first.
+		_ = dash.WriteFrame(w, frame)
+		second := frame
+		second.Sweeps = 99
+		_ = dash.WriteFrame(w, second)
+	}))
+	defer srv.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-url", srv.URL, "-once", "-no-color"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "sweeps 3") {
+		t.Errorf("once output missing first frame:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "sweeps 99") {
+		t.Error("-once rendered more than one frame")
+	}
+	if strings.Contains(out.String(), "\x1b[?1049h") {
+		t.Error("-once took over the alternate screen")
+	}
+}
+
+func TestRunReportsHTTPErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "stale", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	err := run([]string{"-url", srv.URL, "-once"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "503") {
+		t.Errorf("err = %v, want a 503 error", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}, &bytes.Buffer{}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+// TestStreamURLCarriesInterval checks the refresh interval reaches the
+// daemon as the ?interval query parameter.
+func TestStreamURLCarriesInterval(t *testing.T) {
+	var gotInterval string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotInterval = r.URL.Query().Get("interval")
+		w.Header().Set("Content-Type", "text/event-stream")
+		_ = dash.WriteFrame(w, dash.Frame{})
+	}))
+	defer srv.Close()
+	if err := run([]string{"-url", srv.URL, "-once", "-interval", "250ms"}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprint(250 * time.Millisecond); gotInterval != want {
+		t.Errorf("interval param = %q, want %q", gotInterval, want)
+	}
+}

@@ -10,15 +10,17 @@
 //	bass-trace check journal.jsonl              # validate reconcile drift cause chains
 //
 // explain walks every decision event (schedule, migration, failover,
-// reconcile drift/action/converged, and their rejections) back to root cause
-// through Cause spans — typically a concrete probe sample — and renders the
-// candidate scoreboard the scheduler evaluated, one row per node with its
-// score terms and typed rejection. convert produces the same Chrome trace
-// JSON as bass-sim -trace-out. check verifies an exported trace parses and
-// every entry carries the required name/ph/ts fields — the schema gate the CI
-// trace-smoke job runs; handed a JSONL journal instead, it verifies every
-// reconcile_drift event's cause chain resolves to a concrete probe sample or
-// an injected fault.
+// reconcile drift/action/converged, SLO alert fired/resolved, and their
+// rejections) back to root cause through Cause spans — typically a concrete
+// probe sample — and renders the candidate scoreboard the scheduler
+// evaluated, one row per node with its score terms and typed rejection.
+// Alert events render with their budget-burn context: the long-window burn
+// rate against the tier threshold and the error budget remaining. convert
+// produces the same Chrome trace JSON as bass-sim -trace-out. check verifies
+// an exported trace parses and every entry carries the required name/ph/ts
+// fields — the schema gate the CI trace-smoke job runs; handed a JSONL
+// journal instead, it verifies every reconcile_drift and alert event's cause
+// chain resolves to a concrete probe sample or an injected fault.
 package main
 
 import (
@@ -85,6 +87,8 @@ var decisionTypes = map[obs.EventType]bool{
 	obs.EventReconcileShed:      true,
 	obs.EventReconcileRestore:   true,
 	obs.EventReconcileConverged: true,
+	obs.EventAlertFired:         true,
+	obs.EventAlertResolved:      true,
 }
 
 func runExplain(args []string, stdout io.Writer) error {
@@ -148,6 +152,13 @@ func printDecision(w io.Writer, events []obs.Event, ev obs.Event) {
 
 // headline renders an event's subject: who moved where and why.
 func headline(ev obs.Event) string {
+	if ev.Type == obs.EventAlertFired || ev.Type == obs.EventAlertResolved {
+		// SLO alerts carry budget-burn context: the long-window burn rate
+		// against the tier threshold, and the error budget left at the
+		// transition.
+		return fmt.Sprintf("%s %s — burn %.1fx (threshold %.1fx), budget %.1f%% left",
+			ev.SLO, ev.Reason, ev.Value, ev.Want, 100*ev.Budget)
+	}
 	s := ""
 	switch {
 	case ev.App != "" && ev.Component != "":
@@ -253,34 +264,75 @@ func runCheck(args []string, stdout io.Writer) error {
 	return nil
 }
 
-// checkJournal validates a decision journal's reconcile causal contract:
-// every reconcile_drift event must carry a cause chain that resolves to
-// ground truth — a concrete probe sample or an injected fault. A drift with
-// no cause, an unresolvable cause span, or a chain rooted anywhere else fails
-// the check.
+// checkJournal validates a decision journal's causal contracts: every
+// reconcile_drift and alert_fired event must carry a cause chain that
+// resolves to ground truth — a concrete probe sample or an injected fault —
+// and every alert_resolved must chain back to the alert_fired that opened
+// it. An event with no cause, an unresolvable cause span, or a chain rooted
+// anywhere else fails the check.
 func checkJournal(path string, events []obs.Event, stdout io.Writer) error {
 	drifts, chained := 0, 0
+	alerts, alertsChained := 0, 0
 	for _, ev := range events {
-		if ev.Type != obs.EventReconcileDrift {
-			continue
+		switch ev.Type {
+		case obs.EventReconcileDrift:
+			drifts++
+			subject := fmt.Sprintf("%s: t=%.0fs drift %s/%s", path, ev.At.Seconds(), ev.App, ev.Component)
+			root, err := chainRoot(events, ev, subject)
+			if err != nil {
+				return err
+			}
+			if !root.IsProbeSample() && root.Type != obs.EventFault {
+				return fmt.Errorf("%s: chain roots at %q, want a probe sample or fault injection",
+					subject, root.Type)
+			}
+			chained++
+		case obs.EventAlertFired:
+			alerts++
+			subject := fmt.Sprintf("%s: t=%.0fs alert %s (%s)", path, ev.At.Seconds(), ev.SLO, ev.Reason)
+			root, err := chainRoot(events, ev, subject)
+			if err != nil {
+				return err
+			}
+			if !root.IsProbeSample() && root.Type != obs.EventFault {
+				return fmt.Errorf("%s: chain roots at %q, want a probe sample or fault injection",
+					subject, root.Type)
+			}
+			alertsChained++
+		case obs.EventAlertResolved:
+			alerts++
+			subject := fmt.Sprintf("%s: t=%.0fs resolve %s (%s)", path, ev.At.Seconds(), ev.SLO, ev.Reason)
+			root, err := chainRoot(events, ev, subject)
+			if err != nil {
+				return err
+			}
+			// A resolve chains through the alert that opened it, and from
+			// there down to the same ground truth.
+			if chain := obs.CauseChain(events, ev.Span); chain[1].Type != obs.EventAlertFired {
+				return fmt.Errorf("%s: cause is %q, want the alert_fired that opened it",
+					subject, chain[1].Type)
+			}
+			if !root.IsProbeSample() && root.Type != obs.EventFault {
+				return fmt.Errorf("%s: chain roots at %q, want a probe sample or fault injection",
+					subject, root.Type)
+			}
+			alertsChained++
 		}
-		drifts++
-		subject := fmt.Sprintf("%s: t=%.0fs drift %s/%s", path, ev.At.Seconds(), ev.App, ev.Component)
-		if ev.Cause == 0 {
-			return fmt.Errorf("%s has no cause", subject)
-		}
-		chain := obs.CauseChain(events, ev.Span)
-		if len(chain) < 2 {
-			return fmt.Errorf("%s: cause span %d not in journal", subject, ev.Cause)
-		}
-		root := chain[len(chain)-1]
-		if !root.IsProbeSample() && root.Type != obs.EventFault {
-			return fmt.Errorf("%s: chain roots at %q, want a probe sample or fault injection",
-				subject, root.Type)
-		}
-		chained++
 	}
-	fmt.Fprintf(stdout, "ok: %d journal events, %d/%d drift events resolve to probe samples or faults\n",
-		len(events), chained, drifts)
+	fmt.Fprintf(stdout, "ok: %d journal events, %d/%d drift and %d/%d alert events resolve to probe samples or faults\n",
+		len(events), chained, drifts, alertsChained, alerts)
 	return nil
+}
+
+// chainRoot resolves an event's cause chain and returns its root, failing on
+// missing or dangling causes.
+func chainRoot(events []obs.Event, ev obs.Event, subject string) (obs.Event, error) {
+	if ev.Cause == 0 {
+		return obs.Event{}, fmt.Errorf("%s has no cause", subject)
+	}
+	chain := obs.CauseChain(events, ev.Span)
+	if len(chain) < 2 {
+		return obs.Event{}, fmt.Errorf("%s: cause span %d not in journal", subject, ev.Cause)
+	}
+	return chain[len(chain)-1], nil
 }

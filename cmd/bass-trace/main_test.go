@@ -73,6 +73,82 @@ func TestExplainRendersChainAndScoreboard(t *testing.T) {
 	}
 }
 
+// alertJournal is a probe-rooted alert lifecycle: the headroom sample that
+// is ground truth, the page alert it eventually trips, and the resolve that
+// chains back through the alert.
+func alertJournal() []obs.Event {
+	return []obs.Event{
+		{At: 30 * time.Second, Type: obs.EventProbeHeadroom, Span: 1, Link: "node1-node2", Value: 0.5, Want: 2},
+		{At: 90 * time.Second, Type: obs.EventAlertFired, Span: 2, Cause: 1, SLO: "mesh/headroom",
+			Reason: "page 1m0s/5m0s", Value: 15, Want: 14.4, Budget: 0.4},
+		{At: 400 * time.Second, Type: obs.EventAlertResolved, Span: 3, Cause: 2, SLO: "mesh/headroom",
+			Reason: "page 1m0s/5m0s", Value: 0.2, Want: 14.4, Budget: 0.38},
+	}
+}
+
+// TestExplainRendersAlerts pins the alert rendering: SLO name, tier/windows,
+// and budget-burn context, with the cause chain down to the probe sample.
+func TestExplainRendersAlerts(t *testing.T) {
+	path := writeJournal(t, alertJournal())
+	var out strings.Builder
+	if err := run([]string{"explain", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"t=90s alert_fired mesh/headroom page 1m0s/5m0s — burn 15.0x (threshold 14.4x), budget 40.0% left",
+		"t=400s alert_resolved mesh/headroom page 1m0s/5m0s — burn 0.2x (threshold 14.4x), budget 38.0% left",
+		"t=30s probe_headroom node1-node2",
+		"(root is a concrete probe sample)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("explain output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestCheckJournalGatesAlertChains is the causal contract the CI slo-smoke
+// job enforces: alert events must chain to probe/fault ground truth, and
+// resolves must chain through the alert that opened them.
+func TestCheckJournalGatesAlertChains(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"check", writeJournal(t, alertJournal())}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2/2 alert events") {
+		t.Errorf("check summary missing alert tally: %s", out.String())
+	}
+
+	noCause := alertJournal()
+	noCause[1].Cause = 0
+	if err := run([]string{"check", writeJournal(t, noCause)}, &strings.Builder{}); err == nil {
+		t.Error("check accepted an alert_fired with no cause")
+	}
+
+	dangling := alertJournal()
+	dangling[1].Cause = 99
+	if err := run([]string{"check", writeJournal(t, dangling)}, &strings.Builder{}); err == nil {
+		t.Error("check accepted an alert_fired with a dangling cause span")
+	}
+
+	// A resolve whose cause skips the alert and points straight at the probe
+	// breaks the fired→resolved pairing contract.
+	skipped := alertJournal()
+	skipped[2].Cause = 1
+	if err := run([]string{"check", writeJournal(t, skipped)}, &strings.Builder{}); err == nil {
+		t.Error("check accepted an alert_resolved not chained to its alert_fired")
+	}
+
+	// An alert rooted at another decision event instead of ground truth.
+	badRoot := []obs.Event{
+		{At: 10 * time.Second, Type: obs.EventMigration, Span: 1, App: "a", Component: "b"},
+		alertJournal()[1],
+	}
+	if err := run([]string{"check", writeJournal(t, badRoot)}, &strings.Builder{}); err == nil {
+		t.Error("check accepted an alert chain rooted at a migration")
+	}
+}
+
 func TestExplainFiltersByComponent(t *testing.T) {
 	path := writeJournal(t, testJournal())
 	var out strings.Builder

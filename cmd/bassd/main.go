@@ -13,8 +13,14 @@
 //	GET /metrics        — Prometheus text exposition (latest sample per series)
 //	GET /journal        — decision journal as JSONL (?n=K tails the last K events)
 //	GET /trace          — journal as Chrome trace-event JSON (Perfetto-loadable)
-//	GET /healthz        — liveness probe (200 ok)
+//	GET /stream         — live dashboard frames as Server-Sent Events (?interval=1s; see internal/dash, cmd/bass-top)
+//	GET /healthz        — readiness probe (JSON; 503 once the monitor goes stale)
 //	GET /debug/pprof/   — runtime profiling (CPU, heap, goroutines, ...)
+//
+// The daemon runs the SLO evaluator live: a mesh-headroom spec over every
+// monitored peer plus a monitor-cadence spec, evaluated after each probe
+// sweep with the same burn-rate ladder the simulation uses, so /journal
+// carries alert_fired/alert_resolved events and /stream carries budgets.
 //
 // Example (two shaped daemons on loopback):
 //
@@ -25,6 +31,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,12 +42,15 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"bass/internal/dash"
 	"bass/internal/metricstore"
 	"bass/internal/netem"
 	"bass/internal/obs"
+	"bass/internal/slo"
 )
 
 func main() {
@@ -80,7 +90,16 @@ func run(args []string) error {
 	journal := obs.NewJournal(0)
 	start := time.Now()
 	plane := obs.NewPlane(journal, store, func() time.Duration { return time.Since(start) })
-	mux := newHTTPMux(netem.NewStatsHandler(probeSrv), store, journal)
+
+	var peerList []string
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+	}
+	mon, err := newMonitor(peerList, journal, plane, *interval, *probeFor, *headroom)
+	if err != nil {
+		return err
+	}
+	mux := newHTTPMux(netem.NewStatsHandler(probeSrv), store, journal, mon)
 	httpSrv := &http.Server{Addr: *httpListen, Handler: mux}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -103,14 +122,10 @@ func run(args []string) error {
 		errc <- nil
 	}()
 
-	var peerList []string
-	if *peers != "" {
-		peerList = strings.Split(*peers, ",")
-	}
 	monitorDone := make(chan struct{})
 	go func() {
 		defer close(monitorDone)
-		monitorPeers(ctx, peerList, store, plane, *interval, *probeFor, *headroom)
+		mon.run(ctx)
 	}()
 
 	select {
@@ -128,10 +143,10 @@ func run(args []string) error {
 
 // newHTTPMux assembles the daemon's HTTP surface: probe stats, the query
 // API, Prometheus text exposition, the decision journal (JSONL tail and
-// Chrome-trace views), a liveness endpoint, and pprof. The default mux is
-// avoided deliberately — pprof's init() registers there, and an explicit mux
-// keeps the surface auditable and testable.
-func newHTTPMux(stats http.Handler, store *metricstore.Store, journal *obs.Journal) *http.ServeMux {
+// Chrome-trace views), the SSE dashboard stream, a readiness endpoint, and
+// pprof. The default mux is avoided deliberately — pprof's init() registers
+// there, and an explicit mux keeps the surface auditable and testable.
+func newHTTPMux(stats http.Handler, store *metricstore.Store, journal *obs.Journal, mon *monitor) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/stats", stats)
 	mux.Handle("/api/v1/", store.Handler())
@@ -155,9 +170,16 @@ func newHTTPMux(stats http.Handler, store *metricstore.Store, journal *obs.Journ
 		w.Header().Set("Content-Type", "application/json")
 		_ = obs.WriteChromeTrace(w, journal.Events())
 	})
+	mux.HandleFunc("/stream", mon.serveStream)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		st := mon.healthStatus()
+		w.Header().Set("Content-Type", "application/json")
+		if st.Status != "ok" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -167,29 +189,100 @@ func newHTTPMux(stats http.Handler, store *metricstore.Store, journal *obs.Journ
 	return mux
 }
 
-// monitorPeers runs the paper's probing discipline: one max-capacity probe
-// per peer at startup, then headroom probes every interval; a headroom
-// violation triggers a fresh max-capacity probe to refresh the cached
-// estimate. Every probe observation and violation verdict is journaled
-// through the plane with the same span/cause schema the simulated stack
-// emits, so /journal and /trace show live decisions in the same format.
-func monitorPeers(ctx context.Context, peers []string, store *metricstore.Store, plane *obs.Plane, interval, probeFor time.Duration, headroomMbps float64) {
-	if len(peers) == 0 {
+// monitor owns the probing loop and everything derived from it: the SLO
+// evaluator (which must only ever run on the monitor goroutine — the same
+// serial-evaluation contract the simulated control plane keeps), the health
+// signals behind /healthz, and the latest dashboard frame behind /stream.
+// HTTP handlers read only the mutex-guarded caches, never the evaluator.
+type monitor struct {
+	peers   []string
+	journal *obs.Journal
+	plane   *obs.Plane
+	eval    *slo.Evaluator
+	// Per-peer metric handles bound to the plane's virtual clock — the SLO
+	// evaluator queries the store at plane-projected timestamps, so probe
+	// samples must land there too (never at raw wall time).
+	capH         map[string]obs.MetricHandle
+	headH        map[string]obs.MetricHandle
+	gapH         obs.MetricHandle
+	interval     time.Duration
+	probeFor     time.Duration
+	headroomMbps float64
+	clock        func() time.Time
+
+	mu        sync.Mutex
+	start     time.Time
+	sweeps    uint64
+	lastSweep time.Time
+	frame     dash.Frame
+	links     map[string]*dash.LinkStat
+	lastAt    map[string]time.Time
+}
+
+// newMonitor wires the evaluator and health state. The SLO specs mirror the
+// simulation's: mesh-wide probed headroom (good ≥ the verify target) and the
+// monitor's own cadence (good ≤ 2 intervals between sweeps).
+func newMonitor(peers []string, journal *obs.Journal, plane *obs.Plane,
+	interval, probeFor time.Duration, headroomMbps float64) (*monitor, error) {
+	m := &monitor{
+		peers:        peers,
+		journal:      journal,
+		plane:        plane,
+		capH:         make(map[string]obs.MetricHandle, len(peers)),
+		headH:        make(map[string]obs.MetricHandle, len(peers)),
+		interval:     interval,
+		probeFor:     probeFor,
+		headroomMbps: headroomMbps,
+		clock:        time.Now,
+		links:        make(map[string]*dash.LinkStat),
+		lastAt:       make(map[string]time.Time),
+	}
+	for _, peer := range peers {
+		m.capH[peer] = plane.MetricHandle(obs.MetricLinkCapacity, map[string]string{"peer": peer})
+		m.headH[peer] = plane.MetricHandle(obs.MetricLinkHeadroom, map[string]string{"peer": peer})
+	}
+	m.eval = slo.New(plane, slo.Config{Interval: interval})
+	m.gapH = plane.MetricHandle(obs.MetricControlEpochGap, nil)
+	specs := []slo.Spec{
+		{Name: "mesh/headroom", Kind: slo.LinkHeadroom, GoodThreshold: headroomMbps},
+		{Name: "monitor/loop", Kind: slo.ControlLatency},
+	}
+	for _, s := range specs {
+		if err := m.eval.Register(s); err != nil {
+			return nil, err
+		}
+	}
+	m.start = m.clock()
+	m.publishFrame()
+	return m, nil
+}
+
+// run is the paper's probing discipline: one max-capacity probe per peer at
+// startup, then headroom probes every interval; a headroom violation
+// triggers a fresh max-capacity probe to refresh the cached estimate. Every
+// probe observation and violation verdict is journaled through the plane
+// with the same span/cause schema the simulated stack emits, so /journal
+// and /trace show live decisions in the same format. After each sweep the
+// SLO evaluator ticks and the dashboard frame refreshes.
+func (m *monitor) run(ctx context.Context) {
+	if len(m.peers) == 0 {
 		<-ctx.Done()
 		return
 	}
-	for _, peer := range peers {
-		capMbps, err := netem.ProbeCapacity(peer, probeFor)
+	for _, peer := range m.peers {
+		capMbps, err := netem.ProbeCapacity(peer, m.probeFor)
 		if err != nil {
 			log.Printf("bassd: capacity probe %s: %v", peer, err)
-			plane.Emit(obs.Event{Type: obs.EventProbeError, Link: peer, Reason: err.Error()})
+			m.plane.Emit(obs.Event{Type: obs.EventProbeError, Link: peer, Reason: err.Error()})
 			continue
 		}
-		store.Append("link_capacity_mbps", map[string]string{"peer": peer}, time.Now(), capMbps)
-		plane.Emit(obs.Event{Type: obs.EventProbeFull, Link: peer, Value: capMbps})
+		m.capH[peer].Emit(capMbps)
+		m.plane.Emit(obs.Event{Type: obs.EventProbeFull, Link: peer, Value: capMbps})
+		m.recordLink(peer, -1, capMbps)
 		log.Printf("bassd: %s capacity %.1f Mbps", peer, capMbps)
 	}
-	ticker := time.NewTicker(interval)
+	m.finishSweep()
+	ticker := time.NewTicker(m.interval)
 	defer ticker.Stop()
 	for {
 		select {
@@ -197,30 +290,192 @@ func monitorPeers(ctx context.Context, peers []string, store *metricstore.Store,
 			return
 		case <-ticker.C:
 		}
-		for _, peer := range peers {
-			achieved, ok, err := netem.ProbeHeadroom(peer, probeFor, headroomMbps)
+		for _, peer := range m.peers {
+			achieved, ok, err := netem.ProbeHeadroom(peer, m.probeFor, m.headroomMbps)
 			if err != nil {
 				log.Printf("bassd: headroom probe %s: %v", peer, err)
-				plane.Emit(obs.Event{Type: obs.EventProbeError, Link: peer, Reason: err.Error()})
+				m.plane.Emit(obs.Event{Type: obs.EventProbeError, Link: peer, Reason: err.Error()})
 				continue
 			}
-			store.Append("link_headroom_mbps", map[string]string{"peer": peer}, time.Now(), achieved)
-			probeSpan := plane.EmitSpan(obs.Event{Type: obs.EventProbeHeadroom, Link: peer,
-				Value: achieved, Want: headroomMbps})
+			m.headH[peer].Emit(achieved)
+			m.recordLink(peer, achieved, -1)
+			probeSpan := m.plane.EmitSpan(obs.Event{Type: obs.EventProbeHeadroom, Link: peer,
+				Value: achieved, Want: m.headroomMbps})
 			if !ok {
-				plane.Emit(obs.Event{Type: obs.EventHeadroomViolation, Link: peer,
-					Cause: probeSpan, Value: achieved, Want: headroomMbps})
-				log.Printf("bassd: %s headroom violated (%.1f < %.1f Mbps): full probe", peer, achieved, headroomMbps)
-				capMbps, perr := netem.ProbeCapacity(peer, probeFor)
+				m.plane.Emit(obs.Event{Type: obs.EventHeadroomViolation, Link: peer,
+					Cause: probeSpan, Value: achieved, Want: m.headroomMbps})
+				log.Printf("bassd: %s headroom violated (%.1f < %.1f Mbps): full probe", peer, achieved, m.headroomMbps)
+				capMbps, perr := netem.ProbeCapacity(peer, m.probeFor)
 				if perr != nil {
 					log.Printf("bassd: capacity probe %s: %v", peer, perr)
-					plane.Emit(obs.Event{Type: obs.EventProbeError, Link: peer, Reason: perr.Error()})
+					m.plane.Emit(obs.Event{Type: obs.EventProbeError, Link: peer, Reason: perr.Error()})
 					continue
 				}
-				store.Append("link_capacity_mbps", map[string]string{"peer": peer}, time.Now(), capMbps)
-				plane.Emit(obs.Event{Type: obs.EventProbeFull, Link: peer, Value: capMbps})
+				m.capH[peer].Emit(capMbps)
+				m.plane.Emit(obs.Event{Type: obs.EventProbeFull, Link: peer, Value: capMbps})
+				m.recordLink(peer, achieved, capMbps)
 				fmt.Printf("link %s capacity now %.1f Mbps\n", peer, capMbps)
 			}
 		}
+		m.finishSweep()
 	}
+}
+
+// recordLink updates the dashboard's latest reading for one peer; negative
+// values leave the previous reading in place.
+func (m *monitor) recordLink(peer string, headroom, capacity float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls := m.links[peer]
+	if ls == nil {
+		ls = &dash.LinkStat{Link: peer}
+		m.links[peer] = ls
+	}
+	if headroom >= 0 {
+		ls.HeadroomMbps = headroom
+	}
+	if capacity >= 0 {
+		ls.CapacityMbps = capacity
+	}
+	m.lastAt[peer] = m.clock()
+}
+
+// finishSweep is the monitor's epoch tail, mirroring the simulated control
+// plane: record the sweep-to-sweep gap, tick the SLO evaluator, refresh the
+// health clock and the dashboard frame.
+func (m *monitor) finishSweep() {
+	now := m.clock()
+	m.mu.Lock()
+	if m.sweeps > 0 {
+		m.gapH.Emit(now.Sub(m.lastSweep).Seconds())
+	}
+	m.sweeps++
+	m.lastSweep = now
+	m.mu.Unlock()
+	m.eval.Tick()
+	m.publishFrame()
+}
+
+// publishFrame rebuilds the cached /stream frame. Called from the monitor
+// goroutine only (the evaluator snapshot is not concurrency-safe).
+func (m *monitor) publishFrame() {
+	events := m.journal.Events()
+	now := m.clock()
+	f := dash.Frame{
+		AtMs:           now.UnixMilli(),
+		Firing:         m.eval.Firing(),
+		SLOs:           m.eval.Snapshot(),
+		Alerts:         dash.RecentAlerts(events, 16),
+		Activity:       dash.RecentActivity(events, 16),
+		JournalEvents:  len(events),
+		JournalDropped: m.journal.Dropped(),
+	}
+	m.mu.Lock()
+	f.Sweeps = m.sweeps
+	for _, peer := range m.peers {
+		if ls, ok := m.links[peer]; ok {
+			stat := *ls
+			stat.AgeSec = now.Sub(m.lastAt[peer]).Seconds()
+			f.Links = append(f.Links, stat)
+		}
+	}
+	m.frame = f
+	m.mu.Unlock()
+}
+
+// currentFrame returns the latest dashboard frame.
+func (m *monitor) currentFrame() dash.Frame {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.frame
+}
+
+// serveStream is the /stream handler: the current frame immediately, then a
+// frame per refresh interval (?interval=, default 1s, floor 100ms) until the
+// client goes away.
+func (m *monitor) serveStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	refresh := time.Second
+	if q := r.URL.Query().Get("interval"); q != "" {
+		d, err := time.ParseDuration(q)
+		if err != nil || d <= 0 {
+			http.Error(w, "interval must be a positive duration", http.StatusBadRequest)
+			return
+		}
+		if d < 100*time.Millisecond {
+			d = 100 * time.Millisecond
+		}
+		refresh = d
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	if err := dash.WriteFrame(w, m.currentFrame()); err != nil {
+		return
+	}
+	fl.Flush()
+	ticker := time.NewTicker(refresh)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+			if err := dash.WriteFrame(w, m.currentFrame()); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// healthState is the /healthz document.
+type healthState struct {
+	// Status is "ok", or "stale" once the monitor has missed three sweep
+	// intervals (the readiness signal — /healthz then returns 503).
+	Status          string  `json:"status"`
+	Peers           int     `json:"peers"`
+	Sweeps          uint64  `json:"sweeps"`
+	LastSweepAgeSec float64 `json:"lastSweepAgeSec,omitempty"`
+	StaleAfterSec   float64 `json:"staleAfterSec,omitempty"`
+	AlertsFiring    int     `json:"alertsFiring"`
+	JournalEvents   int     `json:"journalEvents"`
+	// JournalDropped is the journal's ring-overflow counter — how far the
+	// retained window lags behind everything ever emitted.
+	JournalDropped uint64 `json:"journalDropped,omitempty"`
+}
+
+// healthStatus derives the readiness verdict. A daemon with no peers has no
+// sweeps to expect and is always ready; otherwise the last completed sweep
+// (or startup, before the first) must be younger than three intervals.
+func (m *monitor) healthStatus() healthState {
+	m.mu.Lock()
+	sweeps, last, start, firing := m.sweeps, m.lastSweep, m.start, m.frame.Firing
+	m.mu.Unlock()
+	st := healthState{
+		Status:         "ok",
+		Peers:          len(m.peers),
+		Sweeps:         sweeps,
+		AlertsFiring:   firing,
+		JournalEvents:  m.journal.Len(),
+		JournalDropped: m.journal.Dropped(),
+	}
+	if len(m.peers) == 0 {
+		return st
+	}
+	ref := start
+	if sweeps > 0 {
+		ref = last
+	}
+	age := m.clock().Sub(ref)
+	stale := 3 * m.interval
+	st.LastSweepAgeSec = age.Seconds()
+	st.StaleAfterSec = stale.Seconds()
+	if age > stale {
+		st.Status = "stale"
+	}
+	return st
 }

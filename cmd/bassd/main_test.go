@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -10,9 +11,22 @@ import (
 	"testing"
 	"time"
 
+	"bass/internal/dash"
 	"bass/internal/metricstore"
 	"bass/internal/obs"
 )
+
+// testMonitor builds a monitor over a fresh plane without starting its probe
+// loop; tests drive sweeps and the clock by hand.
+func testMonitor(t *testing.T, peers []string, journal *obs.Journal, store *metricstore.Store) *monitor {
+	t.Helper()
+	plane := obs.NewPlane(journal, store, func() time.Duration { return 0 })
+	mon, err := newMonitor(peers, journal, plane, 30*time.Second, time.Second, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mon
+}
 
 func testMux(t *testing.T) (*http.ServeMux, *metricstore.Store, *obs.Journal) {
 	t.Helper()
@@ -21,7 +35,8 @@ func testMux(t *testing.T) (*http.ServeMux, *metricstore.Store, *obs.Journal) {
 	stats := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("{}"))
 	})
-	return newHTTPMux(stats, store, journal), store, journal
+	mon := testMonitor(t, nil, journal, store)
+	return newHTTPMux(stats, store, journal, mon), store, journal
 }
 
 func get(t *testing.T, mux *http.ServeMux, path string) *httptest.ResponseRecorder {
@@ -37,8 +52,103 @@ func TestHealthz(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("/healthz status = %d, want 200", rec.Code)
 	}
-	if got := strings.TrimSpace(rec.Body.String()); got != "ok" {
-		t.Errorf("/healthz body = %q, want \"ok\"", got)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/healthz Content-Type = %q, want application/json", ct)
+	}
+	var st healthState
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("/healthz body is not valid JSON: %v", err)
+	}
+	if st.Status != "ok" || st.Peers != 0 {
+		t.Errorf("/healthz = %+v, want status ok with 0 peers", st)
+	}
+}
+
+// TestHealthzStale pins the readiness contract: with peers configured, a
+// monitor that has not completed a sweep within three intervals reports
+// "stale" and 503; a fresh sweep flips it back to ok.
+func TestHealthzStale(t *testing.T) {
+	store := metricstore.New(0)
+	journal := obs.NewJournal(0)
+	mon := testMonitor(t, []string{"127.0.0.1:9101"}, journal, store)
+	stats := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	mux := newHTTPMux(stats, store, journal, mon)
+
+	// Freshly started: no sweep yet, but startup itself is recent.
+	if rec := get(t, mux, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("fresh monitor /healthz status = %d, want 200", rec.Code)
+	}
+
+	// Jump the clock past the staleness horizon (3 × 30s interval).
+	mon.clock = func() time.Time { return time.Now().Add(10 * 30 * time.Second) }
+	rec := get(t, mux, "/healthz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("stale monitor /healthz status = %d, want 503", rec.Code)
+	}
+	var st healthState
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "stale" || st.LastSweepAgeSec <= st.StaleAfterSec {
+		t.Errorf("stale /healthz = %+v, want status stale with age > threshold", st)
+	}
+
+	// A completed sweep at the advanced clock restores readiness.
+	mon.finishSweep()
+	if rec := get(t, mux, "/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("post-sweep /healthz status = %d, want 200", rec.Code)
+	}
+}
+
+// TestStreamServesFrames checks /stream speaks SSE: an immediate frame with
+// the current schema, journal counters, and SLO snapshot.
+func TestStreamServesFrames(t *testing.T) {
+	store := metricstore.New(0)
+	journal := obs.NewJournal(0)
+	mon := testMonitor(t, []string{"127.0.0.1:9101"}, journal, store)
+	seedJournal(journal)
+	mon.recordLink("127.0.0.1:9101", 4.5, 24)
+	mon.finishSweep()
+	stats := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	srv := httptest.NewServer(newHTTPMux(stats, store, journal, mon))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/stream?interval=100ms", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("/stream Content-Type = %q, want text/event-stream", ct)
+	}
+	var got dash.Frame
+	if err := dash.ReadFrames(resp.Body, func(f dash.Frame) bool {
+		got = f
+		return false // first frame is enough
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != dash.SchemaVersion || got.Sweeps != 1 {
+		t.Errorf("frame schema/sweeps = %d/%d, want %d/1", got.Schema, got.Sweeps, dash.SchemaVersion)
+	}
+	if len(got.SLOs) != 2 {
+		t.Errorf("frame has %d SLOs, want the 2 registered specs", len(got.SLOs))
+	}
+	if len(got.Links) != 1 || got.Links[0].HeadroomMbps != 4.5 || got.Links[0].CapacityMbps != 24 {
+		t.Errorf("frame links = %+v, want the recorded peer reading", got.Links)
+	}
+	if got.JournalEvents == 0 || len(got.Alerts) != 0 {
+		t.Errorf("frame journal/alerts = %d/%d, want seeded events and no alerts", got.JournalEvents, len(got.Alerts))
+	}
+
+	if rec := get(t, newHTTPMux(stats, store, journal, mon), "/stream?interval=bogus"); rec.Code != http.StatusBadRequest {
+		t.Errorf("/stream?interval=bogus status = %d, want 400", rec.Code)
 	}
 }
 

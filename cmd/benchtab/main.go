@@ -10,6 +10,7 @@
 //	         [-scale-horizon D] [-scale-shards 1,4,8]
 //	benchtab -sched-out BENCH_sched.json [-quick]
 //	benchtab -batch-out BENCH_batch.json [-quick]
+//	benchtab -slo-out BENCH_slo.json [-quick]
 //
 // Experiments: fig2 fig4 fig5 fig6 fig8 fig10 fig11 fig12 fig13 table1
 // table2 fig14a fig14b fig14cd fig15a fig15b fig16 table3 table4 scale, plus
@@ -68,6 +69,7 @@ func run(args []string, stdout io.Writer) error {
 	scaleShards := fs.String("scale-shards", "1,4,8", "scale sweep: comma-separated shard counts to measure")
 	schedOut := fs.String("sched-out", "", "run the control-plane benchmark sweep and write a BENCH_sched.json report to this file")
 	batchOut := fs.String("batch-out", "", "run the batch placement ablation sweep and write a BENCH_batch.json report to this file")
+	sloOut := fs.String("slo-out", "", "run the alert-quality sweep and write a BENCH_slo.json report to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -108,6 +110,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *batchOut != "" {
 		return runBatchSweep(stdout, *batchOut, *seed, *quick)
+	}
+	if *sloOut != "" {
+		return runSLOSweep(stdout, *sloOut, *seed, *quick)
 	}
 	names := fs.Args()
 	if len(names) == 0 {
@@ -245,6 +250,33 @@ func runBatchSweep(stdout io.Writer, outPath string, seed int64, quick bool) err
 	}
 	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
 		return fmt.Errorf("batch report: %w", err)
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d entries)\n", outPath, len(report.Entries))
+	return nil
+}
+
+// runSLOSweep replays the alert-quality scenario across the canonical seed ×
+// driver grid and writes the BENCH_slo.json report CI's slo-smoke job gates
+// on. -quick selects the reduced smoke subset.
+func runSLOSweep(stdout io.Writer, outPath string, seed int64, quick bool) error {
+	report := experiments.SLOReport{
+		Schema: experiments.SLOReportSchema,
+		Seed:   seed,
+	}
+	for _, opts := range experiments.SLOSweep(seed, quick) {
+		res, err := experiments.RunAlertQuality(opts)
+		if err != nil {
+			return fmt.Errorf("slo sweep (seed %d, polling=%v): %w", opts.Seed, opts.Polling, err)
+		}
+		report.Entries = append(report.Entries, res.Entry())
+		fmt.Fprintln(stdout, res.Table().String())
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("slo report: %w", err)
 	}
 	fmt.Fprintf(stdout, "wrote %s (%d entries)\n", outPath, len(report.Entries))
 	return nil

@@ -10,6 +10,8 @@
 //	          [-max-regress 0.20] [-min-speedup 5]
 //	scalegate -kind batch -current BENCH_batch.json -baseline ci/BENCH_batch.baseline.json \
 //	          [-max-regress 0.20]
+//	scalegate -kind slo -current BENCH_slo.json -baseline ci/BENCH_slo.baseline.json \
+//	          [-max-regress 0.20] [-min-precision 0.9] [-min-recall 0.9]
 //
 // -kind scale (the default) gates BENCH_scale.json: entries are matched by
 // shard count and each current events/sec must be at least (1 - max-regress)
@@ -27,6 +29,13 @@
 // baseline, every current entry at density >= 10 must show batch goodput no
 // worse than greedy's — the ablation's headline claim, checked mechanically
 // so it cannot rot.
+//
+// -kind slo gates BENCH_slo.json: entries are matched by (seed, polling).
+// Detection must not slow down (current MTTD at most (1 + max-regress) of
+// the baseline's) and, independently of the baseline, every current entry
+// must clear the -min-precision/-min-recall floors and agree exactly with
+// its other-driver twin — alert quality is a determinism claim, checked
+// mechanically so it cannot rot.
 //
 // Baselines are refreshed by regenerating the JSON on a quiet machine and
 // committing it (see README "Scale trajectory").
@@ -51,12 +60,14 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("scalegate", flag.ContinueOnError)
-	kind := fs.String("kind", "scale", "report kind to gate: scale (BENCH_scale.json), sched (BENCH_sched.json), or batch (BENCH_batch.json)")
+	kind := fs.String("kind", "scale", "report kind to gate: scale (BENCH_scale.json), sched (BENCH_sched.json), batch (BENCH_batch.json), or slo (BENCH_slo.json)")
 	curPath := fs.String("current", "", "freshly measured report (default BENCH_<kind>.json)")
 	basePath := fs.String("baseline", "", "checked-in baseline report (default ci/BENCH_<kind>.baseline.json)")
 	maxRegress := fs.Float64("max-regress", 0.20, "maximum allowed fractional throughput drop vs baseline")
 	minRealtime := fs.Float64("min-realtime", 0, "scale: minimum real-time factor every current entry must reach (0 = no floor)")
 	minSpeedup := fs.Float64("min-speedup", 0, "sched: minimum parallel-vs-legacy decisions/sec ratio at the largest storm config (0 = no check)")
+	minPrecision := fs.Float64("min-precision", 0.9, "slo: minimum alert precision every current entry must reach")
+	minRecall := fs.Float64("min-recall", 0.9, "slo: minimum fault-window recall every current entry must reach")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,9 +75,9 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-max-regress must be in [0, 1), got %g", *maxRegress)
 	}
 	switch *kind {
-	case "scale", "sched", "batch":
+	case "scale", "sched", "batch", "slo":
 	default:
-		return fmt.Errorf("-kind must be scale, sched, or batch, got %q", *kind)
+		return fmt.Errorf("-kind must be scale, sched, batch, or slo, got %q", *kind)
 	}
 	if *curPath == "" {
 		*curPath = "BENCH_" + *kind + ".json"
@@ -79,6 +90,8 @@ func run(args []string, stdout io.Writer) error {
 		return runSchedGate(stdout, *curPath, *basePath, *maxRegress, *minSpeedup)
 	case "batch":
 		return runBatchGate(stdout, *curPath, *basePath, *maxRegress)
+	case "slo":
+		return runSLOGate(stdout, *curPath, *basePath, *maxRegress, *minPrecision, *minRecall)
 	}
 	return runScaleGate(stdout, *curPath, *basePath, *maxRegress, *minRealtime)
 }
@@ -308,6 +321,84 @@ func runBatchGate(stdout io.Writer, curPath, basePath string, maxRegress float64
 	return nil
 }
 
+// runSLOGate gates alert quality: detection must not slow down vs the
+// baseline at any matched (seed, driver) replay, every current entry must
+// clear the precision/recall floors, and the two net drivers must agree
+// exactly at each seed — the determinism claim behind the committed artifact.
+func runSLOGate(stdout io.Writer, curPath, basePath string, maxRegress, minPrecision, minRecall float64) error {
+	cur, err := readSLOReport(curPath)
+	if err != nil {
+		return err
+	}
+	base, err := readSLOReport(basePath)
+	if err != nil {
+		return err
+	}
+
+	type sloKey struct {
+		seed    int64
+		polling bool
+	}
+	driver := func(polling bool) string {
+		if polling {
+			return "polling"
+		}
+		return "event-driven"
+	}
+	curBy := map[sloKey]experiments.SLOEntry{}
+	for _, e := range cur.Entries {
+		curBy[sloKey{e.Seed, e.Polling}] = e
+	}
+	var failures []string
+	for _, b := range base.Entries {
+		k := sloKey{b.Seed, b.Polling}
+		c, ok := curBy[k]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("seed %d/%s: missing from current report", k.seed, driver(k.polling)))
+			continue
+		}
+		status := "ok"
+		if b.MTTDSec > 0 {
+			ceiling := b.MTTDSec * (1 + maxRegress)
+			if c.MTTDSec > ceiling {
+				status = "REGRESSION"
+				failures = append(failures, fmt.Sprintf(
+					"seed %d/%s: MTTD %.1fs > ceiling %.1fs (baseline %.1fs, max regress %.0f%%)",
+					k.seed, driver(k.polling), c.MTTDSec, ceiling, b.MTTDSec, maxRegress*100))
+			}
+		}
+		fmt.Fprintf(stdout, "seed %d/%s: precision %.2f recall %.2f MTTD %.1fs (baseline %.1fs) — %s\n",
+			k.seed, driver(k.polling), c.Precision, c.Recall, c.MTTDSec, b.MTTDSec, status)
+	}
+	for _, e := range cur.Entries {
+		if e.Precision < minPrecision {
+			failures = append(failures, fmt.Sprintf(
+				"seed %d/%s: precision %.2f below floor %.2f", e.Seed, driver(e.Polling), e.Precision, minPrecision))
+		}
+		if e.Recall < minRecall {
+			failures = append(failures, fmt.Sprintf(
+				"seed %d/%s: recall %.2f below floor %.2f", e.Seed, driver(e.Polling), e.Recall, minRecall))
+		}
+		if !e.Polling {
+			twin, ok := curBy[sloKey{e.Seed, true}]
+			if ok && (twin.AlertsFired != e.AlertsFired || twin.TruePositives != e.TruePositives ||
+				twin.Detected != e.Detected || twin.MTTDSec != e.MTTDSec) {
+				failures = append(failures, fmt.Sprintf(
+					"seed %d: drivers disagree (event-driven %d alerts MTTD %.1fs vs polling %d alerts MTTD %.1fs)",
+					e.Seed, e.AlertsFired, e.MTTDSec, twin.AlertsFired, twin.MTTDSec))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(stdout, "FAIL:", f)
+		}
+		return fmt.Errorf("%d slo regression(s) vs %s", len(failures), basePath)
+	}
+	fmt.Fprintln(stdout, "slo gate passed")
+	return nil
+}
+
 func readScaleReport(path string) (experiments.ScaleReport, error) {
 	var r experiments.ScaleReport
 	data, err := os.ReadFile(path)
@@ -337,6 +428,24 @@ func readSchedReport(path string) (experiments.SchedReport, error) {
 	}
 	if r.Schema != experiments.SchedReportSchema {
 		return r, fmt.Errorf("%s: schema %q, want %q — regenerate with benchtab -sched-out", path, r.Schema, experiments.SchedReportSchema)
+	}
+	if len(r.Entries) == 0 {
+		return r, fmt.Errorf("%s: no entries", path)
+	}
+	return r, nil
+}
+
+func readSLOReport(path string) (experiments.SLOReport, error) {
+	var r experiments.SLOReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != experiments.SLOReportSchema {
+		return r, fmt.Errorf("%s: schema %q, want %q — regenerate with benchtab -slo-out", path, r.Schema, experiments.SLOReportSchema)
 	}
 	if len(r.Entries) == 0 {
 		return r, fmt.Errorf("%s: no entries", path)

@@ -93,3 +93,24 @@ func TestQuietEpochZeroAllocParallel(t *testing.T) {
 		t.Fatalf("quiet parallel epoch allocates: %.2f allocs/op, want < 1", avg)
 	}
 }
+
+// TestQuietEpochZeroAllocSLO extends the contract to the observed control
+// plane: with a journal, a metric store, and the SLO evaluator all attached,
+// a quiet epoch — probe sweep, metric emission through pre-resolved handles,
+// SLI evaluation, burn-rate checks — still allocates nothing once every ring
+// has reached capacity.
+func TestQuietEpochZeroAllocSLO(t *testing.T) {
+	s := setupControlPlaneObserved(t, 8, 8, 8, false, 0, true)
+	defer s.Close()
+	// Prefill past every ring cap (store MaxSamples 256, journal 4096) so
+	// steady-state appends overwrite instead of growing.
+	for i := 0; i < 300; i++ {
+		s.Orch.controlCycle()
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		s.Orch.controlCycle()
+	})
+	if avg >= 1 {
+		t.Fatalf("quiet observed epoch allocates: %.2f allocs/op, want < 1", avg)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"bass/internal/cluster"
 	"bass/internal/dag"
 	"bass/internal/mesh"
+	"bass/internal/metricstore"
+	"bass/internal/obs"
 	"bass/internal/simnet"
 	"bass/internal/trace"
 )
@@ -114,6 +116,15 @@ func staticGrid(rows, cols int, mbps float64) *mesh.Topology {
 // settles the first epochs, returning the simulation ready for direct
 // controlCycle driving.
 func setupControlPlane(tb testing.TB, rows, cols, apps int, storm bool, workers int) *Simulation {
+	return setupControlPlaneObserved(tb, rows, cols, apps, storm, workers, false)
+}
+
+// setupControlPlaneObserved is setupControlPlane with an optional
+// observability plane and SLO evaluator attached — the with-dashboards side
+// of the quiet-epoch allocation contract. The journal is a bounded ring and
+// the store's rings are sized small, so steady state overwrites instead of
+// growing.
+func setupControlPlaneObserved(tb testing.TB, rows, cols, apps int, storm bool, workers int, observed bool) *Simulation {
 	tb.Helper()
 	topo := staticGrid(rows, cols, 25)
 	n := rows * cols
@@ -131,9 +142,15 @@ func setupControlPlane(tb testing.TB, rows, cols, apps int, storm bool, workers 
 		EnableMigration: true,
 		MonitorInterval: 30 * time.Second,
 		EvalWorkers:     workers,
+		EnableSLO:       observed,
 	})
 	if err != nil {
 		tb.Fatal(err)
+	}
+	if observed {
+		s.AttachObservability(obs.NewJournal(4096), metricstore.NewWithConfig(metricstore.Config{
+			MaxSamples: 256, Rollup10s: 64, Rollup5m: 16,
+		}))
 	}
 	demand := 0.5
 	if storm {

@@ -21,6 +21,7 @@ import (
 	"bass/internal/scheduler"
 	"bass/internal/sim"
 	"bass/internal/simnet"
+	"bass/internal/slo"
 )
 
 // Sentinel errors.
@@ -170,6 +171,18 @@ type Config struct {
 	// making the run byte-identical to the plain greedy policy (the
 	// differential tests pin this). A zero Seed follows the engine seed.
 	Batch scheduler.BatchConfig
+	// EnableSLO runs the SLO evaluator at the end of every control cycle:
+	// a mesh-wide link-headroom spec and a control-loop latency spec are
+	// registered when observability attaches, plus a dependency-goodput spec
+	// per deployed app. The evaluator burns error budgets against the
+	// attached metric store and journals alert_fired/alert_resolved
+	// transitions (see internal/slo). Inert until AttachObservability
+	// supplies a store, and — like migration itself — only evaluated while
+	// the controller loop runs (EnableMigration).
+	EnableSLO bool
+	// SLO tunes the evaluator (zero fields take slo package defaults; a zero
+	// Interval follows MonitorInterval).
+	SLO slo.Config
 }
 
 // DefaultBatchMoveBudget is the joint-candidate evaluation budget used when
@@ -219,6 +232,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Reconcile.JitterFrac == 0 {
 		c.Reconcile.JitterFrac = c.FailoverBackoffJitter
+	}
+	if c.SLO.Interval == 0 {
+		c.SLO.Interval = c.MonitorInterval
 	}
 	return c
 }
@@ -300,6 +316,16 @@ type Orchestrator struct {
 	// plane is the observability plane shared with the monitor and
 	// controller; nil (the default) records nothing at no cost.
 	plane *obs.Plane
+
+	// SLO state (see internal/slo); sloEval is nil unless Config.EnableSLO
+	// and AttachObservability has run. epochGapH feeds the control loop's
+	// own cadence metric through a pre-resolved handle and lastCycleAt
+	// remembers the previous cycle's virtual time, so the per-epoch tail
+	// stays allocation free.
+	sloEval      *slo.Evaluator
+	epochGapH    obs.MetricHandle
+	lastCycleAt  time.Duration
+	hasCycleTime bool
 }
 
 // New wires an orchestrator over an engine, topology, network, and cluster.
@@ -366,8 +392,45 @@ func (o *Orchestrator) AttachObservability(journal *obs.Journal, store *metricst
 	o.ctrl.SetObserver(o.plane)
 	o.net.SetObserver(o.plane)
 	o.rec.SetObserver(o.plane)
+	// Pre-resolve the hot path's metric handles — the quiet-epoch
+	// zero-allocation contract holds with observability attached too.
+	for _, s := range o.appScratch {
+		o.resolveEdgeHandles(s)
+	}
+	if o.cfg.EnableSLO {
+		o.sloEval = slo.New(o.plane, o.cfg.SLO)
+		o.epochGapH = o.plane.MetricHandle(obs.MetricControlEpochGap, nil)
+		// Mesh-wide headroom and the control loop's own cadence are always
+		// worth watching; per-app goodput specs ride along with each Deploy.
+		mustRegister(o.sloEval, slo.Spec{Name: "mesh/headroom", Kind: slo.LinkHeadroom})
+		mustRegister(o.sloEval, slo.Spec{Name: "control/loop", Kind: slo.ControlLatency})
+		for _, name := range o.appOrder {
+			o.registerAppSLO(name)
+		}
+	}
 	return o.plane
 }
+
+// mustRegister panics on registration errors — the auto-registered specs are
+// statically valid, so an error here is a programming bug, not bad input.
+func mustRegister(e *slo.Evaluator, spec slo.Spec) {
+	if err := e.Register(spec); err != nil {
+		panic(err)
+	}
+}
+
+// registerAppSLO registers the app's dependency-goodput SLO (no-op without
+// an evaluator).
+func (o *Orchestrator) registerAppSLO(app string) {
+	if o.sloEval == nil {
+		return
+	}
+	mustRegister(o.sloEval, slo.Spec{Name: "goodput/" + app, Kind: slo.DependencyGoodput, App: app})
+}
+
+// SLO exposes the evaluator (nil unless EnableSLO with observability
+// attached) for dashboards and experiments.
+func (o *Orchestrator) SLO() *slo.Evaluator { return o.sloEval }
 
 // planeRecorder adapts the plane to the scheduler's Recorder: every candidate
 // row of an Explanation becomes one sched_candidate journal event under the
@@ -561,6 +624,7 @@ func (o *Orchestrator) DeployAt(name string, w Workload, overrides scheduler.Ass
 		edgePeaks: make(map[string]float64)}
 	o.apps[name] = app
 	o.appOrder = append(o.appOrder, name)
+	o.registerAppSLO(name)
 	app.scratch = o.newAppScratch(app)
 	o.appScratch = append(o.appScratch, app.scratch)
 	o.rebuildEvalTasks()
@@ -713,6 +777,22 @@ func (o *Orchestrator) controlCycle() {
 	o.ctrlWallNS += time.Since(start).Nanoseconds()
 	o.ctrlCycles++
 	o.ctrlAppEvals += len(o.appOrder)
+	o.finishControlEpoch()
+}
+
+// finishControlEpoch is the serial tail every control cycle shares: record
+// the loop's own epoch-to-epoch cadence and run the SLO evaluator, after all
+// the cycle's metrics and journal events have been committed. Quiet epochs
+// pass through without allocating.
+func (o *Orchestrator) finishControlEpoch() {
+	now := o.eng.Now()
+	if o.hasCycleTime {
+		o.epochGapH.Emit((now - o.lastCycleAt).Seconds())
+	}
+	o.lastCycleAt, o.hasCycleTime = now, true
+	if o.sloEval != nil {
+		o.sloEval.Tick()
+	}
 }
 
 // legacyControlCycle is the pre-oracle control loop: each app runs a full

@@ -57,11 +57,13 @@ func (r *ringF64) snapshot() []float64 {
 	return append(out, r.buf...)
 }
 
-// edgeState is one DAG edge with its accounting tag precomputed, so the hot
-// path never rebuilds tag strings.
+// edgeState is one DAG edge with its accounting tag and goodput metric
+// handle precomputed, so the hot path never rebuilds tag strings or store
+// keys.
 type edgeState struct {
 	from, to string
 	tag      string
+	goodputH obs.MetricHandle
 }
 
 // appEvalScratch is one application's reusable evaluation state. The edge
@@ -74,12 +76,13 @@ type appEvalScratch struct {
 	comps []string
 	edges []edgeState
 
-	reqs     []netmon.PathRequest
-	reqEdge  []int // reqs[i] came from edges[reqEdge[i]]
-	res      []netmon.PathResult
-	usages   []scheduler.DependencyUsage
-	pathErrs int
-	report   scheduler.MigrationReport
+	reqs      []netmon.PathRequest
+	reqEdge   []int // reqs[i] came from edges[reqEdge[i]]
+	res       []netmon.PathResult
+	usages    []scheduler.DependencyUsage
+	usageEdge []int // usages[j] came from edges[usageEdge[j]]
+	pathErrs  int
+	report    scheduler.MigrationReport
 
 	assignment scheduler.Assignment // rebuilt in the commit phase when migrating
 }
@@ -90,7 +93,19 @@ func (o *Orchestrator) newAppScratch(app *deployedApp) *appEvalScratch {
 		s.edges = append(s.edges, edgeState{from: e.From, to: e.To, tag: app.env.Tag(e.From, e.To)})
 	}
 	s.assignment = make(scheduler.Assignment, len(s.comps))
+	o.resolveEdgeHandles(s)
 	return s
+}
+
+// resolveEdgeHandles binds each edge's dependency-goodput series handle to
+// the attached plane (discarding handles when no store is attached). Called
+// at deploy time and again when observability attaches after deployment.
+func (o *Orchestrator) resolveEdgeHandles(s *appEvalScratch) {
+	for i := range s.edges {
+		e := &s.edges[i]
+		e.goodputH = o.plane.MetricHandle(obs.MetricDepGoodput,
+			map[string]string{"app": s.app.name, "component": e.from, "dep": e.to})
+	}
 }
 
 // rebuildEvalTasks re-chunks the per-app fan-out after a deployment. The
@@ -155,6 +170,7 @@ func (o *Orchestrator) evalApp(s *appEvalScratch) {
 	}
 	s.res = o.monitor.PathMetricsBatch(s.reqs, s.res)
 	s.usages = s.usages[:0]
+	s.usageEdge = s.usageEdge[:0]
 	s.pathErrs = 0
 	for j := range s.res {
 		r := &s.res[j]
@@ -163,6 +179,7 @@ func (o *Orchestrator) evalApp(s *appEvalScratch) {
 			continue
 		}
 		e := &s.edges[s.reqEdge[j]]
+		s.usageEdge = append(s.usageEdge, s.reqEdge[j])
 		s.usages = append(s.usages, scheduler.DependencyUsage{
 			Component:         e.from,
 			Dep:               e.to,
@@ -196,13 +213,11 @@ func (o *Orchestrator) fastControlCycle() {
 	}
 
 	for i, s := range o.appScratch {
-		app := s.app
 		if o.plane.Enabled() {
 			for j := range s.usages {
 				u := &s.usages[j]
 				if u.RequiredMbps > 0 {
-					o.plane.Metric(obs.MetricDepGoodput, u.AchievedMbps/u.RequiredMbps,
-						"app", app.name, "component", u.Component, "dep", u.Dep)
+					s.edges[s.usageEdge[j]].goodputH.Emit(u.AchievedMbps / u.RequiredMbps)
 				}
 			}
 		}

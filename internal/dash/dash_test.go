@@ -1,0 +1,141 @@
+package dash
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"bass/internal/obs"
+	"bass/internal/slo"
+)
+
+func TestWriteReadFrameRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []Frame{
+		{AtMs: 1000, Sweeps: 1, JournalEvents: 3},
+		{AtMs: 2000, Sweeps: 2, Firing: 1,
+			SLOs:          []slo.SpecStatus{{Name: "mesh/headroom", Kind: slo.LinkHeadroom, Target: 0.99, Good: true}},
+			Links:         []LinkStat{{Link: "a-b", HeadroomMbps: 4.5, CapacityMbps: 24, AgeSec: 1.5}},
+			Alerts:        []obs.Event{{At: time.Second, Type: obs.EventAlertFired, SLO: "mesh/headroom", Reason: "page 1m0s/5m0s"}},
+			JournalEvents: 7, JournalDropped: 2},
+	}
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// SSE framing: every frame is one data: line followed by a blank line.
+	if got := strings.Count(buf.String(), "data: "); got != len(frames) {
+		t.Errorf("stream has %d data events, want %d", got, len(frames))
+	}
+
+	var got []Frame
+	if err := ReadFrames(&buf, func(f Frame) bool {
+		got = append(got, f)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("read %d frames, want %d", len(got), len(frames))
+	}
+	for i := range got {
+		if got[i].Schema != SchemaVersion {
+			t.Errorf("frame %d schema = %d, want %d", i, got[i].Schema, SchemaVersion)
+		}
+		if got[i].AtMs != frames[i].AtMs || got[i].Sweeps != frames[i].Sweeps ||
+			got[i].JournalEvents != frames[i].JournalEvents || got[i].JournalDropped != frames[i].JournalDropped {
+			t.Errorf("frame %d = %+v, want %+v", i, got[i], frames[i])
+		}
+	}
+	if len(got[1].SLOs) != 1 || got[1].SLOs[0].Name != "mesh/headroom" {
+		t.Errorf("frame 1 SLOs = %+v", got[1].SLOs)
+	}
+	if len(got[1].Alerts) != 1 || got[1].Alerts[0].Type != obs.EventAlertFired {
+		t.Errorf("frame 1 alerts = %+v", got[1].Alerts)
+	}
+}
+
+func TestReadFramesStopsWhenTold(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		if err := WriteFrame(&buf, Frame{AtMs: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var n int
+	if err := ReadFrames(&buf, func(Frame) bool { n++; return n < 2 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("callback ran %d times, want 2", n)
+	}
+}
+
+func TestReadFramesSkipsNonDataAndRejectsBadSchema(t *testing.T) {
+	in := ": heartbeat comment\nevent: frame\n\n" +
+		"data: {\"schema\":1,\"atMs\":5,\"sweeps\":0,\"firing\":0,\"journalEvents\":0}\n\n"
+	var got []Frame
+	if err := ReadFrames(strings.NewReader(in), func(f Frame) bool {
+		got = append(got, f)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].AtMs != 5 {
+		t.Errorf("frames = %+v, want one frame at 5ms", got)
+	}
+
+	bad := "data: {\"schema\":99}\n\n"
+	if err := ReadFrames(strings.NewReader(bad), func(Frame) bool { return true }); err == nil {
+		t.Error("schema 99 accepted, want error")
+	}
+	if err := ReadFrames(strings.NewReader("data: {not json}\n\n"), func(Frame) bool { return true }); err == nil {
+		t.Error("malformed JSON accepted, want error")
+	}
+}
+
+func TestRecentAlertsAndActivity(t *testing.T) {
+	var events []obs.Event
+	for i := 0; i < 30; i++ {
+		events = append(events, obs.Event{At: time.Duration(i) * time.Second, Type: obs.EventProbeHeadroom, Span: uint64(i)})
+		if i%3 == 0 {
+			events = append(events, obs.Event{At: time.Duration(i) * time.Second, Type: obs.EventAlertFired, Span: uint64(100 + i)})
+		}
+		if i%5 == 0 {
+			events = append(events, obs.Event{At: time.Duration(i) * time.Second, Type: obs.EventMigration, Span: uint64(200 + i)})
+		}
+	}
+
+	alerts := RecentAlerts(events, 4)
+	if len(alerts) != 4 {
+		t.Fatalf("RecentAlerts returned %d, want 4", len(alerts))
+	}
+	for i, ev := range alerts {
+		if ev.Type != obs.EventAlertFired {
+			t.Errorf("alert %d type = %s", i, ev.Type)
+		}
+		if i > 0 && alerts[i-1].At > ev.At {
+			t.Errorf("alerts not oldest-first: %v then %v", alerts[i-1].At, ev.At)
+		}
+	}
+	// Newest alert is at i=27.
+	if alerts[len(alerts)-1].Span != 127 {
+		t.Errorf("newest alert span = %d, want 127", alerts[len(alerts)-1].Span)
+	}
+
+	activity := RecentActivity(events, 10)
+	if len(activity) != 6 { // migrations at i = 0,5,...,25
+		t.Errorf("RecentActivity returned %d, want all 6 migrations", len(activity))
+	}
+	for _, ev := range activity {
+		if ev.Type != obs.EventMigration {
+			t.Errorf("activity type = %s, want migration only", ev.Type)
+		}
+	}
+
+	if got := RecentAlerts(nil, 5); len(got) != 0 {
+		t.Errorf("RecentAlerts(nil) = %v, want empty", got)
+	}
+}

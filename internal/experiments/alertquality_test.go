@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// aqOpts is the test-sized replay: 30 minutes fits two link windows and at
+// most one probe-loss window, enough to score without a long run.
+func aqOpts(seed int64, polling bool, shards int) AlertQualityOptions {
+	return AlertQualityOptions{Seed: seed, Horizon: 30 * time.Minute, Polling: polling, Shards: shards}
+}
+
+// TestAlertQualityScores checks the scenario produces what the committed
+// BENCH_slo.json claims: every injected link outage is detected, every alert
+// falls inside a (graced) fault window, and detection happens within a
+// couple of monitor epochs of onset.
+func TestAlertQualityScores(t *testing.T) {
+	r, err := RunAlertQuality(aqOpts(42, false, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkWindows == 0 {
+		t.Fatal("storm generated no link windows; lengthen the horizon")
+	}
+	if r.Recall < 0.9 {
+		t.Errorf("recall %.2f below 0.9 (%d of %d windows detected)", r.Recall, r.Detected, r.LinkWindows)
+	}
+	if r.Precision < 0.9 {
+		t.Errorf("precision %.2f below 0.9 (%d of %d alerts matched)", r.Precision, r.TruePositives, r.AlertsFired)
+	}
+	if r.MTTD <= 0 || r.MTTD > 2*time.Minute {
+		t.Errorf("MTTD %s outside (0, 2m]", r.MTTD)
+	}
+	if r.DetectMax > 2*time.Minute {
+		t.Errorf("worst detection %s exceeds 2m", r.DetectMax)
+	}
+	if r.Resolutions == 0 || r.MTTR <= 0 {
+		t.Errorf("no repair→clear resolutions scored (MTTR %s over %d)", r.MTTR, r.Resolutions)
+	}
+}
+
+// TestAlertQualityDifferential pins the determinism claim the slo gate
+// checks mechanically: the scorecard is identical across both net drivers
+// and shard counts at equal seeds.
+func TestAlertQualityDifferential(t *testing.T) {
+	base, err := RunAlertQuality(aqOpts(7, false, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.Table().String()
+	for _, v := range []struct {
+		polling bool
+		shards  int
+	}{{true, 1}, {false, 4}, {true, 4}} {
+		r, err := RunAlertQuality(aqOpts(7, v.polling, v.shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Polling = base.Polling // the driver name in the title is the one allowed difference
+		if got := r.Table().String(); got != want {
+			t.Errorf("polling=%v shards=%d: scorecard diverged\nwant:\n%s\ngot:\n%s", v.polling, v.shards, want, got)
+		}
+	}
+}
+
+// TestAlertStormValid checks generated schedules against the window
+// validator at several seeds: windows never overlap and always close before
+// the horizon (detection, not truncation, decides the scores).
+func TestAlertStormValid(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		sched := alertStorm(seed, 2*time.Hour)
+		if len(sched.Events) == 0 {
+			t.Fatalf("seed %d: empty storm", seed)
+		}
+		if err := sched.ValidateWindows(2 * time.Hour); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		for _, w := range sched.Windows(2 * time.Hour) {
+			if w.End >= 2*time.Hour {
+				t.Errorf("seed %d: window %v still open at horizon", seed, w)
+			}
+		}
+	}
+}

@@ -28,13 +28,25 @@ var _ core.Workload = (*pairApp)(nil)
 // newPairApp builds the workload. pinSrc pins the producer (the immovable
 // side of the pair); cpu sizes both components.
 func newPairApp(app string, demandMbps float64, pinSrc string, cpu float64) *pairApp {
+	return newPinnedPairApp(app, demandMbps, pinSrc, "", cpu)
+}
+
+// newPinnedPairApp is newPairApp with both endpoints pinnable. The
+// alert-quality scenario pins both so rerouting-induced congestion — not a
+// migration — is the only possible response to a link fault, keeping the
+// SLI degradation window aligned with the injected fault window.
+func newPinnedPairApp(app string, demandMbps float64, pinSrc, pinDst string, cpu float64) *pairApp {
 	g := dag.NewGraph(app)
 	src := dag.Component{Name: "producer", CPU: cpu}
 	if pinSrc != "" {
 		src.Labels = dag.Pin(pinSrc)
 	}
+	dst := dag.Component{Name: "consumer", CPU: cpu}
+	if pinDst != "" {
+		dst.Labels = dag.Pin(pinDst)
+	}
 	g.MustAddComponent(src)
-	g.MustAddComponent(dag.Component{Name: "consumer", CPU: cpu})
+	g.MustAddComponent(dst)
 	g.MustAddEdge("producer", "consumer", demandMbps)
 	return &pairApp{graph: g, demand: demandMbps, goodput: metrics.NewTimeSeries(0)}
 }

@@ -81,7 +81,7 @@ func CanonicalOrder() []string {
 		"fig12", "fig13", "table1", "table2", "fig14a", "fig14b",
 		"fig14cd", "fig15a", "fig15b", "fig16", "table3", "table4",
 		"ablate-pack", "ablate-cooldown", "ablate-probe", "chaos", "scale",
-		"longevity", "sched", "batchablation",
+		"longevity", "sched", "batchablation", "alertquality",
 	}
 }
 

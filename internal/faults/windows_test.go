@@ -131,7 +131,7 @@ func TestClamp(t *testing.T) {
 		{AtSec: 10, Type: NodeCrash, Node: "n1"},
 		{AtSec: 60, Type: NodeRecover, Node: "n1"},
 		{AtSec: 200, Type: NodeCrash, Node: "n2"},
-		{AtSec: 400, Type: NodeRecover, Node: "n2"}, // closes past horizon: dropped
+		{AtSec: 400, Type: NodeRecover, Node: "n2"},          // closes past horizon: dropped
 		{AtSec: 290, Type: LinkDown, LinkA: "a", LinkB: "b"}, // never closes: dropped
 		{AtSec: 50, Type: LinkUp, LinkA: "c", LinkB: "d"},    // unmatched: dropped
 	}}
@@ -193,6 +193,85 @@ func TestGeneratedSchedulesValidate(t *testing.T) {
 		})
 		if err := s.ValidateWindows(0); err != nil {
 			t.Fatalf("seed %d: generated schedule invalid: %v", seed, err)
+		}
+	}
+}
+
+func TestWindowsGroundTruth(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{AtSec: 10, Type: NodeCrash, Node: "n1"},
+		{AtSec: 60, Type: NodeRecover, Node: "n1"},
+		{AtSec: 30, Type: LinkDown, LinkA: "a", LinkB: "b"},
+		{AtSec: 90, Type: LinkUp, LinkA: "a", LinkB: "b"},
+		{AtSec: 40, Type: ProbeLossStart, LinkA: "a", LinkB: "b"}, // overlaps link window: separate namespace
+		{AtSec: 50, Type: ProbeLossEnd, LinkA: "a", LinkB: "b"},
+		{AtSec: 200, Type: NodeCrash, Node: "n2"}, // never recovers: clipped at horizon
+		{AtSec: 250, Type: NodeCrash, Node: "n3"}, // recovers past horizon: clipped
+		{AtSec: 400, Type: NodeRecover, Node: "n3"},
+		{AtSec: 350, Type: LinkDown, LinkA: "c", LinkB: "d"}, // opens past horizon: dropped
+		{AtSec: 5, Type: LinkUp, LinkA: "e", LinkB: "f"},     // unmatched close: ignored
+	}}
+	horizon := 300 * time.Second
+	got := s.Windows(horizon)
+	want := []Window{
+		{Kind: WindowNode, Key: "n1", Start: 10 * time.Second, End: 60 * time.Second},
+		{Kind: WindowLink, Key: "a-b", Start: 30 * time.Second, End: 90 * time.Second},
+		{Kind: WindowProbe, Key: "a-b", Start: 40 * time.Second, End: 50 * time.Second},
+		{Kind: WindowNode, Key: "n2", Start: 200 * time.Second, End: horizon},
+		{Kind: WindowNode, Key: "n3", Start: 250 * time.Second, End: horizon},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("windows = %+v\nwant %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("window[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if s.Windows(0) != nil {
+		t.Error("horizon 0 must return nil")
+	}
+	if len(s.Events) != 11 {
+		t.Error("Windows mutated its receiver")
+	}
+}
+
+func TestWindowsReopenExtends(t *testing.T) {
+	// A second crash while the first window is open (legal only in merged
+	// schedules) extends the window rather than fragmenting the truth.
+	s := &Schedule{Events: []Event{
+		{AtSec: 10, Type: NodeCrash, Node: "n1"},
+		{AtSec: 20, Type: NodeCrash, Node: "n1"},
+		{AtSec: 50, Type: NodeRecover, Node: "n1"},
+	}}
+	got := s.Windows(100 * time.Second)
+	if len(got) != 1 || got[0].Start != 10*time.Second || got[0].End != 50*time.Second {
+		t.Fatalf("windows = %+v, want one 10s–50s window", got)
+	}
+}
+
+func TestGeneratedWindowsMatchCounts(t *testing.T) {
+	topo := testTopo(t)
+	horizon := 20 * time.Minute
+	s := Generate(topo, GeneratorConfig{
+		Seed: 3, Horizon: horizon,
+		NodeCrashesPerHour: 12, MeanNodeDowntime: 90 * time.Second,
+		LinkFlapsPerHour: 24, MeanLinkDowntime: 20 * time.Second,
+		ProbeLossWindowsPerHour: 6,
+	})
+	windows := s.Windows(horizon)
+	opens := 0
+	for _, e := range s.Events {
+		if _, isOpen, _ := e.windowKey(); isOpen && e.At() < horizon {
+			opens++
+		}
+	}
+	if len(windows) != opens {
+		t.Errorf("windows = %d, window-opening events inside horizon = %d", len(windows), opens)
+	}
+	for _, w := range windows {
+		if w.End <= w.Start || w.End > horizon {
+			t.Errorf("degenerate window %+v", w)
 		}
 	}
 }

@@ -1,8 +1,20 @@
 // Package metricstore is a minimal Prometheus-like time-series store: named
-// metrics with label sets, append-only samples, range queries, and an HTTP
-// query API. It plays the role Prometheus plays in the paper's
-// implementation (§5): the sink the monitoring services log into and the
-// source the bandwidth controller queries.
+// metrics with label sets, append-only samples, range queries, downsampled
+// rollup rings, windowed aggregates, and an HTTP query API. It plays the role
+// Prometheus plays in the paper's implementation (§5): the sink the
+// monitoring services log into and the source the bandwidth controller
+// queries.
+//
+// Retention is bounded per series: a raw ring of the newest MaxSamples
+// samples, plus two downsampled rollup rings (10-second and 5-minute buckets
+// carrying sum/count/min/max and the exact first/last sample). Windowed
+// aggregate queries (AvgOver, RateOver, BudgetRemaining, ...) answer from
+// raw samples when the window is fully covered and fall back to rollups for
+// older data, so a store sized for hours of raw data still answers
+// day-length windows. A cardinality guard caps the number of distinct
+// series; appends that would mint series beyond the cap are dropped and
+// surfaced through the metricstore_dropped_samples_total self-metric instead
+// of growing without bound.
 package metricstore
 
 import (
@@ -28,6 +40,55 @@ type Series struct {
 	Metric  string            `json:"metric"`
 	Labels  map[string]string `json:"labels,omitempty"`
 	Samples []Sample          `json:"samples"`
+}
+
+// Self-observation metrics: the store reports its own pathologies as
+// ordinary series so a scrape sees them without a side channel.
+const (
+	// MetricDroppedSamples counts samples dropped by the cardinality guard
+	// (cumulative). It is appended to lazily, only when drops occur, so a
+	// healthy store carries no extra series.
+	MetricDroppedSamples = "metricstore_dropped_samples_total"
+)
+
+// Rollup bucket widths. Raw samples downsample into 10s buckets, which are
+// retained independently of the 5m buckets (both fold directly from raw
+// appends, so their contents are exact, not re-derived).
+const (
+	Rollup10sWidth = 10 * time.Second
+	Rollup5mWidth  = 5 * time.Minute
+)
+
+// Config sizes a store's per-series retention and its cardinality guard.
+// Zero fields take defaults.
+type Config struct {
+	// MaxSamples caps the raw ring per series (default 10000).
+	MaxSamples int
+	// MaxSeries caps distinct series; appends that would mint series
+	// beyond it are dropped and counted (default 50000).
+	MaxSeries int
+	// Rollup10s caps closed 10-second buckets retained per series
+	// (default 4096 ≈ 11 hours).
+	Rollup10s int
+	// Rollup5m caps closed 5-minute buckets retained per series
+	// (default 2048 ≈ 7 days).
+	Rollup5m int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSamples <= 0 {
+		c.MaxSamples = 10000
+	}
+	if c.MaxSeries <= 0 {
+		c.MaxSeries = 50000
+	}
+	if c.Rollup10s <= 0 {
+		c.Rollup10s = 4096
+	}
+	if c.Rollup5m <= 0 {
+		c.Rollup5m = 2048
+	}
+	return c
 }
 
 // keyEscaper escapes the key's structural characters inside metric names,
@@ -58,50 +119,249 @@ func seriesKey(metric string, labels map[string]string) string {
 	return b.String()
 }
 
+// bucket is one downsampled rollup interval: aggregate moments plus the
+// exact first/last raw samples that fell into it (so counter rates survive
+// downsampling).
+type bucket struct {
+	start       time.Time
+	sum         float64
+	min, max    float64
+	count       int
+	first, last Sample
+}
+
+func (b *bucket) reset(start time.Time, s Sample) {
+	b.start = start
+	b.sum = s.Value
+	b.min, b.max = s.Value, s.Value
+	b.count = 1
+	b.first, b.last = s, s
+}
+
+func (b *bucket) fold(s Sample) {
+	b.sum += s.Value
+	if s.Value < b.min {
+		b.min = s.Value
+	}
+	if s.Value > b.max {
+		b.max = s.Value
+	}
+	b.count++
+	if s.At.Before(b.first.At) {
+		b.first = s
+	}
+	if !s.At.Before(b.last.At) {
+		b.last = s
+	}
+}
+
+// rollupRing retains the newest capN closed buckets.
+type rollupRing struct {
+	buf            []bucket
+	start, n       int
+	evicted        bool
+	evictedThrough time.Time // end of the newest evicted bucket
+}
+
+func (r *rollupRing) push(b bucket, width time.Duration, capN int) {
+	if capN <= 0 {
+		return
+	}
+	if r.n < capN {
+		r.buf = append(r.buf, b)
+		r.n++
+		return
+	}
+	old := r.buf[r.start]
+	r.evicted = true
+	if end := old.start.Add(width); end.After(r.evictedThrough) {
+		r.evictedThrough = end
+	}
+	r.buf[r.start] = b
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+func (r *rollupRing) at(i int) *bucket {
+	return &r.buf[(r.start+i)%len(r.buf)]
+}
+
+// series is the internal representation: a raw sample ring plus two rollup
+// rings and their open (still-filling) buckets. The exported Series shape is
+// materialised on demand by Query/Snapshot.
+type series struct {
+	metric string
+	labels map[string]string
+	key    string
+
+	raw            []Sample
+	rawStart, rawN int
+	evicted        bool
+	evictedThrough time.Time // At of the newest evicted raw sample
+
+	r10, r5m       rollupRing
+	open10, open5m bucket
+}
+
+func (sr *series) append(cfg Config, smp Sample) {
+	if sr.rawN < cfg.MaxSamples {
+		sr.raw = append(sr.raw, smp)
+		sr.rawN++
+	} else {
+		old := sr.raw[sr.rawStart]
+		sr.evicted = true
+		if old.At.After(sr.evictedThrough) {
+			sr.evictedThrough = old.At
+		}
+		sr.raw[sr.rawStart] = smp
+		sr.rawStart = (sr.rawStart + 1) % len(sr.raw)
+	}
+	foldRollup(&sr.open10, &sr.r10, Rollup10sWidth, cfg.Rollup10s, smp)
+	foldRollup(&sr.open5m, &sr.r5m, Rollup5mWidth, cfg.Rollup5m, smp)
+}
+
+// foldRollup adds a sample to the open bucket, closing it into the ring when
+// the sample crosses into a later bucket. Samples older than the open bucket
+// (out-of-order appends) fold into the open bucket rather than rewriting
+// closed history; rollup exactness assumes per-series appends arrive in time
+// order, which every writer in this repo satisfies.
+func foldRollup(open *bucket, ring *rollupRing, width time.Duration, capN int, smp Sample) {
+	bs := smp.At.Truncate(width)
+	if open.count == 0 {
+		open.reset(bs, smp)
+		return
+	}
+	if bs.After(open.start) {
+		ring.push(*open, width, capN)
+		open.reset(bs, smp)
+		return
+	}
+	open.fold(smp)
+}
+
+func (sr *series) rawAt(i int) Sample {
+	return sr.raw[(sr.rawStart+i)%len(sr.raw)]
+}
+
 // Store holds series in memory. It is safe for concurrent use. Each series
-// is capped at maxSamples (oldest dropped), bounding memory for long runs.
+// is capped at Config.MaxSamples raw samples (oldest dropped into rollups),
+// bounding memory for long runs.
 type Store struct {
-	mu         sync.RWMutex
-	series     map[string]*Series
-	maxSamples int
+	mu       sync.RWMutex
+	cfg      Config
+	series   map[string]*series
+	byMetric map[string][]*series // creation-order index per metric name
+	dropped  uint64               // samples refused by the cardinality guard
 }
 
 // New returns a store capping each series at maxSamples (default 10000 when
-// ≤ 0).
+// ≤ 0), with default rollup retention and cardinality guard.
 func New(maxSamples int) *Store {
-	if maxSamples <= 0 {
-		maxSamples = 10000
-	}
-	return &Store{series: make(map[string]*Series), maxSamples: maxSamples}
+	return NewWithConfig(Config{MaxSamples: maxSamples})
 }
 
-// Append records a sample.
+// NewWithConfig returns a store with explicit retention/cardinality sizing.
+func NewWithConfig(cfg Config) *Store {
+	return &Store{
+		cfg:      cfg.withDefaults(),
+		series:   make(map[string]*series),
+		byMetric: make(map[string][]*series),
+	}
+}
+
+func (s *Store) newSeriesLocked(metric string, labels map[string]string, key string) *series {
+	copied := make(map[string]string, len(labels))
+	for k, v := range labels {
+		copied[k] = v
+	}
+	sr := &series{metric: metric, labels: copied, key: key}
+	s.series[key] = sr
+	s.byMetric[metric] = append(s.byMetric[metric], sr)
+	return sr
+}
+
+// Append records a sample. When the sample would mint a new series beyond
+// the cardinality guard it is dropped and counted in the
+// metricstore_dropped_samples_total self-metric (which is exempt from the
+// guard) — a series explosion degrades into a visible counter, not an OOM.
 func (s *Store) Append(metric string, labels map[string]string, at time.Time, value float64) {
 	key := seriesKey(metric, labels)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sr, ok := s.series[key]
 	if !ok {
-		copied := make(map[string]string, len(labels))
-		for k, v := range labels {
-			copied[k] = v
+		if len(s.series) >= s.cfg.MaxSeries {
+			s.dropped++
+			gk := seriesKey(MetricDroppedSamples, nil)
+			guard, ok := s.series[gk]
+			if !ok {
+				guard = s.newSeriesLocked(MetricDroppedSamples, nil, gk)
+			}
+			guard.append(s.cfg, Sample{At: at, Value: float64(s.dropped)})
+			return
 		}
-		sr = &Series{Metric: metric, Labels: copied}
-		s.series[key] = sr
+		sr = s.newSeriesLocked(metric, labels, key)
 	}
-	sr.Samples = append(sr.Samples, Sample{At: at, Value: value})
-	if over := len(sr.Samples) - s.maxSamples; over > 0 {
-		sr.Samples = append(sr.Samples[:0], sr.Samples[over:]...)
-	}
+	sr.append(s.cfg, Sample{At: at, Value: value})
 }
 
-// matches reports whether the series carries every selector label. A series
-// must carry the label explicitly to match — an empty-string selector value
-// matches only series labeled with the empty string, never series that lack
-// the label (a plain sr.Labels[k] lookup cannot tell those apart).
-func matches(sr *Series, selector map[string]string) bool {
+// Handle is a pre-resolved series for repeated appends: the canonical key is
+// computed once, so steady-state appends through it are allocation-free —
+// the SLO evaluator's per-epoch write path.
+type Handle struct {
+	s  *Store
+	sr *series
+}
+
+// Handle resolves (metric, labels) to a series eagerly (creating it, guard
+// permitting) and returns an append handle. A zero Handle discards appends.
+// The guard can refuse creation; the returned handle then discards and the
+// drop is counted per append.
+func (s *Store) Handle(metric string, labels map[string]string) Handle {
+	key := seriesKey(metric, labels)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr, ok := s.series[key]
+	if !ok {
+		if len(s.series) >= s.cfg.MaxSeries {
+			return Handle{}
+		}
+		sr = s.newSeriesLocked(metric, labels, key)
+	}
+	return Handle{s: s, sr: sr}
+}
+
+// Append records a sample on the pre-resolved series.
+func (h Handle) Append(at time.Time, value float64) {
+	if h.s == nil {
+		return
+	}
+	h.s.mu.Lock()
+	h.sr.append(h.s.cfg, Sample{At: at, Value: value})
+	h.s.mu.Unlock()
+}
+
+// StoreStats is a point-in-time cardinality report.
+type StoreStats struct {
+	Series         int    `json:"series"`
+	MaxSeries      int    `json:"max_series"`
+	DroppedSamples uint64 `json:"dropped_samples"`
+}
+
+// Stats reports current cardinality and guard activity.
+func (s *Store) Stats() StoreStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return StoreStats{Series: len(s.series), MaxSeries: s.cfg.MaxSeries, DroppedSamples: s.dropped}
+}
+
+// matchesLabels reports whether the label set carries every selector label.
+// A series must carry the label explicitly to match — an empty-string
+// selector value matches only series labeled with the empty string, never
+// series that lack the label (a plain labels[k] lookup cannot tell those
+// apart).
+func matchesLabels(labels, selector map[string]string) bool {
 	for k, v := range selector {
-		got, ok := sr.Labels[k]
+		got, ok := labels[k]
 		if !ok || got != v {
 			return false
 		}
@@ -115,12 +375,13 @@ func (s *Store) Query(metric string, selector map[string]string, from, to time.T
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []Series
-	for _, sr := range s.series {
-		if sr.Metric != metric || !matches(sr, selector) {
+	for _, sr := range s.byMetric[metric] {
+		if !matchesLabels(sr.labels, selector) {
 			continue
 		}
-		copied := Series{Metric: sr.Metric, Labels: sr.Labels}
-		for _, sample := range sr.Samples {
+		copied := Series{Metric: sr.metric, Labels: sr.labels}
+		for i := 0; i < sr.rawN; i++ {
+			sample := sr.rawAt(i)
 			if !from.IsZero() && sample.At.Before(from) {
 				continue
 			}
@@ -147,12 +408,12 @@ func (s *Store) Latest(metric string, selector map[string]string) (Sample, bool)
 	defer s.mu.RUnlock()
 	var best Sample
 	found := false
-	for _, sr := range s.series {
-		if sr.Metric != metric || !matches(sr, selector) {
+	for _, sr := range s.byMetric[metric] {
+		if !matchesLabels(sr.labels, selector) {
 			continue
 		}
-		if n := len(sr.Samples); n > 0 {
-			last := sr.Samples[n-1]
+		if sr.rawN > 0 {
+			last := sr.rawAt(sr.rawN - 1)
 			if !found || last.At.After(best.At) {
 				best = last
 				found = true
@@ -162,35 +423,227 @@ func (s *Store) Latest(metric string, selector map[string]string) (Sample, bool)
 	return best, found
 }
 
+// Resolution selects which retention tier a windowed aggregate reads from.
+type Resolution int
+
+const (
+	// ResAuto answers from raw samples when the window is fully inside raw
+	// retention, else from 10s rollups, else from 5m rollups — per series.
+	ResAuto Resolution = iota
+	ResRaw
+	Res10s
+	Res5m
+)
+
+// Agg is a windowed aggregate over every matching sample: moments plus the
+// first/last sample in the window (exact even when answered from rollups,
+// which retain them per bucket).
+type Agg struct {
+	Sum         float64
+	Min, Max    float64
+	Count       int
+	First, Last Sample
+}
+
+// Avg returns Sum/Count (0 when empty).
+func (a Agg) Avg() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.Count)
+}
+
+func (a *Agg) foldSample(s Sample) {
+	if a.Count == 0 {
+		a.Min, a.Max = s.Value, s.Value
+		a.First, a.Last = s, s
+	} else {
+		if s.Value < a.Min {
+			a.Min = s.Value
+		}
+		if s.Value > a.Max {
+			a.Max = s.Value
+		}
+		if s.At.Before(a.First.At) {
+			a.First = s
+		}
+		if !s.At.Before(a.Last.At) {
+			a.Last = s
+		}
+	}
+	a.Sum += s.Value
+	a.Count++
+}
+
+func (a *Agg) foldBucket(b *bucket) {
+	if a.Count == 0 {
+		a.Min, a.Max = b.min, b.max
+		a.First, a.Last = b.first, b.last
+	} else {
+		if b.min < a.Min {
+			a.Min = b.min
+		}
+		if b.max > a.Max {
+			a.Max = b.max
+		}
+		if b.first.At.Before(a.First.At) {
+			a.First = b.first
+		}
+		if !b.last.At.Before(a.Last.At) {
+			a.Last = b.last
+		}
+	}
+	a.Sum += b.sum
+	a.Count += b.count
+}
+
+// pickRes chooses the finest tier that still covers the window start.
+// Falls through to 5m rollups as the best effort when nothing covers.
+func (sr *series) pickRes(from time.Time) Resolution {
+	if !sr.evicted || from.After(sr.evictedThrough) {
+		return ResRaw
+	}
+	if !sr.r10.evicted || from.After(sr.r10.evictedThrough) {
+		return Res10s
+	}
+	return Res5m
+}
+
+func bucketOverlaps(b *bucket, width time.Duration, from, to time.Time) bool {
+	return !b.start.After(to) && b.start.Add(width).After(from)
+}
+
+func (sr *series) aggInto(a *Agg, from, to time.Time, res Resolution) {
+	if res == ResAuto {
+		res = sr.pickRes(from)
+	}
+	switch res {
+	case ResRaw:
+		for i := 0; i < sr.rawN; i++ {
+			smp := sr.rawAt(i)
+			if smp.At.Before(from) || smp.At.After(to) {
+				continue
+			}
+			a.foldSample(smp)
+		}
+	case Res10s:
+		for i := 0; i < sr.r10.n; i++ {
+			if b := sr.r10.at(i); bucketOverlaps(b, Rollup10sWidth, from, to) {
+				a.foldBucket(b)
+			}
+		}
+		if sr.open10.count > 0 && bucketOverlaps(&sr.open10, Rollup10sWidth, from, to) {
+			a.foldBucket(&sr.open10)
+		}
+	case Res5m:
+		for i := 0; i < sr.r5m.n; i++ {
+			if b := sr.r5m.at(i); bucketOverlaps(b, Rollup5mWidth, from, to) {
+				a.foldBucket(b)
+			}
+		}
+		if sr.open5m.count > 0 && bucketOverlaps(&sr.open5m, Rollup5mWidth, from, to) {
+			a.foldBucket(&sr.open5m)
+		}
+	}
+}
+
+// AggOver aggregates every sample of the metric matching the selector in the
+// trailing window [now-window, now] (inclusive), auto-selecting resolution
+// per series. It allocates nothing and iterates series in creation order, so
+// floating-point sums are identical run to run. ok=false when no sample
+// falls in the window.
+func (s *Store) AggOver(metric string, selector map[string]string, now time.Time, window time.Duration) (Agg, bool) {
+	return s.AggOverRes(metric, selector, now, window, ResAuto)
+}
+
+// AggOverRes is AggOver pinned to a retention tier. Rollup answers include
+// every bucket overlapping the window, so a window not aligned to bucket
+// boundaries may over-cover by up to one bucket width at each edge; aligned
+// windows are exact.
+func (s *Store) AggOverRes(metric string, selector map[string]string, now time.Time, window time.Duration, res Resolution) (Agg, bool) {
+	from := now.Add(-window)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var agg Agg
+	for _, sr := range s.byMetric[metric] {
+		if !matchesLabels(sr.labels, selector) {
+			continue
+		}
+		sr.aggInto(&agg, from, now, res)
+	}
+	return agg, agg.Count > 0
+}
+
+// AvgOver returns the mean sample value over the trailing window.
+func (s *Store) AvgOver(metric string, selector map[string]string, now time.Time, window time.Duration) (float64, bool) {
+	agg, ok := s.AggOver(metric, selector, now, window)
+	return agg.Avg(), ok
+}
+
+// MinOver returns the minimum sample value over the trailing window.
+func (s *Store) MinOver(metric string, selector map[string]string, now time.Time, window time.Duration) (float64, bool) {
+	agg, ok := s.AggOver(metric, selector, now, window)
+	return agg.Min, ok
+}
+
+// MaxOver returns the maximum sample value over the trailing window.
+func (s *Store) MaxOver(metric string, selector map[string]string, now time.Time, window time.Duration) (float64, bool) {
+	agg, ok := s.AggOver(metric, selector, now, window)
+	return agg.Max, ok
+}
+
+// RateOver returns the per-second increase of a cumulative counter over the
+// trailing window: (last−first)/elapsed across all matching samples.
+// ok=false with fewer than two samples or zero elapsed time.
+func (s *Store) RateOver(metric string, selector map[string]string, now time.Time, window time.Duration) (float64, bool) {
+	agg, ok := s.AggOver(metric, selector, now, window)
+	if !ok || agg.Count < 2 {
+		return 0, false
+	}
+	dt := agg.Last.At.Sub(agg.First.At).Seconds()
+	if dt <= 0 {
+		return 0, false
+	}
+	return (agg.Last.Value - agg.First.Value) / dt, true
+}
+
+// BudgetRemaining reads a boolean good-indicator metric (1 = good, 0 = bad
+// per sample; values are clamped through the mean) and returns the fraction
+// of the error budget left over the window for an SLO target: with target
+// 0.99 the budget is 1% bad samples, so 1 means untouched, 0 exhausted, and
+// negative overspent. ok=false when the window is empty or target ≥ 1.
+func (s *Store) BudgetRemaining(metric string, selector map[string]string, now time.Time, window time.Duration, target float64) (float64, bool) {
+	if target >= 1 {
+		return 0, false
+	}
+	agg, ok := s.AggOver(metric, selector, now, window)
+	if !ok {
+		return 0, false
+	}
+	badFrac := 1 - agg.Avg()
+	if badFrac < 0 {
+		badFrac = 0
+	} else if badFrac > 1 {
+		badFrac = 1
+	}
+	return 1 - badFrac/(1-target), true
+}
+
 // Rate computes the average of the samples within the trailing window ending
 // at now — the controller's "traffic over the last interval" query.
 func (s *Store) Rate(metric string, selector map[string]string, now time.Time, window time.Duration) (float64, bool) {
-	series := s.Query(metric, selector, now.Add(-window), now)
-	var sum float64
-	var n int
-	for _, sr := range series {
-		for _, sample := range sr.Samples {
-			sum += sample.Value
-			n++
-		}
-	}
-	if n == 0 {
-		return 0, false
-	}
-	return sum / float64(n), true
+	return s.AvgOver(metric, selector, now, window)
 }
 
 // Metrics lists distinct metric names, sorted.
 func (s *Store) Metrics() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	seen := make(map[string]bool)
-	for _, sr := range s.series {
-		seen[sr.Metric] = true
-	}
-	out := make([]string, 0, len(seen))
-	for m := range seen {
-		out = append(out, m)
+	out := make([]string, 0, len(s.byMetric))
+	for m, srs := range s.byMetric {
+		if len(srs) > 0 {
+			out = append(out, m)
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -203,8 +656,11 @@ func (s *Store) Snapshot() []Series {
 	defer s.mu.RUnlock()
 	out := make([]Series, 0, len(s.series))
 	for _, sr := range s.series {
-		copied := Series{Metric: sr.Metric, Labels: sr.Labels}
-		copied.Samples = append([]Sample(nil), sr.Samples...)
+		copied := Series{Metric: sr.metric, Labels: sr.labels}
+		copied.Samples = make([]Sample, 0, sr.rawN)
+		for i := 0; i < sr.rawN; i++ {
+			copied.Samples = append(copied.Samples, sr.rawAt(i))
+		}
 		out = append(out, copied)
 	}
 	sort.Slice(out, func(i, j int) bool {

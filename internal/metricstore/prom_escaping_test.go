@@ -1,0 +1,124 @@
+package metricstore
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// promUnescapeLabelValue inverts the exposition-format 0.0.4 label-value
+// escaping: \\ → backslash, \" → double quote, \n → line feed. Any other
+// backslash sequence is an encoding error.
+func promUnescapeLabelValue(t *testing.T, escaped string) string {
+	t.Helper()
+	var b strings.Builder
+	for i := 0; i < len(escaped); i++ {
+		c := escaped[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(escaped) {
+			t.Fatalf("dangling backslash in %q", escaped)
+		}
+		switch escaped[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			t.Fatalf("invalid escape \\%c in %q", escaped[i], escaped)
+		}
+	}
+	return b.String()
+}
+
+// extractLabelValue pulls the escaped value of the only label out of a
+// sample line shaped like `metric{k="<escaped>"} value ts`.
+func extractLabelValue(t *testing.T, line string) string {
+	t.Helper()
+	start := strings.Index(line, `{v="`)
+	end := strings.LastIndex(line, `"}`)
+	if start < 0 || end < 0 || end <= start {
+		t.Fatalf("malformed sample line %q", line)
+	}
+	return line[start+len(`{v="`) : end]
+}
+
+// TestPromLabelValueRoundTrip pins exposition-format 0.0.4 label-value
+// escaping: every backslash, double quote, and line feed must survive a
+// write→parse round trip unchanged, including pathological mixes like a
+// literal backslash-n (which must NOT collapse into a newline).
+func TestPromLabelValueRoundTrip(t *testing.T) {
+	values := []string{
+		`plain`,
+		`has"quote`,
+		"has\nnewline",
+		`has\backslash`,
+		`trailing\`,
+		`\`,
+		`\\`,
+		`literal\n`, // backslash + 'n', two characters — not a newline
+		"newline\nand\\backslash\"and quote",
+		`\"`,                // backslash then quote
+		"\n",                // bare newline
+		`a\nb` + "\n" + `c`, // literal \n next to a real newline
+		"unicode λ\nvalue",
+	}
+	for i, val := range values {
+		t.Run(fmt.Sprintf("case%d", i), func(t *testing.T) {
+			s := New(0)
+			s.Append("m", map[string]string{"v": val}, at(1), 1)
+			var b strings.Builder
+			if err := s.WritePrometheus(&b); err != nil {
+				t.Fatal(err)
+			}
+			out := b.String()
+			lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+			// Exactly one TYPE line and one sample line: a correctly escaped
+			// newline never splits the sample across lines.
+			var sampleLines []string
+			for _, ln := range lines {
+				if strings.HasPrefix(ln, "#") {
+					continue
+				}
+				sampleLines = append(sampleLines, ln)
+			}
+			if len(sampleLines) != 1 {
+				t.Fatalf("value %q rendered as %d sample lines:\n%s", val, len(sampleLines), out)
+			}
+			got := promUnescapeLabelValue(t, extractLabelValue(t, sampleLines[0]))
+			if got != val {
+				t.Errorf("round trip: wrote %q, parsed back %q", val, got)
+			}
+		})
+	}
+}
+
+// TestPromEscapingDistinctValuesStayDistinct pins that escaping is
+// injective at the exposition boundary: label values that differ only by
+// escape-sensitive characters must render as different lines.
+func TestPromEscapingDistinctValuesStayDistinct(t *testing.T) {
+	pairs := [][2]string{
+		{"a\nb", `a\nb`}, // real newline vs literal backslash-n
+		{`a\`, `a\\`},    // one vs two trailing backslashes
+		{`a"b`, `a\"b`},  // quote vs escaped-looking quote
+	}
+	for _, p := range pairs {
+		render := func(val string) string {
+			s := New(0)
+			s.Append("m", map[string]string{"v": val}, at(1), 1)
+			var b strings.Builder
+			if err := s.WritePrometheus(&b); err != nil {
+				t.Fatal(err)
+			}
+			return b.String()
+		}
+		if a, b := render(p[0]), render(p[1]); a == b {
+			t.Errorf("values %q and %q render identically:\n%s", p[0], p[1], a)
+		}
+	}
+}

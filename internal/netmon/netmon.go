@@ -131,6 +131,13 @@ type LinkView struct {
 	// NodeFailureFloor: one lost probe is noise, K in a row on every link of a
 	// node is a crash.
 	ConsecutiveFailures int
+
+	// linkStr caches ID.String() and headroomH the link's pre-resolved
+	// headroom series, so the per-sweep probe path neither formats strings
+	// nor rebuilds store keys — part of the quiet-epoch zero-allocation
+	// contract once an observer is attached.
+	linkStr   string
+	headroomH obs.MetricHandle
 }
 
 // HeadroomEvent reports a headroom probe whose result changed materially
@@ -216,7 +223,7 @@ func New(topo *mesh.Topology, prober Prober, cfg Config, now func() time.Duratio
 		views:  make(map[mesh.LinkID]*LinkView),
 	}
 	for _, l := range topo.Links() {
-		v := &LinkView{ID: l.ID, HeadroomOK: true}
+		v := &LinkView{ID: l.ID, HeadroomOK: true, linkStr: l.ID.String()}
 		m.views[l.ID] = v
 		m.linkOrder = append(m.linkOrder, v)
 	}
@@ -245,8 +252,14 @@ func (m *Monitor) Config() Config { return m.cfg }
 
 // SetObserver attaches an observability plane. Probe results, probe errors,
 // and headroom violations are journaled; measured capacities and spares feed
-// the link_capacity_mbps / link_headroom_mbps series.
-func (m *Monitor) SetObserver(p *obs.Plane) { m.plane = p }
+// the link_capacity_mbps / link_headroom_mbps series. Per-link headroom
+// handles are resolved here so the sweep itself never builds series keys.
+func (m *Monitor) SetObserver(p *obs.Plane) {
+	m.plane = p
+	for _, v := range m.linkOrder {
+		v.headroomH = p.MetricHandle(obs.MetricLinkHeadroom, map[string]string{"link": v.linkStr})
+	}
+}
 
 // FullProbeAll measures every link's capacity (system startup, §4.2).
 func (m *Monitor) FullProbeAll() error {
@@ -401,16 +414,15 @@ func (m *Monitor) applySpare(v *LinkView, spare float64, err error) (HeadroomEve
 	}
 	v.HeadroomOK = !ev.Violated
 	if m.plane.Enabled() {
-		link := id.String()
-		probeSpan := m.plane.EmitSpan(obs.Event{Type: obs.EventProbeHeadroom, Link: link, Value: spare, Want: want})
-		m.plane.Metric(obs.MetricLinkHeadroom, spare, "link", link)
+		probeSpan := m.plane.EmitSpan(obs.Event{Type: obs.EventProbeHeadroom, Link: v.linkStr, Value: spare, Want: want})
+		v.headroomH.Emit(spare)
 		ev.Span = probeSpan
 		if ev.Violated {
 			// The violation verdict cites the probe sample as its cause;
 			// downstream migration candidates cite the violation.
 			ev.Span = m.plane.EmitSpan(obs.Event{
 				Type: obs.EventHeadroomViolation, Cause: probeSpan,
-				Link: link, Value: spare, Want: want,
+				Link: v.linkStr, Value: spare, Want: want,
 			})
 		}
 	}

@@ -60,7 +60,7 @@ func trackOf(t EventType) int {
 	case EventProbeFull, EventProbeHeadroom, EventProbeError, EventHeadroomViolation:
 		return trackProbes
 	case EventMigrationCandidate, EventNodeDown, EventNodeRecovered,
-		EventReconcileDrift:
+		EventReconcileDrift, EventAlertFired, EventAlertResolved:
 		return trackVerdicts
 	case EventDeploy, EventSchedule, EventSchedCandidate:
 		return trackScheduler

@@ -111,6 +111,17 @@ const (
 	// EventReconcileConverged closes a drift episode: observed placement
 	// equals desired placement again (Value = episode length in seconds).
 	EventReconcileConverged EventType = "reconcile_converged"
+	// EventAlertFired is the SLO evaluator opening an alert: an error budget
+	// is burning past a tier's thresholds in both its windows. SLO = spec
+	// name, Reason = tier and windows (e.g. "page 1m/5m"), Value = observed
+	// long-window burn rate, Want = the tier's burn threshold, Budget =
+	// budget remaining over the compliance window, Cause = the probe sample
+	// or injected fault that explains the breach.
+	EventAlertFired EventType = "alert_fired"
+	// EventAlertResolved closes a previously fired alert once every tier's
+	// burn drops back under threshold (Value = final burn rate, Budget =
+	// budget remaining at resolve time, Cause = the alert_fired span).
+	EventAlertResolved EventType = "alert_resolved"
 )
 
 // Metric names shared by the simulated and live paths — one schema, whichever
@@ -135,6 +146,19 @@ const (
 	// MetricPathQueryErrors counts dependency edges dropped from controller
 	// evaluations because the monitor could not answer a path query (cumulative).
 	MetricPathQueryErrors = "path_query_errors_total"
+	// MetricSLOGood is the per-spec good/bad indicator the SLO evaluator
+	// appends each epoch (1 = SLI met its threshold, 0 = missed), labeled
+	// slo=<spec name>. BudgetRemaining reads it back.
+	MetricSLOGood = "slo_good"
+	// MetricSLOBudget gauges each spec's error-budget fraction remaining
+	// over its compliance window (1 = untouched, ≤ 0 = exhausted), emitted
+	// only when the value changes so quiet epochs stay allocation-free.
+	MetricSLOBudget = "slo_budget_remaining_frac"
+	// MetricAlertsFiring gauges the number of currently open alerts.
+	MetricAlertsFiring = "slo_alerts_firing"
+	// MetricControlEpochGap records the virtual-time gap between control
+	// epochs in seconds — the control-loop latency SLI's raw signal.
+	MetricControlEpochGap = "control_epoch_gap_seconds"
 )
 
 // Event is one journal entry. Fields are fixed and typed (never a map) so
@@ -172,6 +196,10 @@ type Event struct {
 	// satisfied by co-located edges and by remote paths, respectively.
 	Local  float64 `json:"bwLocalMbps,omitempty"`
 	Remote float64 `json:"bwRemoteMbps,omitempty"`
+	// SLO names the spec behind an alert event; Budget carries its error
+	// budget remaining (fraction of the compliance window's allowance).
+	SLO    string  `json:"slo,omitempty"`
+	Budget float64 `json:"budget,omitempty"`
 }
 
 // Journal is a bounded ring buffer of events. It is safe for concurrent use;
@@ -302,6 +330,22 @@ type Plane struct {
 	// byte-identical-at-equal-seeds journal guarantee extends to spans.
 	spanBase uint64
 	spanSeq  uint64 // accessed atomically
+
+	// tap, when set, sees every journaled event after it is stamped — the SLO
+	// evaluator's ground-truth tracker hangs here. Emission is serial by the
+	// control plane's commit-phase invariant, so the tap needs no locking of
+	// its own.
+	tap func(Event)
+}
+
+// SetTap registers a function observing every journaled event (nil clears
+// it). The tap runs inside EmitSpan on the emitting goroutine; keep it cheap
+// and allocation-free.
+func (p *Plane) SetTap(tap func(Event)) {
+	if p == nil {
+		return
+	}
+	p.tap = tap
 }
 
 // SetTraceSeed namespaces the plane's span IDs by the run seed: span =
@@ -364,6 +408,9 @@ func (p *Plane) EmitSpan(ev Event) uint64 {
 		ev.Span = p.nextSpan()
 	}
 	p.journal.Append(ev)
+	if p.tap != nil {
+		p.tap(ev)
+	}
 	return ev.Span
 }
 
@@ -381,6 +428,33 @@ func (p *Plane) Metric(name string, value float64, kv ...string) {
 		}
 	}
 	p.store.Append(name, labels, p.epoch.Add(p.now()), value)
+}
+
+// MetricHandle is a pre-resolved metric series bound to the plane's virtual
+// clock: the allocation-free form of Metric for per-epoch hot paths. The
+// series key is computed once, at resolve time; emitting through the handle
+// costs a lock and a ring write. The zero handle — and any handle resolved
+// from a plane without a store — discards emissions.
+type MetricHandle struct {
+	plane *Plane
+	h     metricstore.Handle
+}
+
+// MetricHandle resolves a handle for the labeled series. Nil-safe: a nil or
+// store-less plane yields a discarding handle.
+func (p *Plane) MetricHandle(name string, labels map[string]string) MetricHandle {
+	if p == nil || p.store == nil {
+		return MetricHandle{}
+	}
+	return MetricHandle{plane: p, h: p.store.Handle(name, labels)}
+}
+
+// Emit appends a sample at the plane's current virtual time.
+func (h MetricHandle) Emit(value float64) {
+	if h.plane == nil {
+		return
+	}
+	h.h.Append(h.plane.epoch.Add(h.plane.now()), value)
 }
 
 // Journal exposes the plane's journal (nil when unattached).

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// wrapFixture builds a probe → violation → candidate(s) → migration chain on
+// a tiny ring journal, then floods filler events until the requested number
+// of chain ancestors has been evicted. It returns the retained events and
+// the spans of the chain links, oldest first.
+func wrapFixture(t *testing.T, capacity, filler int) (events []Event, spans [4]uint64) {
+	t.Helper()
+	j := NewJournal(capacity)
+	var now time.Duration
+	p := NewPlane(j, nil, func() time.Duration { return now })
+	p.SetTraceSeed(7)
+
+	spans[0] = p.EmitSpan(Event{Type: EventProbeHeadroom, Link: "a-b", Value: 1, Want: 5})
+	spans[1] = p.EmitSpan(Event{Type: EventHeadroomViolation, Link: "a-b", Cause: spans[0]})
+	now = 10 * time.Second
+	spans[2] = p.EmitSpan(Event{Type: EventSchedCandidate, Component: "c1", Node: "n2", Cause: spans[1]})
+	spans[3] = p.EmitSpan(Event{Type: EventMigration, Component: "c1", To: "n2", Cause: spans[1]})
+	for i := 0; i < filler; i++ {
+		now += time.Second
+		p.EmitSpan(Event{Type: EventProbeFull, Link: "x-y", Value: float64(i)})
+	}
+	return j.Events(), spans
+}
+
+func TestCauseChainSurvivesWraparound(t *testing.T) {
+	// Capacity 6, 4 chain events + 4 fillers: probe and violation evicted,
+	// candidate + migration retained.
+	events, spans := wrapFixture(t, 6, 4)
+	if len(events) != 6 {
+		t.Fatalf("retained %d events, want 6", len(events))
+	}
+	idx := IndexBySpan(events)
+	if _, ok := idx[spans[0]]; ok {
+		t.Fatal("evicted probe span still indexed")
+	}
+	if _, ok := idx[spans[1]]; ok {
+		t.Fatal("evicted violation span still indexed")
+	}
+
+	chain := CauseChain(events, spans[3])
+	// Truncated at the last resolvable hop: just the migration itself (its
+	// cause, the violation, is gone).
+	if len(chain) != 1 {
+		t.Fatalf("chain = %d events, want 1 (truncated), got %+v", len(chain), chain)
+	}
+	if chain[0].Type != EventMigration || chain[0].Span != spans[3] {
+		t.Errorf("chain[0] = %+v, want the migration", chain[0])
+	}
+}
+
+func TestCauseChainFullyEvictedSpan(t *testing.T) {
+	// Flood far past capacity: every chain event evicted. CauseChain on the
+	// now-unknown span must return empty, not panic.
+	events, spans := wrapFixture(t, 4, 32)
+	for _, span := range spans {
+		if chain := CauseChain(events, span); len(chain) != 0 {
+			t.Errorf("span %d: chain = %+v, want empty after eviction", span, chain)
+		}
+	}
+	if chain := CauseChain(nil, spans[3]); len(chain) != 0 {
+		t.Errorf("nil events: chain = %+v, want empty", chain)
+	}
+}
+
+func TestCauseChainCycleOnWrappedJournal(t *testing.T) {
+	// A cause cycle (impossible for correctly threaded spans, but journals
+	// can be hand-edited or corrupted) must terminate, wrapped or not.
+	j := NewJournal(4)
+	j.Append(Event{Type: EventMigration, Span: 1, Cause: 2})
+	j.Append(Event{Type: EventHeadroomViolation, Span: 2, Cause: 1})
+	for i := 0; i < 3; i++ { // wrap: evicts span 1
+		j.Append(Event{Type: EventProbeFull, Span: uint64(10 + i)})
+	}
+	chain := CauseChain(j.Events(), 2)
+	if len(chain) != 1 || chain[0].Span != 2 {
+		t.Errorf("cyclic wrapped chain = %+v, want just span 2", chain)
+	}
+}
+
+func TestScoreboardOnWrappedJournal(t *testing.T) {
+	// Decision with three candidates; wrap so only the last candidate and
+	// the decision survive. Scoreboard must return exactly the retained
+	// sibling — never borrow fillers or panic.
+	j := NewJournal(3)
+	var now time.Duration = 5 * time.Second
+	p := NewPlane(j, nil, func() time.Duration { return now })
+	cause := p.EmitSpan(Event{Type: EventHeadroomViolation, Link: "a-b"})
+	p.EmitSpan(Event{Type: EventSchedCandidate, Component: "c1", Node: "n1", Cause: cause})
+	p.EmitSpan(Event{Type: EventSchedCandidate, Component: "c1", Node: "n2", Cause: cause})
+	keep := Event{Type: EventSchedCandidate, Component: "c1", Node: "n3", Cause: cause}
+	p.EmitSpan(keep)
+	decisionSpan := p.EmitSpan(Event{Type: EventMigration, Component: "c1", To: "n3", Cause: cause})
+
+	events := j.Events()
+	if len(events) != 3 {
+		t.Fatalf("retained %d events, want 3", len(events))
+	}
+	var decision Event
+	for _, ev := range events {
+		if ev.Span == decisionSpan {
+			decision = ev
+		}
+	}
+	board := Scoreboard(events, decision)
+	if len(board) != 2 {
+		t.Fatalf("scoreboard = %d candidates, want 2 retained, got %+v", len(board), board)
+	}
+	if board[0].Node != "n2" || board[1].Node != "n3" {
+		t.Errorf("scoreboard nodes = %s,%s want n2,n3", board[0].Node, board[1].Node)
+	}
+
+	// A fully evicted scoreboard degrades to empty.
+	for i := 0; i < 8; i++ {
+		p.EmitSpan(Event{Type: EventProbeFull, Link: "x-y"})
+	}
+	if board := Scoreboard(j.Events(), decision); len(board) != 0 {
+		t.Errorf("post-eviction scoreboard = %+v, want empty", board)
+	}
+}
+
+func TestIndexBySpanWrappedHasOnlyRetained(t *testing.T) {
+	events, _ := wrapFixture(t, 8, 20)
+	idx := IndexBySpan(events)
+	if len(idx) != len(events) {
+		t.Fatalf("index has %d entries for %d retained events", len(idx), len(events))
+	}
+	for span, i := range idx {
+		if events[i].Span != span {
+			t.Errorf("index mis-links span %d to event with span %d", span, events[i].Span)
+		}
+	}
+}
